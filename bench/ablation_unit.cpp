@@ -1,0 +1,55 @@
+// DESIGN.md ablation: the per-machine distance unit of the small-distance
+// pipeline.  The paper's 3+eps factor comes from swapping [20]'s exact DP
+// unit for the CGKKS-style 3+eps' unit ([12]); this bench quantifies the
+// trade on identical workloads: approximation achieved vs per-machine work.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "core/workload.hpp"
+#include "edit_mpc/small_distance.hpp"
+#include "seq/edit_distance.hpp"
+
+int main() {
+  using namespace mpcsd;
+  bench::banner("Ablation / distance unit (exact banded vs CGKKS-style 3+eps')",
+                "exact unit: 1+eps quality, O(B*d) per pair; approx unit: 3+eps "
+                "quality, subquadratic worst case (Lemma 6's trade)");
+
+  bool ok = true;
+  bench::row({"n", "d", "exact_ed", "u=exact", "u=approx3", "ratio_e", "ratio_a",
+              "work_e", "work_a"});
+  for (const std::int64_t n : {1000, 3000}) {
+    for (const std::int64_t k : {n / 100, n / 20}) {
+      const auto s = core::random_string(n, 4, static_cast<std::uint64_t>(n + k));
+      const auto t = core::plant_edits(s, k, static_cast<std::uint64_t>(n + k) + 1, false)
+                         .text;
+      const auto exact = seq::edit_distance(s, t);
+
+      edit_mpc::SmallDistanceParams base;
+      base.eps_prime = 0.2;
+      base.x = 0.3;
+      base.delta_guess = exact + 2;
+
+      auto exact_params = base;
+      exact_params.unit = edit_mpc::DistanceUnit::kExactBanded;
+      auto approx_params = base;
+      approx_params.unit = edit_mpc::DistanceUnit::kApprox3;
+      approx_params.approx.epsilon = 0.25;
+
+      const auto re = edit_mpc::run_small_distance(s, t, exact_params);
+      const auto ra = edit_mpc::run_small_distance(s, t, approx_params);
+      const double ratio_e = exact ? static_cast<double>(re.distance) / exact : 1.0;
+      const double ratio_a = exact ? static_cast<double>(ra.distance) / exact : 1.0;
+      ok &= re.distance >= exact && ra.distance >= exact;
+      ok &= ratio_e <= 1.6 && ratio_a <= 4.0;
+      bench::row({bench::fmt_int(n), bench::fmt_int(k), bench::fmt_int(exact),
+                  bench::fmt_int(re.distance), bench::fmt_int(ra.distance),
+                  bench::fmt(ratio_e, 3), bench::fmt(ratio_a, 3),
+                  bench::fmt_int(static_cast<long long>(re.trace.total_work())),
+                  bench::fmt_int(static_cast<long long>(ra.trace.total_work()))});
+    }
+  }
+
+  bench::footer(ok, "both units valid; exact stays ~1+eps, approx within 3+eps");
+  return ok ? 0 : 1;
+}

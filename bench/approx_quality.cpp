@@ -1,0 +1,85 @@
+// Approximation-quality audit across both theorems:
+//   Theorem 4 (Ulam):  answer ∈ [opt, (1+eps)·opt]  whp
+//   Theorem 9 (edit):  answer ∈ [opt, (3+eps)·opt]
+// swept over sizes, distances, eps, and workload families, reporting the
+// worst observed ratio per configuration.
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "core/workload.hpp"
+#include "edit_mpc/solver.hpp"
+#include "seq/edit_distance.hpp"
+#include "seq/ulam.hpp"
+#include "ulam_mpc/solver.hpp"
+
+int main() {
+  using namespace mpcsd;
+  bench::banner("Approximation-quality audit (Theorems 4 and 9)",
+                "Ulam within 1+eps whp; edit distance within 3+eps; both always "
+                ">= opt (realizable transformations)");
+
+  bool ok = true;
+
+  std::printf("Ulam distance (Theorem 4):\n");
+  bench::row({"n", "d_planted", "eps", "worst_ratio", "bound"});
+  for (const std::int64_t n : {1000, 3000}) {
+    for (const std::int64_t k : {10L, n / 20, n / 6}) {
+      for (const double eps : {0.5, 1.0}) {
+        double worst = 1.0;
+        for (std::uint64_t seed = 0; seed < 3; ++seed) {
+          const auto s = core::random_permutation(n, seed + static_cast<std::uint64_t>(n + k));
+          const auto t = core::plant_edits(s, k, seed + 1000, true).text;
+          const auto exact = seq::ulam_distance(s, t);
+          ulam_mpc::UlamMpcParams params;
+          params.epsilon = eps;
+          params.seed = seed;
+          const auto result = ulam_mpc::ulam_distance_mpc(s, t, params);
+          if (result.distance < exact) ok = false;  // validity must never fail
+          if (exact > 0) {
+            worst = std::max(worst, static_cast<double>(result.distance) /
+                                        static_cast<double>(exact));
+          }
+        }
+        ok &= worst <= 1.0 + eps + 1e-9;
+        bench::row({bench::fmt_int(n), bench::fmt_int(k), bench::fmt(eps, 2),
+                    bench::fmt(worst, 4), bench::fmt(1.0 + eps, 2)});
+      }
+    }
+  }
+
+  std::printf("\nEdit distance (Theorem 9, 3+eps unit):\n");
+  bench::row({"n", "d_planted", "workload", "worst_ratio", "bound"});
+  for (const std::int64_t n : {400, 1200}) {
+    for (const char* family : {"planted", "shuffle"}) {
+      double worst = 1.0;
+      std::int64_t planted = n / 25;
+      for (std::uint64_t seed = 0; seed < 2; ++seed) {
+        const auto s = core::random_string(n, 4, seed + static_cast<std::uint64_t>(n));
+        const SymString t =
+            family == std::string("planted")
+                ? core::plant_edits(s, planted, seed + 5, false).text
+                : core::block_shuffle(s, n / 8, seed + 6);
+        const auto exact = seq::edit_distance(s, t);
+        edit_mpc::EditMpcParams params;
+        params.epsilon = 1.0;
+        params.approx.epsilon = 0.25;
+        params.seed = seed;
+        const auto result = edit_mpc::edit_distance_mpc(s, t, params);
+        if (result.distance < exact) ok = false;
+        if (exact > 0) {
+          worst = std::max(worst, static_cast<double>(result.distance) /
+                                      static_cast<double>(exact));
+        }
+      }
+      ok &= worst <= 4.0 + 1e-9;
+      bench::row({bench::fmt_int(n), bench::fmt_int(planted), family,
+                  bench::fmt(worst, 4), "4.00"});
+    }
+  }
+
+  bench::footer(ok, "all answers valid (>= opt) and within the advertised factors");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,44 @@
+// Shared helpers for the table/figure reproduction harnesses: fixed-width
+// table printing and common header banners.  Each bench binary regenerates
+// one exhibit of the paper (see DESIGN.md's per-experiment index) and
+// prints the paper's prediction next to the measured value.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace mpcsd::bench {
+
+/// Prints a banner naming the exhibit being reproduced.
+inline void banner(const std::string& title, const std::string& claim) {
+  std::printf("==============================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("paper claim: %s\n", claim.c_str());
+  std::printf("==============================================================================\n");
+}
+
+/// Simple fixed-width row printer: pass pre-formatted cells.
+inline void row(const std::vector<std::string>& cells, int width = 14) {
+  for (const auto& c : cells) std::printf("%*s", width, c.c_str());
+  std::printf("\n");
+}
+
+inline std::string fmt(double v, int precision = 3) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+inline std::string fmt_int(long long v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%lld", v);
+  return buf;
+}
+
+inline void footer(bool ok, const std::string& verdict) {
+  std::printf("------------------------------------------------------------------------------\n");
+  std::printf("[%s] %s\n\n", ok ? "REPRODUCED" : "CHECK", verdict.c_str());
+}
+
+}  // namespace mpcsd::bench

@@ -1,0 +1,54 @@
+// Figure 1: "The partitioning of s into n^y blocks of size B = n^{1-y} and
+// the transformation of the blocks into their matches via opt ... matched
+// substrings span s̄."
+//
+// We materialise an optimal alignment (Hirschberg), extract each block's
+// image, and verify/report the structure: images are consecutive, start at
+// 0, end at n̄ (they partition s̄), and the per-block distances sum to at
+// most the total distance.
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "core/workload.hpp"
+#include "edit_mpc/candidates.hpp"
+#include "seq/alignment.hpp"
+#include "seq/edit_distance.hpp"
+
+int main() {
+  using namespace mpcsd;
+  bench::banner("Figure 1 / block partition structure",
+                "blocks of s partition s; their opt images partition s̄; "
+                "per-block costs decompose the optimal solution");
+
+  bool ok = true;
+  bench::row({"n", "blocks", "B", "total_ed", "sum_block_ed", "partition"});
+  for (const std::int64_t n : {500, 1000, 2000}) {
+    const auto s = core::random_string(n, 4, static_cast<std::uint64_t>(n));
+    const auto t =
+        core::plant_edits(s, n / 20, static_cast<std::uint64_t>(n) + 1, false).text;
+    const std::int64_t bsize = n / 10;
+    const auto blocks = edit_mpc::make_blocks(n, bsize);
+    const auto images = seq::block_images(s, t, blocks);
+
+    bool partition = images.front().begin == 0 &&
+                     images.back().end == static_cast<std::int64_t>(t.size());
+    for (std::size_t i = 1; i < images.size(); ++i) {
+      partition &= images[i].begin == images[i - 1].end;
+    }
+
+    std::int64_t sum_block = 0;
+    for (std::size_t i = 0; i < blocks.size(); ++i) {
+      sum_block += seq::edit_distance(subview(s, blocks[i]), subview(t, images[i]));
+    }
+    const auto total = seq::edit_distance(s, t);
+    ok &= partition && sum_block <= total;
+
+    bench::row({bench::fmt_int(n), bench::fmt_int(static_cast<long long>(blocks.size())),
+                bench::fmt_int(bsize), bench::fmt_int(total), bench::fmt_int(sum_block),
+                partition ? "yes" : "NO"});
+  }
+
+  bench::footer(ok, "opt block images partition s̄ and decompose the cost");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,60 @@
+// Figure 2 / Lemma 1: when ulam(block, opt image) = u_i < B/2, the local
+// Ulam minimiser s̄[gamma, kappa) intersects the opt image and
+// |alpha_i - gamma| <= 2 u_i, |beta_i - kappa| <= 2 u_i.
+//
+// We sweep planted workloads, compute opt images exactly, run lulam per
+// block and report the worst endpoint error in units of u_i (must be <= 2).
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+#include "bench_util.hpp"
+#include "core/workload.hpp"
+#include "edit_mpc/candidates.hpp"
+#include "seq/alignment.hpp"
+#include "seq/types.hpp"
+#include "seq/ulam.hpp"
+
+int main() {
+  using namespace mpcsd;
+  bench::banner("Figure 2 / Lemma 1: lulam window locality",
+                "|alpha - gamma| <= 2u and |beta - kappa| <= 2u whenever u < B/2");
+
+  bool ok = true;
+  bench::row({"n", "edits", "blocks", "eligible", "worst_err/u", "violations"});
+  for (const std::int64_t n : {400, 800, 1600}) {
+    for (const std::int64_t edits : {n / 50, n / 16}) {
+      const auto s = core::random_permutation(n, static_cast<std::uint64_t>(n + edits));
+      const auto t = core::plant_edits(s, edits,
+                                       static_cast<std::uint64_t>(n + edits) + 1, true)
+                         .text;
+      const std::int64_t bsize = n / 8;
+      const auto blocks = edit_mpc::make_blocks(n, bsize);
+      const auto images = seq::block_images(s, t, blocks);
+
+      int eligible = 0;
+      int violations = 0;
+      double worst = 0.0;
+      for (std::size_t i = 0; i < blocks.size(); ++i) {
+        const SymView block = subview(s, blocks[i]);
+        const auto u = seq::ulam_distance(block, subview(t, images[i]));
+        if (u == 0 || u >= bsize / 2) continue;
+        ++eligible;
+        const auto local = seq::local_ulam(block, t);
+        const auto err_a = std::abs(local.window.begin - images[i].begin);
+        const auto err_b = std::abs(local.window.end - images[i].end);
+        const double rel = static_cast<double>(std::max(err_a, err_b)) /
+                           static_cast<double>(u);
+        worst = std::max(worst, rel);
+        if (rel > 2.0) ++violations;
+      }
+      ok &= violations == 0;
+      bench::row({bench::fmt_int(n), bench::fmt_int(edits),
+                  bench::fmt_int(static_cast<long long>(blocks.size())),
+                  bench::fmt_int(eligible), bench::fmt(worst), bench::fmt_int(violations)});
+    }
+  }
+
+  bench::footer(ok, "every eligible block's lulam window is within 2u of its opt image");
+  return ok ? 0 : 1;
+}

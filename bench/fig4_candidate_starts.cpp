@@ -1,0 +1,61 @@
+// Figure 4: start points of candidate substrings lie in
+// [l - n^delta, l + n^delta] on a grid of gap G = eps' n^{delta-y}, giving
+// O((1/eps') n^y) starts per block.
+//
+// We sweep n and delta and compare the generated start counts with the
+// formula 2 n^delta / G + 1 = 2 n^y / eps' + 1.
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/grid.hpp"
+#include "core/theory.hpp"
+#include "edit_mpc/candidates.hpp"
+
+int main() {
+  using namespace mpcsd;
+  bench::banner("Figure 4 / candidate start points",
+                "starts gridded with gap G = eps'*n^{delta-y} over +-n^delta: "
+                "O(n^y/eps') per block, independent of delta");
+
+  const double eps_prime = 0.1;
+  const double y = 0.3;
+  bool ok = true;
+  bench::row({"n", "delta_guess", "gap", "starts", "predicted", "rel_err"});
+
+  std::vector<double> ns;
+  std::vector<double> counts;
+  for (const std::int64_t n : {10000, 20000, 40000, 80000}) {
+    const auto bsize = ipow_ceil(n, 1.0 - y);
+    for (const double delta : {0.75, 0.9}) {
+      const auto guess = ipow(n, delta);
+      edit_mpc::CandidateGeometry geo;
+      geo.eps_prime = eps_prime;
+      geo.n = n;
+      geo.n_bar = n;
+      geo.block_size = bsize;
+      geo.delta_guess = guess;
+      const auto starts = edit_mpc::candidate_starts(n / 2, geo);
+      const auto gap = edit_mpc::start_gap(geo);
+      const double predicted = 2.0 * static_cast<double>(guess) /
+                                   static_cast<double>(gap) + 1.0;
+      const double rel =
+          std::abs(static_cast<double>(starts.size()) - predicted) / predicted;
+      ok &= rel < 0.2;
+      if (delta == 0.9) {
+        ns.push_back(static_cast<double>(n));
+        counts.push_back(static_cast<double>(starts.size()));
+      }
+      bench::row({bench::fmt_int(n), bench::fmt_int(guess), bench::fmt_int(gap),
+                  bench::fmt_int(static_cast<long long>(starts.size())),
+                  bench::fmt(predicted, 1), bench::fmt(rel, 4)});
+    }
+  }
+
+  const double slope = core::fit_exponent(ns, counts);
+  std::printf("\nstart-count exponent: %.3f vs %.3f (n^y)\n", slope, y);
+  ok &= std::abs(slope - y) < 0.08;
+  bench::footer(ok, "start counts track 2n^y/eps' and scale as n^y");
+  return ok ? 0 : 1;
+}

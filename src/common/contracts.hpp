@@ -1,0 +1,46 @@
+// Lightweight contract checking in the spirit of the C++ Core Guidelines
+// (I.6 "Prefer Expects()", I.8 "Prefer Ensures()").  Violations throw rather
+// than abort so that the test suite can assert on them.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace mpcsd {
+
+/// Thrown when a precondition or invariant is violated.
+class ContractViolation : public std::logic_error {
+ public:
+  explicit ContractViolation(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void contract_fail(const char* kind, const char* expr,
+                                       const char* file, int line) {
+  std::ostringstream os;
+  os << kind << " failed: (" << expr << ") at " << file << ":" << line;
+  throw ContractViolation(os.str());
+}
+
+}  // namespace detail
+
+}  // namespace mpcsd
+
+/// Precondition check; always on (the checks guard algorithmic invariants,
+/// not hot inner loops).
+#define MPCSD_EXPECTS(expr)                                                  \
+  do {                                                                       \
+    if (!(expr))                                                             \
+      ::mpcsd::detail::contract_fail("precondition", #expr, __FILE__,        \
+                                     __LINE__);                              \
+  } while (false)
+
+/// Postcondition / invariant check.
+#define MPCSD_ENSURES(expr)                                                  \
+  do {                                                                       \
+    if (!(expr))                                                             \
+      ::mpcsd::detail::contract_fail("postcondition", #expr, __FILE__,       \
+                                     __LINE__);                              \
+  } while (false)

@@ -1,0 +1,73 @@
+// Geometric grids of the form {0} ∪ {(1+eps)^j : j ≥ 0}, rounded to
+// integers and de-duplicated.  Both MPC algorithms discretise unknown
+// quantities (the distance guess n^delta, the per-block Ulam distance u_i,
+// the threshold tau) on such grids; the grid guarantees that any value
+// v ∈ [1, limit] has a grid point g with g ≤ v ≤ (1+eps)·g.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "common/contracts.hpp"
+
+namespace mpcsd {
+
+/// All integer grid points {0, 1, ceil((1+eps)^j)} that are <= limit,
+/// strictly increasing.  Always contains 0 and (if limit >= 1) 1.
+inline std::vector<std::int64_t> geometric_grid(std::int64_t limit, double eps) {
+  MPCSD_EXPECTS(eps > 0.0);
+  std::vector<std::int64_t> grid;
+  grid.push_back(0);
+  if (limit < 1) return grid;
+  double v = 1.0;
+  std::int64_t last = 0;
+  while (true) {
+    const auto g = static_cast<std::int64_t>(std::ceil(v));
+    if (g > limit) break;
+    if (g != last) {
+      grid.push_back(g);
+      last = g;
+    }
+    v *= (1.0 + eps);
+  }
+  // Include the limit itself so that "round up to grid" never overshoots the
+  // valid domain by more than a (1+eps) factor.
+  if (grid.back() != limit) grid.push_back(limit);
+  return grid;
+}
+
+/// Smallest grid point >= v (the canonical "round the guess up" operation).
+inline std::int64_t grid_round_up(const std::vector<std::int64_t>& grid,
+                                  std::int64_t v) {
+  MPCSD_EXPECTS(!grid.empty());
+  for (const auto g : grid) {
+    if (g >= v) return g;
+  }
+  return grid.back();
+}
+
+/// floor(n^e) with guards for the small-n regimes used in tests.
+inline std::int64_t ipow(std::int64_t n, double e) {
+  MPCSD_EXPECTS(n >= 0);
+  if (n == 0) return 0;
+  const double v = std::pow(static_cast<double>(n), e);
+  return static_cast<std::int64_t>(std::floor(v + 1e-9));
+}
+
+/// ceil(n^e).
+inline std::int64_t ipow_ceil(std::int64_t n, double e) {
+  MPCSD_EXPECTS(n >= 0);
+  if (n == 0) return 0;
+  const double v = std::pow(static_cast<double>(n), e);
+  return static_cast<std::int64_t>(std::ceil(v - 1e-9));
+}
+
+/// ceil(a / b) for positive integers.
+inline std::int64_t ceil_div(std::int64_t a, std::int64_t b) {
+  MPCSD_EXPECTS(b > 0);
+  MPCSD_EXPECTS(a >= 0);
+  return (a + b - 1) / b;
+}
+
+}  // namespace mpcsd

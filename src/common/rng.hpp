@@ -1,0 +1,111 @@
+// Deterministic, splittable random number generation.
+//
+// All randomized pieces of the library (hitting sets, representative
+// sampling, workload generators) draw from `SplitMix64`-seeded `Pcg32`
+// streams.  Streams are derived from (seed, stream-id) pairs so that every
+// simulated machine gets an independent, reproducible stream regardless of
+// execution order — a requirement for a deterministic MPC simulation.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+#include "common/contracts.hpp"
+
+namespace mpcsd {
+
+/// SplitMix64: used for seeding / hashing ids into statistically independent
+/// stream selectors.  (Public-domain construction by Sebastiano Vigna.)
+inline constexpr std::uint64_t splitmix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Minimal PCG32 generator (O'Neill); 64-bit state, 32-bit output.
+class Pcg32 {
+ public:
+  using result_type = std::uint32_t;
+
+  constexpr Pcg32() noexcept : Pcg32(0xdeadbeefcafef00dULL, 0xda3e39cb94b95bdbULL) {}
+
+  constexpr Pcg32(std::uint64_t seed, std::uint64_t stream) noexcept
+      : state_(0), inc_((stream << 1U) | 1U) {
+    next();
+    state_ += seed;
+    next();
+  }
+
+  constexpr result_type next() noexcept {
+    const std::uint64_t old = state_;
+    state_ = old * 6364136223846793005ULL + inc_;
+    const auto xorshifted =
+        static_cast<std::uint32_t>(((old >> 18U) ^ old) >> 27U);
+    const auto rot = static_cast<std::uint32_t>(old >> 59U);
+    return (xorshifted >> rot) | (xorshifted << ((32U - rot) & 31U));
+  }
+
+  constexpr result_type operator()() noexcept { return next(); }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  /// Uniform in [0, bound) without modulo bias (Lemire's method would need
+  /// 64x64 multiply; classic rejection is fine here).
+  std::uint32_t below(std::uint32_t bound) noexcept {
+    MPCSD_EXPECTS(bound > 0);
+    const std::uint32_t threshold = (-bound) % bound;
+    for (;;) {
+      const std::uint32_t r = next();
+      if (r >= threshold) return r % bound;
+    }
+  }
+
+  /// Uniform 64-bit value.
+  std::uint64_t next64() noexcept {
+    return (static_cast<std::uint64_t>(next()) << 32U) | next();
+  }
+
+  /// Uniform in [lo, hi] inclusive.
+  std::int64_t uniform(std::int64_t lo, std::int64_t hi) noexcept {
+    MPCSD_EXPECTS(lo <= hi);
+    const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+    if (span == 0) return static_cast<std::int64_t>(next64());  // full range
+    // 64-bit rejection sampling.
+    const std::uint64_t threshold = (-span) % span;
+    for (;;) {
+      const std::uint64_t r = next64();
+      if (r >= threshold) return lo + static_cast<std::int64_t>(r % span);
+    }
+  }
+
+  /// Uniform double in [0,1).
+  double uniform01() noexcept {
+    return static_cast<double>(next64() >> 11U) * 0x1.0p-53;
+  }
+
+  /// Bernoulli trial with success probability p (clamped to [0,1]).
+  bool bernoulli(double p) noexcept {
+    if (p <= 0.0) return false;
+    if (p >= 1.0) return true;
+    return uniform01() < p;
+  }
+
+ private:
+  std::uint64_t state_;
+  std::uint64_t inc_;
+};
+
+/// Derive an independent stream for a (seed, id...) tuple.  Used to give
+/// every simulated machine / round / block a reproducible private stream.
+inline Pcg32 derive_stream(std::uint64_t seed, std::uint64_t a,
+                           std::uint64_t b = 0, std::uint64_t c = 0) noexcept {
+  const std::uint64_t s = splitmix64(seed ^ splitmix64(a));
+  const std::uint64_t t = splitmix64(s ^ splitmix64(b ^ splitmix64(c)));
+  return Pcg32(s, t);
+}
+
+}  // namespace mpcsd

@@ -1,0 +1,113 @@
+#include "common/thread_pool.hpp"
+
+#include <atomic>
+#include <exception>
+#include <memory>
+
+namespace mpcsd {
+
+namespace {
+
+/// Shared state of one parallel_for call.  Queued worker tasks hold a
+/// shared_ptr to it, so stragglers that run after the call has returned
+/// (because the caller drained all indices itself) see next >= count and
+/// exit immediately instead of touching dead stack frames.
+struct ForState {
+  std::atomic<std::size_t> next{0};
+  std::atomic<std::size_t> done{0};
+  std::size_t count = 0;
+  const std::function<void(std::size_t)>* body = nullptr;  // valid while done < count
+  std::mutex error_mu;
+  std::exception_ptr first_error;
+  std::mutex done_mu;
+  std::condition_variable done_cv;
+};
+
+void drain(const std::shared_ptr<ForState>& state) {
+  for (;;) {
+    const std::size_t i = state->next.fetch_add(1, std::memory_order_relaxed);
+    if (i >= state->count) return;
+    try {
+      (*state->body)(i);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(state->error_mu);
+      if (!state->first_error) state->first_error = std::current_exception();
+    }
+    if (state->done.fetch_add(1, std::memory_order_acq_rel) + 1 == state->count) {
+      std::lock_guard<std::mutex> lock(state->done_mu);
+      state->done_cv.notify_all();
+    }
+  }
+}
+
+}  // namespace
+
+ThreadPool::ThreadPool(std::size_t workers) {
+  if (workers == 0) {
+    workers = std::thread::hardware_concurrency();
+    if (workers == 0) workers = 1;
+  }
+  threads_.reserve(workers);
+  for (std::size_t i = 0; i < workers; ++i) {
+    threads_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stopping_ || !tasks_.empty(); });
+      if (stopping_ && tasks_.empty()) return;
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t count,
+                              const std::function<void(std::size_t)>& body) {
+  if (count == 0) return;
+  auto state = std::make_shared<ForState>();
+  state->count = count;
+  state->body = &body;
+
+  // One queued task per worker; each drains indices from the shared
+  // counter, so queue pressure stays constant even for 10^5 machines.
+  const std::size_t fanout = std::min(count, threads_.size());
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (std::size_t i = 0; i < fanout; ++i) {
+      tasks_.push([state] { drain(state); });
+    }
+  }
+  cv_.notify_all();
+
+  // The calling thread participates too: guarantees forward progress even
+  // with zero free workers and makes single-threaded pools exact.
+  drain(state);
+
+  {
+    std::unique_lock<std::mutex> lock(state->done_mu);
+    state->done_cv.wait(lock, [&] {
+      return state->done.load(std::memory_order_acquire) == count;
+    });
+  }
+  // `body` dangles after return; stragglers must never dereference it.
+  // They cannot: next >= count for every remaining queued task.
+  state->body = nullptr;
+  if (state->first_error) std::rethrow_exception(state->first_error);
+}
+
+}  // namespace mpcsd

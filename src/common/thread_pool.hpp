@@ -1,0 +1,46 @@
+// A small fixed-size thread pool with a blocking `parallel_for`.
+//
+// The MPC simulator executes all machines of a round concurrently through
+// this pool; within a round machines share nothing (the MPC model forbids
+// intra-round communication), so `parallel_for` over machine indices is the
+// natural execution primitive.  The pool size defaults to the hardware
+// concurrency but is configurable so the simulator stays deterministic and
+// usable on single-core hosts.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace mpcsd {
+
+class ThreadPool {
+ public:
+  /// `workers == 0` selects std::thread::hardware_concurrency() (min 1).
+  explicit ThreadPool(std::size_t workers = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t worker_count() const noexcept { return threads_.size(); }
+
+  /// Runs body(i) for every i in [0, count), blocking until all complete.
+  /// Exceptions thrown by `body` are captured and the first one rethrown.
+  void parallel_for(std::size_t count, const std::function<void(std::size_t)>& body);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> threads_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::queue<std::function<void()>> tasks_;
+  bool stopping_ = false;
+};
+
+}  // namespace mpcsd

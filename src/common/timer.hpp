@@ -1,0 +1,24 @@
+// Monotonic stopwatch used for work metering in the MPC simulator and the
+// benchmark harnesses.
+#pragma once
+
+#include <chrono>
+
+namespace mpcsd {
+
+class Stopwatch {
+ public:
+  Stopwatch() noexcept : start_(clock::now()) {}
+
+  void reset() noexcept { start_ = clock::now(); }
+
+  [[nodiscard]] double seconds() const noexcept {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace mpcsd

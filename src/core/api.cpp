@@ -1,0 +1,5 @@
+#include "core/api.hpp"
+
+// The facade is header-only; this translation unit exists to give the core
+// library an object file and to guarantee the umbrella header compiles
+// stand-alone.

@@ -1,0 +1,46 @@
+// mpcsd — public API.
+//
+// Single-include facade for the library: exact sequential distances, the
+// two MPC solvers of the paper (Theorem 4 Ulam, Theorem 9 edit distance),
+// the [20] baseline, workload generators, and the Table 1 theory rows.
+//
+// Quickstart:
+//
+//   #include "core/api.hpp"
+//   using namespace mpcsd;
+//
+//   auto s = core::random_permutation(100'000, 1);
+//   auto t = core::plant_edits(s, 500, 2, /*repeat_free=*/true).text;
+//
+//   auto mpc = ulam_mpc::ulam_distance_mpc(s, t);          // 1+eps, 2 rounds
+//   auto exact = seq::ulam_distance(s, t);                  // ground truth
+//   // mpc.distance in [exact, (1+eps)*exact] whp; mpc.trace has the
+//   // machine/memory/work metrics of Table 1.
+#pragma once
+
+#include "common/bytes.hpp"
+#include "common/grid.hpp"
+#include "common/rng.hpp"
+#include "core/theory.hpp"
+#include "core/workload.hpp"
+#include "edit_mpc/hss_baseline.hpp"
+#include "edit_mpc/large_distance.hpp"
+#include "edit_mpc/small_distance.hpp"
+#include "edit_mpc/solver.hpp"
+#include "mpc/cluster.hpp"
+#include "mpc/stats.hpp"
+#include "seq/alignment.hpp"
+#include "seq/approx_edit.hpp"
+#include "seq/combine.hpp"
+#include "seq/edit_distance.hpp"
+#include "seq/lis.hpp"
+#include "seq/types.hpp"
+#include "seq/ulam.hpp"
+#include "ulam_mpc/solver.hpp"
+
+namespace mpcsd {
+
+/// Library version (semver).
+constexpr const char* kVersion = "1.0.0";
+
+}  // namespace mpcsd

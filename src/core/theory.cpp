@@ -1,0 +1,58 @@
+#include "core/theory.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/contracts.hpp"
+
+namespace mpcsd::core {
+
+double ulam_machines_exponent(double x) { return x; }
+double ulam_work_exponent(double /*x*/) { return 1.0; }
+
+double edit_machines_exponent(double x) { return 9.0 / 5.0 * x; }
+
+double edit_work_exponent(double x) {
+  return 2.0 - std::min((1.0 - x) / 6.0, 2.0 * x / 5.0);
+}
+
+double edit_parallel_exponent(double x) {
+  return 2.0 - std::min((5.0 + 49.0 * x) / 30.0, 11.0 * x / 5.0);
+}
+
+double hss_machines_exponent(double x) { return 2.0 * x; }
+
+std::vector<TheoryRow> table1_rows(double x) {
+  return {
+      TheoryRow{"Ulam (Theorem 4)", "1+eps", 2, 1.0 - x, ulam_machines_exponent(x),
+                ulam_work_exponent(x)},
+      TheoryRow{"Edit (Theorem 9)", "3+eps", 4, 1.0 - x, edit_machines_exponent(x),
+                edit_work_exponent(x)},
+      TheoryRow{"Edit [20] baseline", "1+eps", 2, 1.0 - x,
+                hss_machines_exponent(x), 2.0},
+  };
+}
+
+double fit_exponent(const std::vector<double>& n, const std::vector<double>& y) {
+  MPCSD_EXPECTS(n.size() == y.size());
+  MPCSD_EXPECTS(n.size() >= 2);
+  double sx = 0;
+  double sy = 0;
+  double sxx = 0;
+  double sxy = 0;
+  const auto m = static_cast<double>(n.size());
+  for (std::size_t i = 0; i < n.size(); ++i) {
+    MPCSD_EXPECTS(n[i] > 0.0 && y[i] > 0.0);
+    const double lx = std::log(n[i]);
+    const double ly = std::log(y[i]);
+    sx += lx;
+    sy += ly;
+    sxx += lx * lx;
+    sxy += lx * ly;
+  }
+  const double denom = m * sxx - sx * sx;
+  MPCSD_EXPECTS(std::abs(denom) > 1e-12);
+  return (m * sxy - sx * sy) / denom;
+}
+
+}  // namespace mpcsd::core

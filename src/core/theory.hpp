@@ -1,0 +1,46 @@
+// Table 1 of the paper as code: the theoretical exponents each benchmark
+// compares its measurements against.
+//
+//   Problem        Approx   Rounds  Memory/machine  #Machines      Total time
+//   Ulam (Thm 4)   1+eps    2       Õ(n^{1-x})      Õ(n^x)         Õ(n)
+//   Edit (Thm 9)   3+eps    4       Õ(n^{1-x})      Õ(n^{(9/5)x})  Õ(n^{2-min((1-x)/6, 2x/5)})
+//   Edit [20]      1+eps    2       Õ(n^{1-x})      Õ(n^{2x})      Õ(n^2)
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace mpcsd::core {
+
+struct TheoryRow {
+  std::string problem;
+  std::string approx;
+  int rounds = 0;
+  double memory_exponent = 0.0;    ///< per-machine memory ~ n^this
+  double machines_exponent = 0.0;  ///< #machines ~ n^this
+  double work_exponent = 0.0;      ///< total running time ~ n^this
+};
+
+/// The rows of Table 1 instantiated at a given memory exponent x.
+std::vector<TheoryRow> table1_rows(double x);
+
+/// #machines exponent of Theorem 4 (Ulam): x.
+double ulam_machines_exponent(double x);
+/// Total-work exponent of Theorem 4 (Ulam): 1 (linear).
+double ulam_work_exponent(double x);
+
+/// #machines exponent of Theorem 9 (edit distance): (9/5)x.
+double edit_machines_exponent(double x);
+/// Total-work exponent of Theorem 9: 2 - min((1-x)/6, 2x/5).
+double edit_work_exponent(double x);
+/// Parallel-time exponent of Theorem 9: 2 - min((5+49x)/30, 11x/5).
+double edit_parallel_exponent(double x);
+
+/// #machines exponent of the [20] baseline: 2x.
+double hss_machines_exponent(double x);
+
+/// Least-squares slope of log(y) against log(n) — the measured exponent
+/// benchmarks report next to the theoretical one.
+double fit_exponent(const std::vector<double>& n, const std::vector<double>& y);
+
+}  // namespace mpcsd::core

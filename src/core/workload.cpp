@@ -1,0 +1,160 @@
+#include "core/workload.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "common/contracts.hpp"
+#include "common/rng.hpp"
+
+namespace mpcsd::core {
+
+SymString random_string(std::int64_t n, Symbol alphabet, std::uint64_t seed) {
+  MPCSD_EXPECTS(n >= 0 && alphabet > 0);
+  Pcg32 rng = derive_stream(seed, 0xA11CE);
+  SymString out(static_cast<std::size_t>(n));
+  for (auto& v : out) v = static_cast<Symbol>(rng.below(static_cast<std::uint32_t>(alphabet)));
+  return out;
+}
+
+SymString random_permutation(std::int64_t n, std::uint64_t seed) {
+  MPCSD_EXPECTS(n >= 0);
+  SymString out(static_cast<std::size_t>(n));
+  std::iota(out.begin(), out.end(), 0);
+  Pcg32 rng = derive_stream(seed, 0x9E12);
+  for (std::size_t i = out.size(); i > 1; --i) {
+    std::swap(out[i - 1], out[rng.below(static_cast<std::uint32_t>(i))]);
+  }
+  return out;
+}
+
+SymString random_dna(std::int64_t n, std::uint64_t seed) {
+  return random_string(n, 4, seed);
+}
+
+PlantedResult plant_edits(SymView base, std::int64_t k, std::uint64_t seed,
+                          bool repeat_free, Symbol alphabet) {
+  MPCSD_EXPECTS(k >= 0);
+  PlantedResult out;
+  out.text.assign(base.begin(), base.end());
+  Pcg32 rng = derive_stream(seed, 0xED17);
+
+  // Fresh-symbol counter for repeat-free edits.
+  Symbol next_fresh = 0;
+  if (repeat_free) {
+    for (const Symbol v : base) next_fresh = std::max(next_fresh, v);
+    ++next_fresh;
+  }
+  auto draw_symbol = [&]() -> Symbol {
+    if (repeat_free) return next_fresh++;
+    return static_cast<Symbol>(rng.below(static_cast<std::uint32_t>(alphabet)));
+  };
+
+  for (std::int64_t i = 0; i < k; ++i) {
+    const std::uint32_t op = rng.below(3);
+    const auto size = static_cast<std::uint32_t>(out.text.size());
+    if (op == 0 || out.text.empty()) {
+      // insert
+      const std::uint32_t pos = rng.below(size + 1);
+      out.text.insert(out.text.begin() + pos, draw_symbol());
+    } else if (op == 1) {
+      // delete
+      const std::uint32_t pos = rng.below(size);
+      out.text.erase(out.text.begin() + pos);
+    } else {
+      // substitute
+      const std::uint32_t pos = rng.below(size);
+      out.text[pos] = draw_symbol();
+    }
+    ++out.edits_applied;
+  }
+  return out;
+}
+
+SymString rotate_by(SymView base, std::int64_t shift) {
+  SymString out(base.begin(), base.end());
+  if (out.empty()) return out;
+  const auto n = static_cast<std::int64_t>(out.size());
+  shift = ((shift % n) + n) % n;
+  std::rotate(out.begin(), out.begin() + shift, out.end());
+  return out;
+}
+
+SymString zipf_text(std::int64_t n, Symbol vocabulary, double skew,
+                    std::uint64_t seed) {
+  MPCSD_EXPECTS(n >= 0 && vocabulary > 0 && skew >= 0.0);
+  // Inverse-CDF sampling over rank probabilities 1/rank^skew.
+  std::vector<double> cdf(static_cast<std::size_t>(vocabulary));
+  double total = 0.0;
+  for (Symbol r = 0; r < vocabulary; ++r) {
+    total += 1.0 / std::pow(static_cast<double>(r + 1), skew);
+    cdf[static_cast<std::size_t>(r)] = total;
+  }
+  Pcg32 rng = derive_stream(seed, 0x21FF);
+  SymString out(static_cast<std::size_t>(n));
+  for (auto& v : out) {
+    const double u = rng.uniform01() * total;
+    const auto it = std::lower_bound(cdf.begin(), cdf.end(), u);
+    v = static_cast<Symbol>(it - cdf.begin());
+  }
+  return out;
+}
+
+PlantedResult burst_edits(SymView base, std::int64_t bursts,
+                          std::int64_t per_burst, std::uint64_t seed,
+                          bool repeat_free, Symbol alphabet) {
+  MPCSD_EXPECTS(bursts >= 0 && per_burst >= 0);
+  PlantedResult out;
+  out.text.assign(base.begin(), base.end());
+  Pcg32 rng = derive_stream(seed, 0xB57);
+  Symbol next_fresh = 0;
+  if (repeat_free) {
+    for (const Symbol v : base) next_fresh = std::max(next_fresh, v);
+    ++next_fresh;
+  }
+  for (std::int64_t b = 0; b < bursts; ++b) {
+    if (out.text.empty()) break;
+    // A hotspot: per_burst consecutive substitutions/indels near one spot.
+    std::uint32_t pos = rng.below(static_cast<std::uint32_t>(out.text.size()));
+    for (std::int64_t e = 0; e < per_burst; ++e) {
+      const auto size = static_cast<std::uint32_t>(out.text.size());
+      if (pos >= size) pos = size == 0 ? 0 : size - 1;
+      const std::uint32_t op = rng.below(3);
+      const Symbol fresh = repeat_free
+                               ? next_fresh++
+                               : static_cast<Symbol>(rng.below(
+                                     static_cast<std::uint32_t>(alphabet)));
+      if (op == 0 || out.text.empty()) {
+        out.text.insert(out.text.begin() + pos, fresh);
+      } else if (op == 1 && !out.text.empty()) {
+        out.text.erase(out.text.begin() + pos);
+      } else {
+        out.text[pos] = fresh;
+      }
+      ++out.edits_applied;
+      if (pos + 1 < out.text.size()) ++pos;
+    }
+  }
+  return out;
+}
+
+SymString block_shuffle(SymView base, std::int64_t block, std::uint64_t seed) {
+  MPCSD_EXPECTS(block > 0);
+  const auto n = static_cast<std::int64_t>(base.size());
+  std::vector<std::int64_t> order;
+  for (std::int64_t b = 0; b < n; b += block) order.push_back(b);
+  Pcg32 rng = derive_stream(seed, 0xB10C);
+  for (std::size_t i = order.size(); i > 1; --i) {
+    std::swap(order[i - 1], order[rng.below(static_cast<std::uint32_t>(i))]);
+  }
+  SymString out;
+  out.reserve(base.size());
+  for (const std::int64_t b : order) {
+    const std::int64_t e = std::min(n, b + block);
+    out.insert(out.end(), base.begin() + b, base.begin() + e);
+  }
+  return out;
+}
+
+}  // namespace mpcsd::core

@@ -1,0 +1,61 @@
+// Synthetic workload generators (DESIGN.md substitution for the paper's
+// genome-scale motivating inputs).
+//
+// All generators are deterministic in their seed.  `plant_edits` is the
+// workhorse: it applies k random edit operations to a base string and
+// reports the number actually applied, which upper-bounds the true distance
+// (benchmarks compute the exact distance where feasible and use the bound
+// as the scale knob elsewhere).
+#pragma once
+
+#include <cstdint>
+
+#include "seq/types.hpp"
+
+namespace mpcsd::core {
+
+/// Uniform random string of length n over an alphabet of `alphabet` symbols.
+SymString random_string(std::int64_t n, Symbol alphabet, std::uint64_t seed);
+
+/// Uniform random permutation of {0, ..., n-1} (repeat-free by
+/// construction — the canonical Ulam-distance input).
+SymString random_permutation(std::int64_t n, std::uint64_t seed);
+
+/// Random string over the DNA alphabet {A, C, G, T} (as symbol codes).
+SymString random_dna(std::int64_t n, std::uint64_t seed);
+
+struct PlantedResult {
+  SymString text;               ///< the edited string
+  std::int64_t edits_applied = 0;  ///< number of edit operations performed
+};
+
+/// Applies `k` random edits (insert / delete / substitute, equally likely)
+/// to `base`.  When `repeat_free` is set, inserted/substituted symbols are
+/// fresh (never seen), so the result stays repeat-free.
+/// ed(base, result) <= edits_applied.
+PlantedResult plant_edits(SymView base, std::int64_t k, std::uint64_t seed,
+                          bool repeat_free, Symbol alphabet = 4);
+
+/// Cuts `base` into blocks of the given size and permutes the blocks — the
+/// adversarial input family for the large-distance regime (every block is
+/// far from its original position).
+SymString block_shuffle(SymView base, std::int64_t block, std::uint64_t seed);
+
+/// Rotation by `shift` positions — the canonical "everything moved, nothing
+/// changed" workload for the hitting-set/extension machinery.
+SymString rotate_by(SymView base, std::int64_t shift);
+
+/// Zipf-distributed token stream over `vocabulary` symbols with the given
+/// skew (s ~ 1.0 mimics natural-language token frequencies) — a repetitive
+/// workload family (hard for alignment heuristics, unlike uniform noise).
+SymString zipf_text(std::int64_t n, Symbol vocabulary, double skew,
+                    std::uint64_t seed);
+
+/// Burst edits: `bursts` clusters of `per_burst` consecutive edit
+/// operations each (mutation hotspots), instead of uniformly spread edits.
+/// Returns the edited string; ed(base, result) <= bursts * per_burst.
+PlantedResult burst_edits(SymView base, std::int64_t bursts,
+                          std::int64_t per_burst, std::uint64_t seed,
+                          bool repeat_free, Symbol alphabet = 4);
+
+}  // namespace mpcsd::core

@@ -1,0 +1,93 @@
+#include "edit_mpc/candidates.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/contracts.hpp"
+#include "common/grid.hpp"
+
+namespace mpcsd::edit_mpc {
+
+std::int64_t start_gap(const CandidateGeometry& geo) {
+  MPCSD_EXPECTS(geo.n > 0 && geo.block_size > 0);
+  // n^{delta - y} = delta_guess * B / n.
+  const double fine = geo.eps_prime * static_cast<double>(geo.delta_guess) *
+                      static_cast<double>(geo.block_size) / static_cast<double>(geo.n);
+  return std::max<std::int64_t>(static_cast<std::int64_t>(fine), 1);
+}
+
+std::vector<std::int64_t> candidate_starts(std::int64_t block_begin,
+                                           const CandidateGeometry& geo) {
+  const std::int64_t gap = start_gap(geo);
+  std::vector<std::int64_t> starts;
+  std::int64_t lo = block_begin - geo.delta_guess;
+  // One extra gap above l + guess so that every alpha in the range has a
+  // grid point in [alpha, alpha + gap] (the Lemma 5 cover at the boundary).
+  const std::int64_t hi =
+      std::min(block_begin + geo.delta_guess + gap, geo.n_bar - 1);
+  if (lo < 0) lo = 0;
+  // Grid alignment: indices divisible by the gap, as in Fig. 4.
+  lo = ceil_div(lo, gap) * gap;
+  for (std::int64_t sp = lo; sp <= hi; sp += gap) starts.push_back(sp);
+  if (starts.empty() && geo.n_bar > 0) {
+    starts.push_back(std::clamp<std::int64_t>(block_begin, 0, geo.n_bar - 1));
+  }
+  return starts;
+}
+
+std::vector<std::int64_t> candidate_ends(std::int64_t start,
+                                         std::int64_t block_len,
+                                         const CandidateGeometry& geo) {
+  MPCSD_EXPECTS(block_len > 0);
+  const std::int64_t max_len = std::min(
+      static_cast<std::int64_t>(std::ceil(static_cast<double>(block_len) / geo.eps_prime)),
+      block_len + geo.delta_guess);
+  const std::int64_t kappa = start + block_len;
+  std::vector<std::int64_t> ends;
+  ends.push_back(kappa);
+  if (geo.canonical_ends) {
+    ends.front() = std::clamp<std::int64_t>(kappa, start, geo.n_bar);
+    if (ends.front() == start && geo.n_bar > start) ends.front() = geo.n_bar;
+    return ends;
+  }
+  const std::int64_t max_delta = std::min(
+      static_cast<std::int64_t>(std::ceil(static_cast<double>(block_len) / geo.eps_prime)),
+      geo.delta_guess);
+  for (const std::int64_t delta : geometric_grid(std::max<std::int64_t>(max_delta, 0),
+                                                 geo.eps_prime)) {
+    if (delta == 0) continue;
+    ends.push_back(kappa - delta);
+    ends.push_back(kappa + delta);
+  }
+  for (auto& e : ends) {
+    e = std::clamp<std::int64_t>(e, start, std::min(start + max_len, geo.n_bar));
+  }
+  std::sort(ends.begin(), ends.end());
+  ends.erase(std::unique(ends.begin(), ends.end()), ends.end());
+  // Drop the degenerate empty window unless it is the only option.
+  if (ends.size() > 1 && ends.front() == start) ends.erase(ends.begin());
+  return ends;
+}
+
+std::vector<Interval> candidate_windows(std::int64_t block_begin,
+                                        std::int64_t block_len,
+                                        const CandidateGeometry& geo) {
+  std::vector<Interval> windows;
+  for (const std::int64_t sp : candidate_starts(block_begin, geo)) {
+    for (const std::int64_t ep : candidate_ends(sp, block_len, geo)) {
+      windows.push_back(Interval{sp, ep});
+    }
+  }
+  return windows;
+}
+
+std::vector<Interval> make_blocks(std::int64_t n, std::int64_t block_size) {
+  MPCSD_EXPECTS(block_size > 0);
+  std::vector<Interval> blocks;
+  for (std::int64_t b = 0; b < n; b += block_size) {
+    blocks.push_back(Interval{b, std::min(n, b + block_size)});
+  }
+  return blocks;
+}
+
+}  // namespace mpcsd::edit_mpc

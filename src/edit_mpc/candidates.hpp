@@ -1,0 +1,58 @@
+// Candidate-substring geometry for the edit-distance MPC algorithm
+// (Figures 4 and 5 of the paper).
+//
+// For a distance guess n^delta (written `delta_guess` as an absolute value)
+// and blocks of size B = n^{1-y}:
+//   * start points of a block at position l lie in [l - delta_guess,
+//     l + delta_guess] and are divisible by the gap
+//     G = max(floor(eps' * delta_guess * B / n), 1)  (= eps' * n^{delta-y});
+//   * end points for a start gamma cluster geometrically around
+//     kappa = gamma + B: kappa +- ceil((1+eps')^a), with candidate lengths
+//     capped at B/eps' and at the guess.
+// The same geometry drives the small-distance pipeline, the G_tau node set
+// of the large-distance pipeline, and the HSS [20] baseline.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "seq/types.hpp"
+
+namespace mpcsd::edit_mpc {
+
+struct CandidateGeometry {
+  double eps_prime = 0.05;     ///< eps' (paper: eps/22)
+  std::int64_t n = 0;          ///< |s|
+  std::int64_t n_bar = 0;      ///< |s̄|
+  std::int64_t block_size = 0; ///< B = n^{1-y}
+  std::int64_t delta_guess = 0;///< the distance guess n^delta
+  /// Canonical ends only (kappa = gamma + B): used for the G_tau node
+  /// universe, where the Õ(1) end multiplicity would otherwise multiply
+  /// the node count; the length-variant windows are still evaluated by the
+  /// low-degree exact path.
+  bool canonical_ends = false;
+};
+
+/// The start-point grid gap G = max(floor(eps' * delta_guess / n^y), 1).
+std::int64_t start_gap(const CandidateGeometry& geo);
+
+/// Start points for the block beginning at `block_begin` (clamped to s̄).
+std::vector<std::int64_t> candidate_starts(std::int64_t block_begin,
+                                           const CandidateGeometry& geo);
+
+/// Candidate end points (exclusive) for a given start; sorted, deduped,
+/// clamped to s̄.  Lengths range over {B} ∪ {B ± ceil((1+eps')^a)} capped at
+/// min(B/eps', B + delta_guess).
+std::vector<std::int64_t> candidate_ends(std::int64_t start,
+                                         std::int64_t block_len,
+                                         const CandidateGeometry& geo);
+
+/// All candidate windows (start, end) pairs of one block.
+std::vector<Interval> candidate_windows(std::int64_t block_begin,
+                                        std::int64_t block_len,
+                                        const CandidateGeometry& geo);
+
+/// Block decomposition of s: consecutive [kB, (k+1)B) intervals.
+std::vector<Interval> make_blocks(std::int64_t n, std::int64_t block_size);
+
+}  // namespace mpcsd::edit_mpc

@@ -1,0 +1,43 @@
+#include "edit_mpc/graph_tau.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/contracts.hpp"
+#include "common/grid.hpp"
+
+namespace mpcsd::edit_mpc {
+
+NodeUniverse build_universe(const CandidateGeometry& geo) {
+  NodeUniverse universe;
+  universe.blocks = make_blocks(geo.n, geo.block_size);
+  universe.block_cands.resize(universe.blocks.size());
+
+  std::unordered_map<std::uint64_t, std::int32_t> ids;
+  for (std::size_t b = 0; b < universe.blocks.size(); ++b) {
+    const Interval& blk = universe.blocks[b];
+    for (const Interval& win : candidate_windows(blk.begin, blk.length(), geo)) {
+      const std::uint64_t key = (static_cast<std::uint64_t>(win.begin) << 32U) |
+                                static_cast<std::uint64_t>(win.end - win.begin);
+      auto [it, inserted] = ids.emplace(key, static_cast<std::int32_t>(universe.cs.size()));
+      if (inserted) universe.cs.push_back(win);
+      universe.block_cands[b].push_back(it->second);
+    }
+    // Keep per-block candidate lists deduped.
+    auto& cands = universe.block_cands[b];
+    std::sort(cands.begin(), cands.end());
+    cands.erase(std::unique(cands.begin(), cands.end()), cands.end());
+  }
+  return universe;
+}
+
+std::vector<std::int64_t> tau_grid(std::int64_t limit, double eps_prime) {
+  return geometric_grid(limit, eps_prime);
+}
+
+std::size_t min_tau_index(const std::vector<std::int64_t>& grid, std::int64_t v) {
+  const auto it = std::lower_bound(grid.begin(), grid.end(), v);
+  return static_cast<std::size_t>(it - grid.begin());
+}
+
+}  // namespace mpcsd::edit_mpc

@@ -1,0 +1,64 @@
+// The threshold graph G_tau of Section 5.2.
+//
+// Nodes are the n^y blocks of s plus the (deduplicated) candidate
+// substrings of s̄ over all blocks; two nodes are adjacent in G_tau when
+// their edit distance is at most tau.  The pipeline never materialises
+// G_tau: round 1 computes representative-to-all distances (Algorithm 5) and
+// every later consumer reconstructs the edges it needs from the emitted
+// `RepTuple`s, exactly as Lemma 7 prescribes.
+//
+// Thresholds are discretised as tau in {0} ∪ {(1+eps')^j}; a RepTuple
+// records the *smallest* tau index at which its node enters N_tau(z)
+// (blocks) or N_2tau(z) (candidate substrings), which encodes membership
+// for every larger threshold at once.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "edit_mpc/candidates.hpp"
+#include "seq/types.hpp"
+
+namespace mpcsd::edit_mpc {
+
+/// Blocks + deduplicated candidate-substring nodes.
+struct NodeUniverse {
+  std::vector<Interval> blocks;                   ///< in s
+  std::vector<Interval> cs;                       ///< in s̄ (deduped)
+  std::vector<std::vector<std::int32_t>> block_cands;  ///< per block: cs ids
+
+  [[nodiscard]] std::size_t node_count() const noexcept {
+    return blocks.size() + cs.size();
+  }
+  /// Global node id layout: [0, blocks) then [blocks, blocks+cs).
+  [[nodiscard]] bool is_block(std::size_t node) const noexcept {
+    return node < blocks.size();
+  }
+  [[nodiscard]] Interval node_interval(std::size_t node) const {
+    return is_block(node) ? blocks[node] : cs[node - blocks.size()];
+  }
+};
+
+/// Builds the node universe for a given guess geometry.
+NodeUniverse build_universe(const CandidateGeometry& geo);
+
+/// One representative observation: ed(node, rep) == rep_distance, hence
+/// node ∈ N_tau(rep) for every tau >= rep_distance (blocks) or
+/// N_2tau(rep) for every 2*tau >= rep_distance (candidate substrings).
+struct RepTuple {
+  std::int32_t node = 0;          ///< global node id
+  std::int32_t rep = 0;           ///< global node id of the representative
+  std::int32_t min_tau_index = 0; ///< smallest index j in the tau grid s.t.
+                                  ///< the membership condition holds
+  std::int64_t rep_distance = 0;  ///< exact ed(node, rep)
+
+  friend bool operator==(const RepTuple&, const RepTuple&) = default;
+};
+
+/// Threshold grid {0, 1, ceil((1+eps')^j), ...} capped at `limit`.
+std::vector<std::int64_t> tau_grid(std::int64_t limit, double eps_prime);
+
+/// Smallest index j with grid[j] >= v (grid.size() if none).
+std::size_t min_tau_index(const std::vector<std::int64_t>& grid, std::int64_t v);
+
+}  // namespace mpcsd::edit_mpc

@@ -1,0 +1,576 @@
+#include "edit_mpc/large_distance.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/contracts.hpp"
+#include "common/grid.hpp"
+#include "common/rng.hpp"
+#include "mpc/cluster.hpp"
+#include "seq/combine.hpp"
+#include "seq/edit_distance.hpp"
+
+namespace mpcsd::edit_mpc {
+
+namespace {
+
+/// A deduplicated extension request: evaluate ed(block, window) in round 3.
+struct ExtendRequest {
+  std::int64_t block_begin = 0;
+  std::int64_t block_end = 0;
+  std::int64_t window_begin = 0;
+  std::int64_t window_end = 0;
+};
+
+struct CsObservation {
+  std::int32_t cs = 0;
+  std::int64_t distance = 0;
+};
+
+struct BlockObservation {
+  std::int32_t rep = 0;
+  std::int64_t distance = 0;
+};
+
+std::vector<Symbol> copy_syms(SymView v, Interval iv) {
+  const SymView sub = subview(v, iv);
+  return std::vector<Symbol>(sub.begin(), sub.end());
+}
+
+}  // namespace
+
+LargeDistanceResult run_large_distance(SymView s, SymView t,
+                                       const LargeDistanceParams& params) {
+  MPCSD_EXPECTS(params.x > 0.0 && params.x < 1.0);
+  MPCSD_EXPECTS(params.eps_prime > 0.0);
+  MPCSD_EXPECTS(params.delta_guess > 0);
+
+  LargeDistanceResult result;
+  const auto n = static_cast<std::int64_t>(s.size());
+  const auto n_bar = static_cast<std::int64_t>(t.size());
+  if (n == 0 || n_bar == 0) {
+    result.distance = std::max(n, n_bar);
+    return result;
+  }
+
+  const double x = params.x;
+  const double y = params.y_scale * x;
+  const std::int64_t block = std::max<std::int64_t>(1, ipow_ceil(n, 1.0 - y));
+  const std::int64_t larger_block =
+      std::max(block, ipow_ceil(n, 1.0 - params.y_prime_scale * x));
+
+  CandidateGeometry geo;
+  geo.eps_prime = params.eps_prime;
+  geo.n = n;
+  geo.n_bar = n_bar;
+  geo.block_size = block;
+  geo.delta_guess = params.delta_guess;
+
+  // G_tau nodes use canonical window lengths (one node per start); the
+  // sampled low-degree path evaluates the full length-variant candidates.
+  CandidateGeometry node_geo = geo;
+  node_geo.canonical_ends = true;
+  const NodeUniverse universe = build_universe(node_geo);
+  const auto nb = universe.blocks.size();
+
+  // Distances beyond the cap cannot participate in a solution of size
+  // ~delta_guess, so all bounded computations stop there.
+  const std::int64_t cap =
+      std::max<std::int64_t>(params.distance_cap_factor * params.delta_guess, 4);
+  const auto taus = tau_grid(cap, params.eps_prime);
+
+  mpc::ClusterConfig config;
+  config.memory_limit_bytes = params.memory_cap_bytes;
+  config.strict_memory = params.strict_memory;
+  config.workers = params.workers;
+  config.seed = params.seed;
+  mpc::Cluster cluster(config);
+
+  // ------------------------------------------------------------------
+  // Round 1 (Algorithm 5): representatives vs all nodes.
+  // ------------------------------------------------------------------
+  const double alpha_n = std::pow(static_cast<double>(n), params.alpha_scale * x);
+  const double rho = std::min(
+      1.0, params.rep_constant * std::log(static_cast<double>(std::max<std::int64_t>(n, 3))) /
+               std::max(1.0, alpha_n));
+  Pcg32 rep_rng = derive_stream(params.seed, 1001);
+  std::vector<std::int32_t> reps;
+  for (std::size_t v = 0; v < universe.node_count(); ++v) {
+    if (rep_rng.bernoulli(rho)) reps.push_back(static_cast<std::int32_t>(v));
+  }
+  // At toy scales n^alpha is O(1) and the rate saturates; cap the
+  // representative set (a uniform subsample) so round-1 work stays sane.
+  if (params.max_representatives > 0 && reps.size() > params.max_representatives) {
+    for (std::size_t i = 0; i < params.max_representatives; ++i) {
+      const std::size_t j =
+          i + rep_rng.below(static_cast<std::uint32_t>(reps.size() - i));
+      std::swap(reps[i], reps[j]);
+    }
+    reps.resize(params.max_representatives);
+    std::sort(reps.begin(), reps.end());
+  }
+  result.representative_count = reps.size();
+
+  // Batch (rep group) x (node group) so that each machine holds at most
+  // ~memory_cap worth of strings on each side.
+  const std::int64_t max_node_len = [&] {
+    std::int64_t m = block;
+    for (const Interval& c : universe.cs) m = std::max(m, c.length());
+    return m;
+  }();
+  const auto bytes_per_node = static_cast<std::uint64_t>(max_node_len) * sizeof(Symbol) + 64;
+  const std::size_t per_side = static_cast<std::size_t>(std::max<std::uint64_t>(
+      1, params.memory_cap_bytes / (2 * bytes_per_node)));
+
+  std::vector<Bytes> round1_inputs;
+  for (std::size_t rb = 0; rb < reps.size(); rb += per_side) {
+    const std::size_t rhi = std::min(reps.size(), rb + per_side);
+    for (std::size_t vb = 0; vb < universe.node_count(); vb += per_side) {
+      const std::size_t vhi = std::min(universe.node_count(), vb + per_side);
+      ByteWriter w;
+      w.put<std::uint64_t>(rhi - rb);
+      for (std::size_t i = rb; i < rhi; ++i) {
+        const auto z = static_cast<std::size_t>(reps[i]);
+        w.put<std::int32_t>(reps[i]);
+        w.put_vector(copy_syms(universe.is_block(z) ? s : t, universe.node_interval(z)));
+      }
+      w.put<std::uint64_t>(vhi - vb);
+      for (std::size_t v = vb; v < vhi; ++v) {
+        w.put<std::int32_t>(static_cast<std::int32_t>(v));
+        w.put_vector(copy_syms(universe.is_block(v) ? s : t, universe.node_interval(v)));
+      }
+      round1_inputs.push_back(std::move(w).take());
+    }
+  }
+
+  const auto mail1 = cluster.run_round(
+      "edit:large:representatives", round1_inputs, [&](mpc::MachineContext& ctx) {
+        ByteReader r = ctx.reader();
+        const auto rep_count = r.get<std::uint64_t>();
+        std::vector<std::pair<std::int32_t, std::vector<Symbol>>> zs(rep_count);
+        for (auto& [id, syms] : zs) {
+          id = r.get<std::int32_t>();
+          syms = r.get_vector<Symbol>();
+        }
+        const auto node_count = r.get<std::uint64_t>();
+        std::vector<std::pair<std::int32_t, std::vector<Symbol>>> vs(node_count);
+        for (auto& [id, syms] : vs) {
+          id = r.get<std::int32_t>();
+          syms = r.get_vector<Symbol>();
+        }
+
+        std::uint64_t work = 0;
+        std::vector<RepTuple> tuples;
+        for (const auto& [zid, zsyms] : zs) {
+          for (const auto& [vid, vsyms] : vs) {
+            const auto limit = std::min<std::int64_t>(
+                2 * taus.back(),
+                static_cast<std::int64_t>(zsyms.size() + vsyms.size()));
+            const auto d = seq::edit_distance_bounded(SymView(zsyms), SymView(vsyms),
+                                                      std::max<std::int64_t>(limit, 1),
+                                                      &work);
+            if (!d.has_value()) continue;
+            const bool v_is_block = static_cast<std::size_t>(vid) < nb;
+            // Blocks need d <= tau; candidate substrings need d <= 2*tau.
+            const std::int64_t needed = v_is_block ? *d : ceil_div(*d, 2);
+            const std::size_t j = min_tau_index(taus, needed);
+            if (j >= taus.size()) continue;
+            tuples.push_back(RepTuple{vid, zid, static_cast<std::int32_t>(j), *d});
+          }
+        }
+        ctx.charge_work(work);
+        ByteWriter w;
+        w.put<std::uint64_t>(tuples.size());
+        for (const RepTuple& tu : tuples) w.put(tu);
+        ctx.emit(0, std::move(w).take());
+      });
+
+  // Driver-side routing: index RepTuples by block and by representative.
+  std::vector<std::vector<BlockObservation>> btups(nb);
+  std::unordered_map<std::int32_t, std::vector<CsObservation>> cstups;
+  {
+    const Bytes payload = mpc::gather(mail1, 0);
+    ByteReader r(payload);
+    while (!r.exhausted()) {
+      const auto count = r.get<std::uint64_t>();
+      for (std::uint64_t i = 0; i < count; ++i) {
+        const auto tu = r.get<RepTuple>();
+        if (static_cast<std::size_t>(tu.node) < nb) {
+          btups[static_cast<std::size_t>(tu.node)].push_back(
+              BlockObservation{tu.rep, tu.rep_distance});
+        } else {
+          cstups[tu.rep].push_back(CsObservation{
+              static_cast<std::int32_t>(static_cast<std::size_t>(tu.node) - nb),
+              tu.rep_distance});
+        }
+      }
+    }
+  }
+
+  // jb_min[b]: smallest tau index at which block b is covered by some
+  // representative (taus.size() if never).  Blocks are low degree below it.
+  std::vector<std::size_t> jb_min(nb, taus.size());
+  for (std::size_t b = 0; b < nb; ++b) {
+    for (const BlockObservation& o : btups[b]) {
+      jb_min[b] = std::min(jb_min[b], min_tau_index(taus, o.distance));
+    }
+  }
+
+  // ------------------------------------------------------------------
+  // Round 2 (Algorithm 6): pairing machines + sampled low-degree machines.
+  // ------------------------------------------------------------------
+  // Common-seed sampling of low-degree blocks: p = C/eps'^2 * ln^2 n /
+  // n^{(y-y') - (1-delta)}.
+  const double logn = std::log(static_cast<double>(std::max<std::int64_t>(n, 3)));
+  const double denom = std::pow(static_cast<double>(n),
+                                (params.y_scale - params.y_prime_scale) * x) *
+                       (static_cast<double>(params.delta_guess) / static_cast<double>(n));
+  const double p_low = std::min(
+      1.0, params.sample_constant * logn * logn /
+               (params.eps_prime * params.eps_prime * std::max(denom, 1e-12)));
+
+  const std::size_t max_extend =
+      params.max_extend_per_block > 0
+          ? params.max_extend_per_block
+          : static_cast<std::size_t>(std::max(1.0, alpha_n));
+
+  const std::size_t blocks_per_pairing_machine = static_cast<std::size_t>(
+      std::max<std::int64_t>(1, ipow(n, (params.y_scale - 1.0) * x)));
+
+  std::vector<Bytes> round2_inputs;
+  // (a) pairing machines.
+  for (std::size_t b0 = 0; b0 < nb; b0 += blocks_per_pairing_machine) {
+    const std::size_t b1 = std::min(nb, b0 + blocks_per_pairing_machine);
+    ByteWriter w;
+    w.put<std::uint8_t>(0);  // tag: pairing
+    w.put<std::uint64_t>(b1 - b0);
+    std::unordered_set<std::int32_t> reps_needed;
+    for (std::size_t b = b0; b < b1; ++b) {
+      w.put<std::int64_t>(universe.blocks[b].begin);
+      w.put<std::int64_t>(universe.blocks[b].end);
+      w.put<std::uint64_t>(btups[b].size());
+      for (const BlockObservation& o : btups[b]) {
+        w.put(o);
+        reps_needed.insert(o.rep);
+      }
+    }
+    w.put<std::uint64_t>(reps_needed.size());
+    for (const std::int32_t z : reps_needed) {
+      w.put<std::int32_t>(z);
+      const auto it = cstups.find(z);
+      const std::size_t count = it == cstups.end() ? 0 : it->second.size();
+      w.put<std::uint64_t>(count);
+      if (it != cstups.end()) {
+        for (const CsObservation& o : it->second) {
+          const Interval& win = universe.cs[static_cast<std::size_t>(o.cs)];
+          w.put<std::int64_t>(win.begin);
+          w.put<std::int64_t>(win.end);
+          w.put<std::int64_t>(o.distance);
+        }
+      }
+    }
+    round2_inputs.push_back(std::move(w).take());
+  }
+
+  // (b) sampled low-degree blocks, one machine per (block, start batch).
+  const std::int64_t max_len = std::min(
+      static_cast<std::int64_t>(std::ceil(static_cast<double>(block) / params.eps_prime)),
+      block + params.delta_guess);
+  std::size_t sampled_blocks = 0;
+  for (std::size_t b = 0; b < nb; ++b) {
+    Pcg32 coin = derive_stream(params.seed, 2001, b);
+    if (!coin.bernoulli(p_low)) continue;
+    ++sampled_blocks;
+    const Interval& blk = universe.blocks[b];
+    const auto starts = candidate_starts(blk.begin, geo);
+    std::size_t i = 0;
+    while (i < starts.size()) {
+      std::size_t j = i;
+      while (j + 1 < starts.size() && starts[j + 1] - starts[i] <= block) ++j;
+      const std::int64_t chunk_begin = starts[i];
+      const std::int64_t chunk_end = std::min(n_bar, starts[j] + max_len);
+      ByteWriter w;
+      w.put<std::uint8_t>(1);  // tag: sampled block
+      w.put<std::int64_t>(blk.begin);
+      w.put_vector(copy_syms(s, blk));
+      w.put<std::uint64_t>(jb_min[b]);
+      std::vector<std::int64_t> batch(starts.begin() + static_cast<std::ptrdiff_t>(i),
+                                      starts.begin() + static_cast<std::ptrdiff_t>(j + 1));
+      w.put_vector(batch);
+      w.put<std::int64_t>(chunk_begin);
+      std::vector<Symbol> chunk_syms(t.begin() + chunk_begin, t.begin() + chunk_end);
+      w.put_vector(chunk_syms);
+      round2_inputs.push_back(std::move(w).take());
+      i = j + 1;
+    }
+  }
+  result.sampled_blocks = sampled_blocks;
+
+  const auto mail2 = cluster.run_round(
+      "edit:large:classify", round2_inputs, [&](mpc::MachineContext& ctx) {
+        ByteReader r = ctx.reader();
+        const auto tag = r.get<std::uint8_t>();
+        std::uint64_t work = 0;
+        if (tag == 0) {
+          // Pairing machine: join b-tuples with cs-tuples on the rep.
+          const auto block_count = r.get<std::uint64_t>();
+          struct BlockInfo {
+            std::int64_t begin, end;
+            std::vector<BlockObservation> obs;
+          };
+          std::vector<BlockInfo> infos(block_count);
+          for (auto& info : infos) {
+            info.begin = r.get<std::int64_t>();
+            info.end = r.get<std::int64_t>();
+            const auto c = r.get<std::uint64_t>();
+            info.obs.resize(c);
+            for (auto& o : info.obs) o = r.get<BlockObservation>();
+          }
+          struct CsEntry {
+            std::int64_t begin, end, distance;
+          };
+          std::unordered_map<std::int32_t, std::vector<CsEntry>> cs_by_rep;
+          const auto rep_count = r.get<std::uint64_t>();
+          for (std::uint64_t i = 0; i < rep_count; ++i) {
+            const auto z = r.get<std::int32_t>();
+            const auto c = r.get<std::uint64_t>();
+            auto& list = cs_by_rep[z];
+            list.resize(c);
+            for (auto& e : list) {
+              e.begin = r.get<std::int64_t>();
+              e.end = r.get<std::int64_t>();
+              e.distance = r.get<std::int64_t>();
+            }
+          }
+          std::vector<seq::Tuple> tuples;
+          for (const BlockInfo& info : infos) {
+            // Keep the best estimate per window.
+            std::unordered_map<std::uint64_t, std::int64_t> best;
+            for (const BlockObservation& o : info.obs) {
+              const auto it = cs_by_rep.find(o.rep);
+              if (it == cs_by_rep.end()) continue;
+              for (const CsEntry& e : it->second) {
+                ++work;
+                const std::int64_t bound = o.distance + e.distance;
+                const std::uint64_t key =
+                    (static_cast<std::uint64_t>(e.begin) << 32U) |
+                    static_cast<std::uint64_t>(e.end - e.begin);
+                auto [bit, inserted] = best.emplace(key, bound);
+                if (!inserted && bound < bit->second) bit->second = bound;
+              }
+            }
+            for (const auto& [key, bound] : best) {
+              const auto begin = static_cast<std::int64_t>(key >> 32U);
+              const auto len = static_cast<std::int64_t>(key & 0xffffffffULL);
+              tuples.push_back(
+                  seq::Tuple{info.begin, info.end, begin, begin + len, bound});
+            }
+          }
+          ctx.charge_work(work + 1);
+          ByteWriter w;
+          seq::write_tuples(w, tuples);
+          ctx.emit(0, std::move(w).take());
+        } else {
+          // Sampled low-degree block: exact distances + extension requests.
+          const auto block_begin = r.get<std::int64_t>();
+          const auto block_syms = r.get_vector<Symbol>();
+          const auto jb = r.get<std::uint64_t>();
+          const auto batch = r.get_vector<std::int64_t>();
+          const auto chunk_begin = r.get<std::int64_t>();
+          const auto chunk_syms = r.get_vector<Symbol>();
+          const SymView block_view(block_syms);
+          const SymView chunk_view(chunk_syms);
+          const auto block_len = static_cast<std::int64_t>(block_syms.size());
+          const std::int64_t block_end = block_begin + block_len;
+
+          // Largest threshold below the block's coverage level: candidates
+          // this close get extended (the block is low degree there).
+          const std::int64_t extend_threshold = jb == 0 ? -1 : taus[jb - 1];
+
+          std::vector<seq::Tuple> tuples;
+          std::vector<std::pair<std::int64_t, Interval>> extendable;  // (e, window)
+          for (const std::int64_t sp : batch) {
+            for (const std::int64_t ep : candidate_ends(sp, block_len, geo)) {
+              const SymView window =
+                  subview(chunk_view, {sp - chunk_begin, ep - chunk_begin});
+              // Distances beyond the guess cap cannot enter an accepted
+              // solution; censor them (keeps per-pair cost O(B·cap)).
+              const auto limit = std::min<std::int64_t>(
+                  cap,
+                  std::max<std::int64_t>(
+                      1, block_len + static_cast<std::int64_t>(window.size())));
+              const auto e =
+                  seq::edit_distance_bounded(block_view, window, limit, &work);
+              if (!e.has_value()) continue;
+              tuples.push_back(seq::Tuple{block_begin, block_end, sp, ep, *e});
+              if (*e <= extend_threshold) extendable.emplace_back(*e, Interval{sp, ep});
+            }
+          }
+          // Low-degree nodes have at most n^alpha close candidates; cap.
+          std::sort(extendable.begin(), extendable.end(),
+                    [](const auto& a, const auto& b) { return a.first < b.first; });
+          if (extendable.size() > max_extend) extendable.resize(max_extend);
+
+          // Extension requests for every sibling block in the same larger
+          // block (the machine derives sibling intervals from n, B, B').
+          ByteWriter ext;
+          std::uint64_t ext_count = 0;
+          ByteWriter ext_body;
+          const std::int64_t lb = block_begin / larger_block;
+          for (std::int64_t pos = 0; pos < n; pos += block) {
+            if (pos / larger_block != lb || pos == block_begin) continue;
+            const std::int64_t sib_end = std::min(n, pos + block);
+            for (const auto& [e, win] : extendable) {
+              const std::int64_t wb =
+                  std::clamp<std::int64_t>(win.begin + (pos - block_begin), 0, n_bar);
+              const std::int64_t we = std::clamp<std::int64_t>(
+                  win.end + (sib_end - block_end), wb, n_bar);
+              ext_body.put<std::int64_t>(pos);
+              ext_body.put<std::int64_t>(sib_end);
+              ext_body.put<std::int64_t>(wb);
+              ext_body.put<std::int64_t>(we);
+              ++ext_count;
+            }
+          }
+          ext.put<std::uint64_t>(ext_count);
+          Bytes body = std::move(ext_body).take();
+          Bytes head = std::move(ext).take();
+          head.insert(head.end(), body.begin(), body.end());
+
+          ctx.charge_work(work + 1);
+          ctx.charge_scratch((block_syms.size() + chunk_syms.size()) * sizeof(Symbol));
+          ByteWriter w;
+          seq::write_tuples(w, tuples);
+          ctx.emit(0, std::move(w).take());
+          ctx.emit(1, std::move(head));
+        }
+      });
+
+  // Driver: dedupe extension requests and pack round-3 machines.
+  std::vector<ExtendRequest> requests;
+  {
+    std::unordered_set<std::uint64_t> seen;
+    const Bytes payload = mpc::gather(mail2, 1);
+    ByteReader r(payload);
+    while (!r.exhausted()) {
+      const auto count = r.get<std::uint64_t>();
+      for (std::uint64_t i = 0; i < count; ++i) {
+        ExtendRequest req;
+        req.block_begin = r.get<std::int64_t>();
+        req.block_end = r.get<std::int64_t>();
+        req.window_begin = r.get<std::int64_t>();
+        req.window_end = r.get<std::int64_t>();
+        const std::uint64_t key =
+            splitmix64(static_cast<std::uint64_t>(req.block_begin) * 0x9e3779b9U +
+                       static_cast<std::uint64_t>(req.window_begin)) ^
+            splitmix64(static_cast<std::uint64_t>(req.window_end) * 31 +
+                       static_cast<std::uint64_t>(req.block_end));
+        if (seen.insert(key).second) requests.push_back(req);
+      }
+    }
+  }
+  result.extension_requests = requests.size();
+
+  std::vector<Bytes> round3_inputs;
+  {
+    std::size_t i = 0;
+    while (i < requests.size()) {
+      ByteWriter w;
+      std::uint64_t bytes = 0;
+      std::uint64_t count = 0;
+      ByteWriter body;
+      while (i < requests.size()) {
+        const ExtendRequest& req = requests[i];
+        const auto req_bytes = static_cast<std::uint64_t>(
+            (req.block_end - req.block_begin) + (req.window_end - req.window_begin)) *
+                sizeof(Symbol) + 64;
+        if (count > 0 && bytes + req_bytes > params.memory_cap_bytes / 2) break;
+        body.put<std::int64_t>(req.block_begin);
+        body.put<std::int64_t>(req.block_end);
+        body.put<std::int64_t>(req.window_begin);
+        body.put<std::int64_t>(req.window_end);
+        body.put_vector(copy_syms(s, {req.block_begin, req.block_end}));
+        body.put_vector(copy_syms(t, {req.window_begin, req.window_end}));
+        bytes += req_bytes;
+        ++count;
+        ++i;
+      }
+      w.put<std::uint64_t>(count);
+      Bytes head = std::move(w).take();
+      const Bytes body_bytes = std::move(body).take();
+      head.insert(head.end(), body_bytes.begin(), body_bytes.end());
+      round3_inputs.push_back(std::move(head));
+    }
+    if (round3_inputs.empty()) {
+      ByteWriter w;
+      w.put<std::uint64_t>(0);
+      round3_inputs.push_back(std::move(w).take());
+    }
+  }
+
+  // ------------------------------------------------------------------
+  // Round 3 (Algorithm 7): evaluate extension requests exactly.
+  // ------------------------------------------------------------------
+  const auto mail3 = cluster.run_round(
+      "edit:large:extend", round3_inputs, [&](mpc::MachineContext& ctx) {
+        ByteReader r = ctx.reader();
+        const auto count = r.get<std::uint64_t>();
+        std::uint64_t work = 0;
+        std::vector<seq::Tuple> tuples;
+        for (std::uint64_t i = 0; i < count; ++i) {
+          const auto bb = r.get<std::int64_t>();
+          const auto be = r.get<std::int64_t>();
+          const auto wb = r.get<std::int64_t>();
+          const auto we = r.get<std::int64_t>();
+          const auto block_syms = r.get_vector<Symbol>();
+          const auto window_syms = r.get_vector<Symbol>();
+          const auto limit = std::min<std::int64_t>(
+              cap, std::max<std::int64_t>(
+                       1, static_cast<std::int64_t>(block_syms.size() +
+                                                    window_syms.size())));
+          const auto e = seq::edit_distance_bounded(SymView(block_syms),
+                                                    SymView(window_syms), limit, &work);
+          if (!e.has_value()) continue;
+          tuples.push_back(seq::Tuple{bb, be, wb, we, *e});
+        }
+        ctx.charge_work(work + 1);
+        ByteWriter w;
+        seq::write_tuples(w, tuples);
+        ctx.emit(0, std::move(w).take());
+      });
+
+  // ------------------------------------------------------------------
+  // Round 4: combine everything.
+  // ------------------------------------------------------------------
+  Bytes all_tuples = mpc::gather(mail2, 0);
+  {
+    const Bytes extension_tuples = mpc::gather(mail3, 0);
+    all_tuples.insert(all_tuples.end(), extension_tuples.begin(),
+                      extension_tuples.end());
+  }
+  std::int64_t answer = n + n_bar;
+  std::size_t tuple_count = 0;
+  cluster.run_round("edit:large:combine", {all_tuples}, [&](mpc::MachineContext& ctx) {
+    std::uint64_t work = 0;
+    auto tuples = seq::read_all_tuples(ctx.input());
+    tuple_count = tuples.size();
+    seq::CombineOptions options;
+    options.gap = seq::GapCost::kSum;
+    answer = seq::combine_tuples(std::move(tuples), n, n_bar, options, &work);
+    ctx.charge_work(work);
+    ctx.charge_scratch(tuple_count * sizeof(seq::Tuple) * 2);
+    ByteWriter w;
+    w.put<std::int64_t>(answer);
+    ctx.emit(0, std::move(w).take());
+  });
+
+  result.distance = answer;
+  result.tuple_count = tuple_count;
+  result.trace = cluster.take_trace();
+  MPCSD_ENSURES(result.trace.round_count() == 4);
+  return result;
+}
+
+}  // namespace mpcsd::edit_mpc

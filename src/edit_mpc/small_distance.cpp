@@ -1,0 +1,170 @@
+#include "edit_mpc/small_distance.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+
+#include "common/contracts.hpp"
+#include "common/grid.hpp"
+#include "mpc/cluster.hpp"
+#include "seq/combine.hpp"
+#include "seq/edit_distance.hpp"
+
+namespace mpcsd::edit_mpc {
+
+std::optional<std::int64_t> unit_distance(SymView a, SymView b, DistanceUnit unit,
+                                          const seq::ApproxEditParams& approx,
+                                          std::int64_t cap, std::uint64_t* work) {
+  const auto limit = std::min<std::int64_t>(
+      cap, static_cast<std::int64_t>(a.size() + b.size()));
+  // Length difference lower-bounds the distance: filter before any DP.
+  const auto len_diff = std::abs(static_cast<std::int64_t>(a.size()) -
+                                 static_cast<std::int64_t>(b.size()));
+  if (len_diff > limit) return std::nullopt;
+  if (a.empty() || b.empty()) {
+    const auto d = static_cast<std::int64_t>(std::max(a.size(), b.size()));
+    return d <= limit ? std::optional<std::int64_t>(d) : std::nullopt;
+  }
+  if (unit == DistanceUnit::kExactBanded) {
+    return seq::edit_distance_bounded(a, b, std::max<std::int64_t>(limit, 0), work);
+  }
+  // Bound the unit's internal guess loop: if no guess up to ~limit
+  // certifies, the true distance exceeds limit/(3+O(eps)) and the censored
+  // pair could never join an accepted solution at this guess anyway.
+  seq::ApproxEditParams bounded = approx;
+  bounded.guess_limit = 2 * limit + 4;
+  auto result = seq::approx_edit_distance(a, b, bounded);
+  if (work != nullptr) *work += result.work;
+  if (result.distance > limit) return std::nullopt;
+  return result.distance;
+}
+
+PipelineResult run_small_distance(SymView s, SymView t,
+                                  const SmallDistanceParams& params) {
+  MPCSD_EXPECTS(params.x > 0.0 && params.x < 1.0);
+  MPCSD_EXPECTS(params.eps_prime > 0.0);
+  MPCSD_EXPECTS(params.delta_guess >= 0);
+
+  PipelineResult result;
+  const auto n = static_cast<std::int64_t>(s.size());
+  const auto n_bar = static_cast<std::int64_t>(t.size());
+  if (n == 0 || n_bar == 0) {
+    result.distance = std::max(n, n_bar);
+    return result;
+  }
+
+  const std::int64_t block = std::max<std::int64_t>(1, ipow_ceil(n, 1.0 - params.x));
+  CandidateGeometry geo;
+  geo.eps_prime = params.eps_prime;
+  geo.n = n;
+  geo.n_bar = n_bar;
+  geo.block_size = block;
+  geo.delta_guess = params.delta_guess;
+
+  const auto blocks = make_blocks(n, block);
+  const std::int64_t max_len = std::min(
+      static_cast<std::int64_t>(std::ceil(static_cast<double>(block) / params.eps_prime)),
+      block + params.delta_guess);
+
+  // Build round-1 machine inputs: one machine per (block, start batch); a
+  // batch spans at most B so the s̄ chunk stays within Õ(n^{1-x}).
+  std::vector<Bytes> inputs;
+  for (const Interval& blk : blocks) {
+    const auto starts = candidate_starts(blk.begin, geo);
+    std::size_t i = 0;
+    while (i < starts.size()) {
+      std::size_t j = i;
+      while (params.batch_starts && j + 1 < starts.size() &&
+             starts[j + 1] - starts[i] <= block) {
+        ++j;
+      }
+      const std::int64_t chunk_begin = starts[i];
+      const std::int64_t chunk_end = std::min(n_bar, starts[j] + max_len);
+      ByteWriter w;
+      w.put<std::int64_t>(blk.begin);
+      std::vector<Symbol> block_syms(s.begin() + blk.begin, s.begin() + blk.end);
+      w.put_vector(block_syms);
+      std::vector<std::int64_t> batch(starts.begin() + static_cast<std::ptrdiff_t>(i),
+                                      starts.begin() + static_cast<std::ptrdiff_t>(j + 1));
+      w.put_vector(batch);
+      w.put<std::int64_t>(chunk_begin);
+      std::vector<Symbol> chunk_syms(t.begin() + chunk_begin, t.begin() + chunk_end);
+      w.put_vector(chunk_syms);
+      inputs.push_back(std::move(w).take());
+      i = j + 1;
+    }
+  }
+  result.machines_round1 = inputs.size();
+
+  mpc::ClusterConfig config;
+  config.memory_limit_bytes = params.memory_cap_bytes;
+  config.strict_memory = params.strict_memory;
+  config.workers = params.workers;
+  config.seed = params.seed;
+  mpc::Cluster cluster(config);
+
+  // ---- Round 1 (Algorithm 3): block-vs-candidate distances. ----
+  const auto mail = cluster.run_round(
+      "edit:small:distances", inputs, [&](mpc::MachineContext& ctx) {
+        ByteReader r = ctx.reader();
+        const auto block_begin = r.get<std::int64_t>();
+        const auto block_syms = r.get_vector<Symbol>();
+        const auto batch = r.get_vector<std::int64_t>();
+        const auto chunk_begin = r.get<std::int64_t>();
+        const auto chunk_syms = r.get_vector<Symbol>();
+        const SymView block_view(block_syms);
+        const SymView chunk_view(chunk_syms);
+        const auto block_len = static_cast<std::int64_t>(block_syms.size());
+
+        std::uint64_t work = 0;
+        // Censoring cap: a useful tuple's distance is at most the block's
+        // share of the optimum (<= (1+eps)*guess); the approx unit may
+        // overshoot by its 3x factor, so it gets more headroom.
+        const std::int64_t cap = params.unit == DistanceUnit::kExactBanded
+                                     ? 2 * params.delta_guess + 2
+                                     : 4 * params.delta_guess + 8;
+        std::vector<seq::Tuple> tuples;
+        for (const std::int64_t sp : batch) {
+          for (const std::int64_t ep : candidate_ends(sp, block_len, geo)) {
+            const SymView window = subview(
+                chunk_view, {sp - chunk_begin, ep - chunk_begin});
+            const auto e = unit_distance(block_view, window, params.unit,
+                                         params.approx, cap, &work);
+            if (!e.has_value()) continue;
+            tuples.push_back(seq::Tuple{block_begin, block_begin + block_len, sp,
+                                        ep, *e});
+          }
+        }
+        ctx.charge_work(work);
+        ctx.charge_scratch((block_syms.size() + chunk_syms.size()) * sizeof(Symbol));
+        ByteWriter w;
+        seq::write_tuples(w, tuples);
+        ctx.emit(0, std::move(w).take());
+      });
+
+  // ---- Round 2 (Algorithm 4): combine on one machine. ----
+  const Bytes all_tuples = mpc::gather(mail, 0);
+  std::int64_t answer = n + n_bar;
+  std::size_t tuple_count = 0;
+  cluster.run_round("edit:small:combine", {all_tuples}, [&](mpc::MachineContext& ctx) {
+    std::uint64_t work = 0;
+    auto tuples = seq::read_all_tuples(ctx.input());
+    tuple_count = tuples.size();
+    seq::CombineOptions options;
+    options.gap = seq::GapCost::kSum;
+    answer = seq::combine_tuples(std::move(tuples), n, n_bar, options, &work);
+    ctx.charge_work(work);
+    ctx.charge_scratch(tuple_count * sizeof(seq::Tuple) * 2);
+    ByteWriter w;
+    w.put<std::int64_t>(answer);
+    ctx.emit(0, std::move(w).take());
+  });
+
+  result.distance = answer;
+  result.tuple_count = tuple_count;
+  result.trace = cluster.take_trace();
+  MPCSD_ENSURES(result.trace.round_count() == 2);
+  return result;
+}
+
+}  // namespace mpcsd::edit_mpc

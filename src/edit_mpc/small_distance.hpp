@@ -1,0 +1,70 @@
+// Lemma 6: the two-round small-distance pipeline (n^delta <= n^{1-x/5}).
+//
+// Round 1 (Algorithm 3): each machine holds one block of s plus a
+//   contiguous chunk of s̄ covering a batch of candidate start points (the
+//   batching is the paper's improvement over [20]: starts of one block are
+//   close together when the guess is small, so several candidates share a
+//   machine).  The machine computes the block-to-candidate distance for
+//   every (start, end) candidate with a pluggable unit:
+//     * kApprox3     — the CGKKS-style 3+eps' unit (the paper's choice,
+//                      giving the overall 3+eps factor);
+//     * kExactBanded — exact band doubling (1+eps overall; the unit the
+//                      HSS [20] baseline uses).
+// Round 2 (Algorithm 4): a single machine combines all tuples with the
+//   delete+insert gap DP.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "edit_mpc/candidates.hpp"
+#include "mpc/stats.hpp"
+#include "seq/approx_edit.hpp"
+#include "seq/types.hpp"
+
+namespace mpcsd::edit_mpc {
+
+enum class DistanceUnit : std::uint8_t {
+  kExactBanded,  ///< exact band doubling: O(B·d) per pair
+  kApprox3,      ///< CGKKS-style 3+eps' unit: Õ(B^{2-1/6}) per pair
+};
+
+struct SmallDistanceParams {
+  double eps_prime = 0.05;           ///< eps' = eps/22
+  double x = 0.25;                   ///< memory exponent (y = x here)
+  std::int64_t delta_guess = 0;      ///< the distance guess n^delta
+  DistanceUnit unit = DistanceUnit::kApprox3;
+  seq::ApproxEditParams approx;      ///< settings for the kApprox3 unit
+  /// Batch several candidate starts per machine (the paper's improvement
+  /// over [20]); false = one machine per start (the HSS baseline layout).
+  bool batch_starts = true;
+  std::uint64_t seed = 11;
+  std::size_t workers = 0;
+  bool strict_memory = false;
+  std::uint64_t memory_cap_bytes = UINT64_MAX;
+};
+
+struct PipelineResult {
+  std::int64_t distance = 0;   ///< cost of a realizable transformation
+  std::size_t tuple_count = 0;
+  std::size_t machines_round1 = 0;
+  mpc::ExecutionTrace trace;
+};
+
+/// Runs the small-distance pipeline for one guess.  The result is a valid
+/// upper bound on ed(s, t) regardless of the guess; when the guess is
+/// >= ed(s, t) it is within 3+eps (kApprox3) or 1+eps (kExactBanded).
+PipelineResult run_small_distance(SymView s, SymView t,
+                                  const SmallDistanceParams& params);
+
+/// Block-vs-candidate distance through the selected unit, censored at
+/// `cap`: returns nullopt when the (possibly approximate) distance exceeds
+/// it.  Censoring is sound — a tuple costing more than the accepted guess
+/// can never participate in an accepted solution — and keeps the per-pair
+/// cost at O(B·cap) instead of O(B·d).  Values returned are upper bounds on
+/// ed(a, b); exact for kExactBanded.
+std::optional<std::int64_t> unit_distance(SymView a, SymView b, DistanceUnit unit,
+                                          const seq::ApproxEditParams& approx,
+                                          std::int64_t cap, std::uint64_t* work);
+
+}  // namespace mpcsd::edit_mpc

@@ -1,0 +1,74 @@
+#include "mpc/cluster.hpp"
+
+#include <algorithm>
+
+#include "common/timer.hpp"
+
+namespace mpcsd::mpc {
+
+void MachineContext::emit(std::uint32_t dest, Bytes payload) {
+  report_.output_bytes += payload.size();
+  outbox_.emplace_back(dest, std::move(payload));
+}
+
+Cluster::Cluster(ClusterConfig config)
+    : config_(config), pool_(std::make_shared<ThreadPool>(config.workers)) {}
+
+Mail Cluster::run_round(const std::string& label, const std::vector<Bytes>& inputs,
+                        const std::function<void(MachineContext&)>& body) {
+  const std::size_t round = round_index_++;
+  const std::size_t machines = inputs.size();
+
+  std::vector<MachineReport> reports(machines);
+  std::vector<std::vector<std::pair<std::uint32_t, Bytes>>> outboxes(machines);
+
+  Stopwatch wall;
+  pool_->parallel_for(machines, [&](std::size_t i) {
+    MachineContext ctx(i, &inputs[i],
+                       derive_stream(config_.seed, round, i));
+    ctx.report_.input_bytes = inputs[i].size();
+    body(ctx);
+    reports[i] = ctx.report_;
+    outboxes[i] = std::move(ctx.outbox_);
+  });
+
+  RoundReport rr;
+  rr.label = label;
+  rr.machines = machines;
+  rr.wall_seconds = wall.seconds();
+  for (std::size_t i = 0; i < machines; ++i) {
+    const MachineReport& m = reports[i];
+    rr.max_machine_memory = std::max(rr.max_machine_memory, m.memory_footprint());
+    rr.total_comm_bytes += m.output_bytes;
+    rr.total_input_bytes += m.input_bytes;
+    rr.total_work += m.work;
+    rr.max_machine_work = std::max(rr.max_machine_work, m.work);
+    if (m.memory_footprint() > config_.memory_limit_bytes) {
+      ++rr.memory_violations;
+      if (config_.strict_memory) {
+        throw MemoryLimitExceeded(
+            "machine " + std::to_string(i) + " in round '" + label + "' used " +
+            std::to_string(m.memory_footprint()) + "B > limit " +
+            std::to_string(config_.memory_limit_bytes) + "B");
+      }
+    }
+  }
+  trace_.add_round(rr);
+
+  // Deterministic mail merge: machine id order, then emission order.
+  Mail mail;
+  for (auto& outbox : outboxes) {
+    for (auto& [dest, payload] : outbox) {
+      mail[dest].push_back(std::move(payload));
+    }
+  }
+  return mail;
+}
+
+Bytes gather(const Mail& mail, std::uint32_t dest) {
+  const auto it = mail.find(dest);
+  if (it == mail.end()) return {};
+  return concat(it->second);
+}
+
+}  // namespace mpcsd::mpc

@@ -1,0 +1,111 @@
+// The MPC cluster simulator.
+//
+// Semantics (matching the model in Section 1 of the paper):
+//   * An algorithm is a sequence of rounds.  `run_round` executes one round:
+//     machine i receives exactly its input bytes, computes locally (no view
+//     of any other machine's state), and emits messages addressed to named
+//     mailboxes that the driver routes into the next round's inputs.
+//   * Per-machine memory is input + emitted output + declared scratch; a
+//     configurable cap models the Õ(n^{1-x}) per-machine limit.  Violations
+//     are either recorded (default, so benches can report them) or fatal
+//     (`strict_memory`, used by tests to prove compliance).
+//   * Machines of a round execute concurrently on a thread pool; each gets
+//     a deterministic private RNG stream derived from (seed, round,
+//     machine), so results are reproducible regardless of scheduling.
+//   * Work is charged explicitly by the machine body (DP cells etc.), which
+//     is what the "total running time" column of Table 1 counts.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/rng.hpp"
+#include "common/thread_pool.hpp"
+#include "mpc/stats.hpp"
+
+namespace mpcsd::mpc {
+
+struct ClusterConfig {
+  /// Per-machine memory cap in bytes; default unlimited.
+  std::uint64_t memory_limit_bytes = UINT64_MAX;
+  /// Throw MemoryLimitExceeded instead of recording a violation.
+  bool strict_memory = false;
+  /// Thread-pool size; 0 = hardware concurrency.
+  std::size_t workers = 0;
+  /// Root seed for all machine RNG streams.
+  std::uint64_t seed = 0;
+};
+
+class MemoryLimitExceeded : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Mailbox id -> payloads, in deterministic (machine id, emission) order.
+using Mail = std::map<std::uint32_t, std::vector<Bytes>>;
+
+class Cluster;
+
+/// The per-machine execution context handed to the round body.
+class MachineContext {
+ public:
+  [[nodiscard]] const Bytes& input() const noexcept { return *input_; }
+  [[nodiscard]] ByteReader reader() const { return ByteReader(*input_); }
+  [[nodiscard]] std::size_t machine_id() const noexcept { return id_; }
+
+  /// Sends `payload` to mailbox `dest` for the next round.
+  void emit(std::uint32_t dest, Bytes payload);
+
+  /// Charges `ops` units of local computation.
+  void charge_work(std::uint64_t ops) noexcept { report_.work += ops; }
+
+  /// Declares peak scratch memory beyond input/output.
+  void charge_scratch(std::uint64_t bytes) noexcept {
+    if (bytes > report_.scratch_bytes) report_.scratch_bytes = bytes;
+  }
+
+  /// Deterministic private random stream for this (round, machine).
+  [[nodiscard]] Pcg32& rng() noexcept { return rng_; }
+
+ private:
+  friend class Cluster;
+  MachineContext(std::size_t id, const Bytes* input, Pcg32 rng)
+      : id_(id), input_(input), rng_(rng) {}
+
+  std::size_t id_;
+  const Bytes* input_;
+  Pcg32 rng_;
+  MachineReport report_;
+  std::vector<std::pair<std::uint32_t, Bytes>> outbox_;
+};
+
+class Cluster {
+ public:
+  explicit Cluster(ClusterConfig config);
+
+  /// Executes one round with `inputs.size()` machines.  Returns the merged
+  /// mail for the next round.  Round metrics are appended to the trace.
+  Mail run_round(const std::string& label, const std::vector<Bytes>& inputs,
+                 const std::function<void(MachineContext&)>& body);
+
+  [[nodiscard]] const ExecutionTrace& trace() const noexcept { return trace_; }
+  [[nodiscard]] ExecutionTrace take_trace() { return std::move(trace_); }
+  [[nodiscard]] const ClusterConfig& config() const noexcept { return config_; }
+
+ private:
+  ClusterConfig config_;
+  std::shared_ptr<ThreadPool> pool_;
+  ExecutionTrace trace_;
+  std::size_t round_index_ = 0;
+};
+
+/// Concatenates all payloads of one mailbox (common "single machine reads
+/// everything" pattern for combine rounds).
+Bytes gather(const Mail& mail, std::uint32_t dest);
+
+}  // namespace mpcsd::mpc

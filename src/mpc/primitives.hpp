@@ -1,0 +1,72 @@
+// Standard one-round MPC primitives.
+//
+// The paper (like most MPC literature) assumes sorting/joining as a
+// constant-round black box: e.g., the Ulam algorithm's round-1 machines
+// receive "the location of each character of s[l_i, r_i) in s̄", which is a
+// distributed hash join of s-characters against s̄-characters.  The solvers
+// perform that routing driver-side for speed; this module implements the
+// primitives as *actual* MPC rounds — with the same simulator, memory caps
+// and metering — so the claim "this is a constant-round MPC step" is itself
+// testable and measurable.
+//
+//   * `mpc_sort`      — TeraSort-style: one sampling round to pick
+//                       splitters, one partition round, one local-sort
+//                       round (3 rounds, Õ(n^{1-x}) per machine whp).
+//   * `mpc_hash_join` — symbol join of two key/value collections by hash
+//                       partitioning (2 rounds).
+//   * `position_map_round` — the exact primitive the Ulam solver needs:
+//                       annotate every (block, offset, symbol) of s with
+//                       the symbol's position in s̄ (built on the join).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mpc/cluster.hpp"
+#include "seq/types.hpp"
+
+namespace mpcsd::mpc {
+
+/// A keyed 64-bit record (key = symbol or rank, value = payload).
+struct KeyValue {
+  std::int64_t key = 0;
+  std::int64_t value = 0;
+
+  friend bool operator==(const KeyValue&, const KeyValue&) = default;
+};
+
+struct SortResult {
+  std::vector<KeyValue> records;  ///< globally sorted by (key, value)
+  std::size_t machines = 0;       ///< machines used per round
+};
+
+/// Distributed sort of `records` using `machines` machines (TeraSort:
+/// sample splitters, partition, sort locally).  Appends 3 rounds to the
+/// cluster's trace.  Deterministic given the cluster seed.
+SortResult mpc_sort(Cluster& cluster, std::vector<KeyValue> records,
+                    std::size_t machines);
+
+/// Distributed hash join: for every left record (k, v) that has at least
+/// one right record (k, w), emits (k, v, w) for one such w (right keys are
+/// unique in our use).  2 rounds.  Left/right are distributed over
+/// `machines` hash-partitions.
+struct JoinedRecord {
+  std::int64_t key = 0;
+  std::int64_t left_value = 0;
+  std::int64_t right_value = 0;
+
+  friend bool operator==(const JoinedRecord&, const JoinedRecord&) = default;
+};
+
+std::vector<JoinedRecord> mpc_hash_join(Cluster& cluster,
+                                        const std::vector<KeyValue>& left,
+                                        const std::vector<KeyValue>& right,
+                                        std::size_t machines);
+
+/// The Ulam round-0 primitive: positions[i] = index of s[i] in t, or -1.
+/// Implemented as an MPC hash join of (symbol -> position-in-s) against
+/// (symbol -> position-in-t).  2 rounds on the given cluster.
+std::vector<std::int64_t> position_map_round(Cluster& cluster, SymView s,
+                                             SymView t, std::size_t machines);
+
+}  // namespace mpcsd::mpc

@@ -1,0 +1,108 @@
+#include "mpc/stats.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace mpcsd::mpc {
+
+std::size_t ExecutionTrace::max_machines() const noexcept {
+  std::size_t best = 0;
+  for (const auto& r : rounds_) best = std::max(best, r.machines);
+  return best;
+}
+
+std::uint64_t ExecutionTrace::max_machine_memory() const noexcept {
+  std::uint64_t best = 0;
+  for (const auto& r : rounds_) best = std::max(best, r.max_machine_memory);
+  return best;
+}
+
+std::uint64_t ExecutionTrace::total_work() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& r : rounds_) total += r.total_work;
+  return total;
+}
+
+std::uint64_t ExecutionTrace::critical_path_work() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& r : rounds_) total += r.max_machine_work;
+  return total;
+}
+
+std::uint64_t ExecutionTrace::total_comm_bytes() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& r : rounds_) total += r.total_comm_bytes;
+  return total;
+}
+
+std::size_t ExecutionTrace::memory_violations() const noexcept {
+  std::size_t total = 0;
+  for (const auto& r : rounds_) total += r.memory_violations;
+  return total;
+}
+
+void ExecutionTrace::append_sequential(const ExecutionTrace& other) {
+  rounds_.insert(rounds_.end(), other.rounds_.begin(), other.rounds_.end());
+}
+
+void ExecutionTrace::merge_parallel(const ExecutionTrace& other) {
+  if (other.rounds_.size() > rounds_.size()) {
+    rounds_.resize(other.rounds_.size());
+  }
+  for (std::size_t i = 0; i < other.rounds_.size(); ++i) {
+    RoundReport& mine = rounds_[i];
+    const RoundReport& theirs = other.rounds_[i];
+    if (mine.label.empty()) {
+      mine.label = theirs.label;
+    } else if (!theirs.label.empty() && mine.label != theirs.label) {
+      mine.label += "|" + theirs.label;
+    }
+    mine.machines += theirs.machines;
+    mine.max_machine_memory = std::max(mine.max_machine_memory, theirs.max_machine_memory);
+    mine.total_comm_bytes += theirs.total_comm_bytes;
+    mine.total_input_bytes += theirs.total_input_bytes;
+    mine.total_work += theirs.total_work;
+    mine.max_machine_work = std::max(mine.max_machine_work, theirs.max_machine_work);
+    mine.wall_seconds = std::max(mine.wall_seconds, theirs.wall_seconds);
+    mine.memory_violations += theirs.memory_violations;
+  }
+}
+
+std::string ExecutionTrace::to_csv() const {
+  std::ostringstream os;
+  os << "round,label,machines,max_machine_memory,total_comm_bytes,"
+        "total_input_bytes,total_work,max_machine_work,wall_seconds,"
+        "memory_violations\n";
+  for (std::size_t i = 0; i < rounds_.size(); ++i) {
+    const RoundReport& r = rounds_[i];
+    os << (i + 1) << ',' << r.label << ',' << r.machines << ','
+       << r.max_machine_memory << ',' << r.total_comm_bytes << ','
+       << r.total_input_bytes << ',' << r.total_work << ','
+       << r.max_machine_work << ',' << r.wall_seconds << ','
+       << r.memory_violations << '\n';
+  }
+  return os.str();
+}
+
+std::string ExecutionTrace::summary() const {
+  std::ostringstream os;
+  os << "rounds=" << round_count() << " max_machines=" << max_machines()
+     << " max_machine_memory=" << max_machine_memory()
+     << "B total_work=" << total_work()
+     << " critical_path_work=" << critical_path_work()
+     << " comm=" << total_comm_bytes() << "B";
+  if (memory_violations() > 0) {
+    os << " MEMORY_VIOLATIONS=" << memory_violations();
+  }
+  os << '\n';
+  for (std::size_t i = 0; i < rounds_.size(); ++i) {
+    const RoundReport& r = rounds_[i];
+    os << "  round " << (i + 1) << " [" << r.label << "]: machines=" << r.machines
+       << " max_mem=" << r.max_machine_memory << "B work=" << r.total_work
+       << " max_work=" << r.max_machine_work << " comm=" << r.total_comm_bytes
+       << "B\n";
+  }
+  return os.str();
+}
+
+}  // namespace mpcsd::mpc

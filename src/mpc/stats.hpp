@@ -1,0 +1,89 @@
+// Execution metrics for the MPC simulator.
+//
+// The MPC model is judged on four quantities — rounds, number of machines,
+// per-machine memory, and total computation (plus communication volume).
+// Every `Cluster::run_round` produces a `RoundReport`; traces compose
+// sequentially (pipeline stages) or in parallel (the paper runs all guesses
+// of n^delta, and all thresholds tau, side by side in the same rounds).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mpcsd::mpc {
+
+/// Metrics of a single simulated machine within one round.
+struct MachineReport {
+  std::uint64_t input_bytes = 0;
+  std::uint64_t output_bytes = 0;
+  std::uint64_t scratch_bytes = 0;
+  std::uint64_t work = 0;  ///< algorithmic operations charged by the machine
+
+  [[nodiscard]] std::uint64_t memory_footprint() const noexcept {
+    return input_bytes + output_bytes + scratch_bytes;
+  }
+};
+
+/// Aggregated metrics of one communication round.
+struct RoundReport {
+  std::string label;
+  std::size_t machines = 0;
+  std::uint64_t max_machine_memory = 0;  ///< max footprint over machines
+  std::uint64_t total_comm_bytes = 0;    ///< sum of outputs (next-round traffic)
+  std::uint64_t total_input_bytes = 0;
+  std::uint64_t total_work = 0;
+  std::uint64_t max_machine_work = 0;    ///< parallel-time proxy for the round
+  double wall_seconds = 0.0;
+  std::size_t memory_violations = 0;     ///< machines exceeding the configured cap
+};
+
+/// A full execution: an ordered list of rounds.
+class ExecutionTrace {
+ public:
+  void add_round(RoundReport round) { rounds_.push_back(std::move(round)); }
+
+  [[nodiscard]] const std::vector<RoundReport>& rounds() const noexcept {
+    return rounds_;
+  }
+
+  [[nodiscard]] std::size_t round_count() const noexcept { return rounds_.size(); }
+
+  /// Max over rounds of the machine count (the "# machines" column).
+  [[nodiscard]] std::size_t max_machines() const noexcept;
+
+  /// Max over all machines in all rounds of the memory footprint.
+  [[nodiscard]] std::uint64_t max_machine_memory() const noexcept;
+
+  /// Sum of all machines' charged work (the "total running time" column).
+  [[nodiscard]] std::uint64_t total_work() const noexcept;
+
+  /// Sum over rounds of the per-round max machine work (the "parallel
+  /// running time" of the paper).
+  [[nodiscard]] std::uint64_t critical_path_work() const noexcept;
+
+  [[nodiscard]] std::uint64_t total_comm_bytes() const noexcept;
+
+  [[nodiscard]] std::size_t memory_violations() const noexcept;
+
+  /// Appends `other`'s rounds after this trace's rounds (sequential stages).
+  void append_sequential(const ExecutionTrace& other);
+
+  /// Zips `other`'s rounds with this trace's rounds (side-by-side parallel
+  /// execution, e.g. one pipeline per guess of n^delta): machine counts,
+  /// work, and communication add; maxima combine by max.  Traces of unequal
+  /// length pad with empty rounds.
+  void merge_parallel(const ExecutionTrace& other);
+
+  /// Human-readable multi-line summary (used by benches and examples).
+  [[nodiscard]] std::string summary() const;
+
+  /// Machine-readable CSV (one row per round, with a header) for plotting.
+  [[nodiscard]] std::string to_csv() const;
+
+ private:
+  std::vector<RoundReport> rounds_;
+};
+
+}  // namespace mpcsd::mpc

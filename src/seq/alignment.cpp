@@ -1,0 +1,153 @@
+#include "seq/alignment.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/contracts.hpp"
+
+namespace mpcsd::seq {
+
+namespace {
+
+/// Last row of the edit-distance DP between a and b: out[j] = ed(a, b[0, j)).
+std::vector<std::int64_t> nw_last_row(SymView a, SymView b) {
+  const auto m = static_cast<std::int64_t>(b.size());
+  std::vector<std::int64_t> prev(static_cast<std::size_t>(m) + 1);
+  std::vector<std::int64_t> cur(static_cast<std::size_t>(m) + 1);
+  for (std::int64_t j = 0; j <= m; ++j) prev[static_cast<std::size_t>(j)] = j;
+  for (std::size_t i = 1; i <= a.size(); ++i) {
+    cur[0] = static_cast<std::int64_t>(i);
+    for (std::int64_t j = 1; j <= m; ++j) {
+      const auto ju = static_cast<std::size_t>(j);
+      const std::int64_t sub = prev[ju - 1] + (a[i - 1] == b[ju - 1] ? 0 : 1);
+      cur[ju] = std::min({sub, prev[ju] + 1, cur[ju - 1] + 1});
+    }
+    std::swap(prev, cur);
+  }
+  return prev;
+}
+
+SymString reversed(SymView v) { return SymString(v.rbegin(), v.rend()); }
+
+void hirschberg(SymView a, SymView b, std::vector<EditOp>& out) {
+  const auto n = a.size();
+  const auto m = b.size();
+  if (n == 0) {
+    out.insert(out.end(), m, EditOp::kInsert);
+    return;
+  }
+  if (m == 0) {
+    out.insert(out.end(), n, EditOp::kDelete);
+    return;
+  }
+  if (n == 1) {
+    // One symbol of a against b: match it at the first occurrence if any
+    // (cost m-1), otherwise substitute at the front (cost m).
+    for (std::size_t j = 0; j < m; ++j) {
+      if (b[j] == a[0]) {
+        out.insert(out.end(), j, EditOp::kInsert);
+        out.push_back(EditOp::kMatch);
+        out.insert(out.end(), m - j - 1, EditOp::kInsert);
+        return;
+      }
+    }
+    out.push_back(EditOp::kSubstitute);
+    out.insert(out.end(), m - 1, EditOp::kInsert);
+    return;
+  }
+
+  const std::size_t mid = n / 2;
+  const auto left = a.subspan(0, mid);
+  const auto right = a.subspan(mid);
+  const auto score_l = nw_last_row(left, b);
+
+  const SymString right_rev = reversed(right);
+  const SymString b_rev = reversed(b);
+  const auto score_r = nw_last_row(right_rev, b_rev);
+
+  std::int64_t best = std::numeric_limits<std::int64_t>::max();
+  std::size_t split = 0;
+  for (std::size_t j = 0; j <= m; ++j) {
+    const std::int64_t total = score_l[j] + score_r[m - j];
+    if (total < best) {
+      best = total;
+      split = j;
+    }
+  }
+  hirschberg(left, b.subspan(0, split), out);
+  hirschberg(right, b.subspan(split), out);
+}
+
+}  // namespace
+
+std::vector<EditOp> edit_script(SymView a, SymView b) {
+  std::vector<EditOp> out;
+  out.reserve(a.size() + b.size());
+  hirschberg(a, b, out);
+
+  // Script sanity: consumes exactly |a| and |b|.
+  std::int64_t ca = 0;
+  std::int64_t cb = 0;
+  for (const EditOp op : out) {
+    if (op != EditOp::kInsert) ++ca;
+    if (op != EditOp::kDelete) ++cb;
+  }
+  MPCSD_ENSURES(ca == static_cast<std::int64_t>(a.size()));
+  MPCSD_ENSURES(cb == static_cast<std::int64_t>(b.size()));
+  return out;
+}
+
+std::int64_t script_cost(const std::vector<EditOp>& script) {
+  std::int64_t cost = 0;
+  for (const EditOp op : script) {
+    if (op != EditOp::kMatch) ++cost;
+  }
+  return cost;
+}
+
+std::vector<std::int64_t> alignment_cuts(const std::vector<EditOp>& script,
+                                         std::int64_t a_len, std::int64_t b_len) {
+  std::vector<std::int64_t> cuts(static_cast<std::size_t>(a_len) + 1, 0);
+  std::int64_t i = 0;
+  std::int64_t j = 0;
+  for (const EditOp op : script) {
+    switch (op) {
+      case EditOp::kMatch:
+      case EditOp::kSubstitute:
+        ++i;
+        ++j;
+        cuts[static_cast<std::size_t>(i)] = j;
+        break;
+      case EditOp::kDelete:
+        ++i;
+        cuts[static_cast<std::size_t>(i)] = j;
+        break;
+      case EditOp::kInsert:
+        ++j;
+        break;
+    }
+  }
+  MPCSD_ENSURES(i == a_len);
+  MPCSD_ENSURES(j == b_len);
+  cuts[static_cast<std::size_t>(a_len)] = b_len;  // attribute trailing inserts
+  return cuts;
+}
+
+std::vector<Interval> block_images(SymView a, SymView b,
+                                   const std::vector<Interval>& blocks) {
+  const auto script = edit_script(a, b);
+  const auto cuts = alignment_cuts(script, static_cast<std::int64_t>(a.size()),
+                                   static_cast<std::int64_t>(b.size()));
+  std::vector<Interval> images;
+  images.reserve(blocks.size());
+  for (const Interval& blk : blocks) {
+    MPCSD_EXPECTS(blk.begin >= 0 &&
+                  blk.end <= static_cast<std::int64_t>(a.size()) &&
+                  blk.begin <= blk.end);
+    images.push_back(Interval{cuts[static_cast<std::size_t>(blk.begin)],
+                              cuts[static_cast<std::size_t>(blk.end)]});
+  }
+  return images;
+}
+
+}  // namespace mpcsd::seq

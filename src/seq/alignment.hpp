@@ -1,0 +1,46 @@
+// Optimal alignment extraction.
+//
+// The figure experiments (Fig. 1, 2, 3, 7) reason about the substring
+// s̄[alpha_i, beta_i) that block i of s transforms into under a fixed optimal
+// solution `opt`.  This module materialises such an opt: an optimal edit
+// script via Hirschberg's divide-and-conquer (O(|a||b|) time, O(|a|+|b|)
+// space), and the induced monotone "cut" positions that map any block
+// boundary in a to a position in b.  Consecutive block images partition b —
+// exactly the structure of the paper's Fig. 1.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "seq/types.hpp"
+
+namespace mpcsd::seq {
+
+enum class EditOp : std::uint8_t {
+  kMatch,       ///< consume one symbol of a and one equal symbol of b
+  kSubstitute,  ///< consume one of each, unequal
+  kDelete,      ///< consume one symbol of a
+  kInsert,      ///< consume one symbol of b
+};
+
+/// An optimal (minimum-cost) edit script from a to b.  Hirschberg's
+/// algorithm: O(|a||b|) time, O(|a|+|b|) working space.
+std::vector<EditOp> edit_script(SymView a, SymView b);
+
+/// Number of non-match operations (== edit distance when the script is
+/// optimal; pinned by tests).
+std::int64_t script_cost(const std::vector<EditOp>& script);
+
+/// cuts[i] = number of symbols of b consumed once the first i symbols of a
+/// have been processed by the script (trailing inserts are attributed to the
+/// final position).  cuts.size() == |a|+1, cuts[0] == 0, cuts[|a|] == |b|,
+/// and cuts is non-decreasing.
+std::vector<std::int64_t> alignment_cuts(const std::vector<EditOp>& script,
+                                         std::int64_t a_len, std::int64_t b_len);
+
+/// Images of the given blocks of a under one optimal alignment: image of
+/// block [l, r) is [cuts[l], cuts[r]).  Blocks must be disjoint and sorted.
+std::vector<Interval> block_images(SymView a, SymView b,
+                                   const std::vector<Interval>& blocks);
+
+}  // namespace mpcsd::seq

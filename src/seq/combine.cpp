@@ -1,0 +1,275 @@
+#include "seq/combine.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/contracts.hpp"
+#include "common/fenwick.hpp"
+
+namespace mpcsd::seq {
+
+namespace {
+
+constexpr std::int64_t kInf = std::numeric_limits<std::int64_t>::max() / 4;
+
+std::int64_t gap(GapCost g, std::int64_t ds, std::int64_t dt) {
+  return g == GapCost::kMax ? std::max(ds, dt) : ds + dt;
+}
+
+void sort_tuples(std::vector<Tuple>& tuples) {
+  std::sort(tuples.begin(), tuples.end(), [](const Tuple& a, const Tuple& b) {
+    if (a.block_begin != b.block_begin) return a.block_begin < b.block_begin;
+    if (a.window_begin != b.window_begin) return a.window_begin < b.window_begin;
+    if (a.window_end != b.window_end) return a.window_end < b.window_end;
+    return a.distance < b.distance;
+  });
+}
+
+void validate(const std::vector<Tuple>& tuples, std::int64_t n, std::int64_t n_bar) {
+  for (const Tuple& t : tuples) {
+    MPCSD_EXPECTS(0 <= t.block_begin && t.block_begin < t.block_end && t.block_end <= n);
+    MPCSD_EXPECTS(0 <= t.window_begin && t.window_begin <= t.window_end &&
+                  t.window_end <= n_bar);
+    MPCSD_EXPECTS(t.distance >= 0);
+  }
+}
+
+std::int64_t finish(const std::vector<Tuple>& tuples,
+                    const std::vector<std::int64_t>& dp, GapCost g,
+                    std::int64_t n, std::int64_t n_bar) {
+  std::int64_t best = gap(g, n, n_bar);  // use no tuple at all
+  for (std::size_t a = 0; a < tuples.size(); ++a) {
+    if (dp[a] >= kInf) continue;
+    best = std::min(best, dp[a] + gap(g, n - tuples[a].block_end,
+                                      n_bar - tuples[a].window_end));
+  }
+  return best;
+}
+
+/// Fast kSum solver: one Fenwick sweep in (insert by r, query by l) order.
+/// Transition cost (l-r') + (gamma-kappa') decomposes as
+/// (l+gamma) + (D[b] - r' - kappa'), needing r' <= l and kappa' <= gamma.
+void solve_sum_fast(const std::vector<Tuple>& tuples, std::vector<std::int64_t>& dp,
+                    std::uint64_t* work) {
+  const std::size_t m = tuples.size();
+  std::vector<std::int64_t> kappas;
+  kappas.reserve(m);
+  for (const Tuple& t : tuples) kappas.push_back(t.window_end);
+  std::sort(kappas.begin(), kappas.end());
+  kappas.erase(std::unique(kappas.begin(), kappas.end()), kappas.end());
+
+  std::vector<std::size_t> by_end(m);
+  for (std::size_t i = 0; i < m; ++i) by_end[i] = i;
+  std::sort(by_end.begin(), by_end.end(), [&](std::size_t a, std::size_t b) {
+    return tuples[a].block_end < tuples[b].block_end;
+  });
+
+  FenwickMin<std::int64_t> fen(kappas.size());
+  std::size_t ins = 0;
+  for (std::size_t a = 0; a < m; ++a) {  // tuples sorted by block_begin
+    while (ins < m && tuples[by_end[ins]].block_end <= tuples[a].block_begin) {
+      const std::size_t b = by_end[ins++];
+      // dp[b] is final: block_begin[b] < block_end[b] <= block_begin[a]
+      const auto rank = static_cast<std::size_t>(
+          std::lower_bound(kappas.begin(), kappas.end(), tuples[b].window_end) -
+          kappas.begin());
+      fen.update(rank, dp[b] - tuples[b].block_end - tuples[b].window_end);
+    }
+    const auto pos = std::upper_bound(kappas.begin(), kappas.end(),
+                                      tuples[a].window_begin) -
+                     kappas.begin();
+    if (pos > 0) {
+      const std::int64_t best = fen.prefix_min(static_cast<std::size_t>(pos - 1));
+      if (best < kInf) {
+        dp[a] = std::min(dp[a], tuples[a].block_begin + tuples[a].window_begin +
+                                    best + tuples[a].distance);
+      }
+    }
+  }
+  if (work != nullptr) *work += m * 6;
+}
+
+/// Fast kMax solver: divide-and-conquer on the block order.  The max gap
+/// splits on the diagonal diag_b = r'-kappa' vs diag_a = l-gamma:
+///   case A (diag_b <= diag_a): cost l - r', needs kappa' <= gamma
+///     (r' <= l is implied);
+///   case B (diag_b >  diag_a): cost gamma - kappa', needs r' <= l
+///     (kappa' <= gamma is implied).
+class MaxCombineSolver {
+ public:
+  MaxCombineSolver(const std::vector<Tuple>& tuples, std::vector<std::int64_t>& dp,
+                   std::uint64_t* work)
+      : tuples_(tuples), dp_(dp), work_(work) {
+    if (!tuples_.empty()) solve(0, tuples_.size());
+  }
+
+ private:
+  void solve(std::size_t lo, std::size_t hi) {
+    if (hi - lo <= 1) return;
+    const std::size_t mid = lo + (hi - lo) / 2;
+    solve(lo, mid);
+    cross(lo, mid, hi);
+    solve(mid, hi);
+  }
+
+  [[nodiscard]] std::int64_t point_diag(std::size_t b) const {
+    return tuples_[b].block_end - tuples_[b].window_end;
+  }
+  [[nodiscard]] std::int64_t query_diag(std::size_t a) const {
+    return tuples_[a].block_begin - tuples_[a].window_begin;
+  }
+
+  void cross(std::size_t lo, std::size_t mid, std::size_t hi) {
+    const std::size_t len = hi - lo;
+    if (work_ != nullptr) *work_ += len * 10;
+
+    // Shared diag compression for the segment (point and query diags).
+    std::vector<std::int64_t> ds;
+    ds.reserve(len);
+    for (std::size_t b = lo; b < mid; ++b) ds.push_back(point_diag(b));
+    for (std::size_t a = mid; a < hi; ++a) ds.push_back(query_diag(a));
+    std::sort(ds.begin(), ds.end());
+    ds.erase(std::unique(ds.begin(), ds.end()), ds.end());
+    const std::size_t ranks = ds.size();
+    auto rank_of = [&](std::int64_t v) {
+      return static_cast<std::size_t>(
+          std::lower_bound(ds.begin(), ds.end(), v) - ds.begin());
+    };
+
+    std::vector<std::size_t> left(mid - lo);
+    std::vector<std::size_t> right(hi - mid);
+    for (std::size_t i = 0; i < left.size(); ++i) left[i] = lo + i;
+    for (std::size_t i = 0; i < right.size(); ++i) right[i] = mid + i;
+
+    // Case A: insert by kappa', query by gamma; prefix-min over diag.
+    std::sort(left.begin(), left.end(), [&](std::size_t x, std::size_t y) {
+      return tuples_[x].window_end < tuples_[y].window_end;
+    });
+    std::sort(right.begin(), right.end(), [&](std::size_t x, std::size_t y) {
+      return tuples_[x].window_begin < tuples_[y].window_begin;
+    });
+    FenwickMin<std::int64_t> fen_a(ranks);
+    std::size_t li = 0;
+    for (const std::size_t a : right) {
+      while (li < left.size() &&
+             tuples_[left[li]].window_end <= tuples_[a].window_begin) {
+        const std::size_t b = left[li++];
+        if (dp_[b] < kInf) fen_a.update(rank_of(point_diag(b)), dp_[b] - tuples_[b].block_end);
+      }
+      const auto pos = std::upper_bound(ds.begin(), ds.end(), query_diag(a)) - ds.begin();
+      if (pos > 0) {
+        const std::int64_t best = fen_a.prefix_min(static_cast<std::size_t>(pos - 1));
+        if (best < kInf) {
+          dp_[a] = std::min(dp_[a], tuples_[a].block_begin + best + tuples_[a].distance);
+        }
+      }
+    }
+
+    // Case B: insert by r', query by l; suffix-min over diag (reversed).
+    std::sort(left.begin(), left.end(), [&](std::size_t x, std::size_t y) {
+      return tuples_[x].block_end < tuples_[y].block_end;
+    });
+    std::sort(right.begin(), right.end(), [&](std::size_t x, std::size_t y) {
+      return tuples_[x].block_begin < tuples_[y].block_begin;
+    });
+    FenwickMin<std::int64_t> fen_b(ranks);
+    li = 0;
+    for (const std::size_t a : right) {
+      while (li < left.size() &&
+             tuples_[left[li]].block_end <= tuples_[a].block_begin) {
+        const std::size_t b = left[li++];
+        if (dp_[b] < kInf) {
+          fen_b.update(ranks - 1 - rank_of(point_diag(b)), dp_[b] - tuples_[b].window_end);
+        }
+      }
+      // diag_b > diag_a  <=>  reversed rank < ranks - pos, pos = upper_bound
+      const auto pos = static_cast<std::size_t>(
+          std::upper_bound(ds.begin(), ds.end(), query_diag(a)) - ds.begin());
+      if (pos < ranks) {
+        const std::int64_t best = fen_b.prefix_min(ranks - 1 - pos);
+        if (best < kInf) {
+          dp_[a] = std::min(dp_[a], tuples_[a].window_begin + best + tuples_[a].distance);
+        }
+      }
+    }
+  }
+
+  const std::vector<Tuple>& tuples_;
+  std::vector<std::int64_t>& dp_;
+  std::uint64_t* work_;
+};
+
+}  // namespace
+
+std::int64_t combine_tuples_naive(std::vector<Tuple> tuples, std::int64_t n,
+                                  std::int64_t n_bar, const CombineOptions& options,
+                                  std::uint64_t* work) {
+  validate(tuples, n, n_bar);
+  sort_tuples(tuples);
+  const std::size_t m = tuples.size();
+  std::vector<std::int64_t> dp(m, kInf);
+  for (std::size_t a = 0; a < m; ++a) {
+    const Tuple& ta = tuples[a];
+    dp[a] = gap(options.gap, ta.block_begin, ta.window_begin) + ta.distance;
+    for (std::size_t b = 0; b < a; ++b) {
+      const Tuple& tb = tuples[b];
+      if (tb.block_end > ta.block_begin) continue;
+      std::int64_t cost;
+      if (tb.window_end <= ta.window_begin) {
+        cost = gap(options.gap, ta.block_begin - tb.block_end,
+                   ta.window_begin - tb.window_end);
+      } else if (options.allow_overlap && options.gap == GapCost::kSum &&
+                 tb.window_begin <= ta.window_begin) {
+        // Overlapping windows: keep both, pay for deleting the common part
+        // from the earlier tuple's output (Section 5.2.3).
+        cost = (ta.block_begin - tb.block_end) + (tb.window_end - ta.window_begin);
+      } else {
+        continue;
+      }
+      dp[a] = std::min(dp[a], dp[b] + cost + ta.distance);
+    }
+  }
+  if (work != nullptr) *work += m * m + m;
+  return finish(tuples, dp, options.gap, n, n_bar);
+}
+
+void write_tuples(ByteWriter& writer, std::span<const Tuple> tuples) {
+  writer.put<std::uint64_t>(tuples.size());
+  for (const Tuple& t : tuples) writer.put(t);
+}
+
+std::vector<Tuple> read_all_tuples(const Bytes& payload) {
+  std::vector<Tuple> out;
+  ByteReader reader(payload);
+  while (!reader.exhausted()) {
+    const auto count = reader.get<std::uint64_t>();
+    out.reserve(out.size() + count);
+    for (std::uint64_t i = 0; i < count; ++i) out.push_back(reader.get<Tuple>());
+  }
+  return out;
+}
+
+std::int64_t combine_tuples(std::vector<Tuple> tuples, std::int64_t n,
+                            std::int64_t n_bar, const CombineOptions& options,
+                            std::uint64_t* work) {
+  if (!options.use_fast || options.allow_overlap) {
+    return combine_tuples_naive(std::move(tuples), n, n_bar, options, work);
+  }
+  validate(tuples, n, n_bar);
+  sort_tuples(tuples);
+  const std::size_t m = tuples.size();
+  std::vector<std::int64_t> dp(m, kInf);
+  for (std::size_t a = 0; a < m; ++a) {
+    dp[a] = gap(options.gap, tuples[a].block_begin, tuples[a].window_begin) +
+            tuples[a].distance;
+  }
+  if (options.gap == GapCost::kSum) {
+    solve_sum_fast(tuples, dp, work);
+  } else {
+    const MaxCombineSolver solver(tuples, dp, work);
+    (void)solver;
+  }
+  return finish(tuples, dp, options.gap, n, n_bar);
+}
+
+}  // namespace mpcsd::seq

@@ -1,0 +1,81 @@
+#include "seq/lis.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/contracts.hpp"
+
+namespace mpcsd::seq {
+
+std::int64_t lis_length(SymView values) {
+  // Patience sorting: tails[k] = smallest tail of an increasing subsequence
+  // of length k+1.
+  std::vector<Symbol> tails;
+  tails.reserve(values.size());
+  for (const Symbol v : values) {
+    auto it = std::lower_bound(tails.begin(), tails.end(), v);
+    if (it == tails.end()) {
+      tails.push_back(v);
+    } else {
+      *it = v;
+    }
+  }
+  return static_cast<std::int64_t>(tails.size());
+}
+
+std::int64_t lcs_length(SymView a, SymView b) {
+  const auto n = a.size();
+  const auto m = b.size();
+  if (n == 0 || m == 0) return 0;
+  std::vector<std::int64_t> prev(m + 1, 0);
+  std::vector<std::int64_t> cur(m + 1, 0);
+  for (std::size_t i = 1; i <= n; ++i) {
+    for (std::size_t j = 1; j <= m; ++j) {
+      if (a[i - 1] == b[j - 1]) {
+        cur[j] = prev[j - 1] + 1;
+      } else {
+        cur[j] = std::max(prev[j], cur[j - 1]);
+      }
+    }
+    std::swap(prev, cur);
+  }
+  return prev[m];
+}
+
+std::int64_t lcs_length_repeat_free(SymView a, SymView b) {
+  MPCSD_EXPECTS(is_repeat_free(a));
+  MPCSD_EXPECTS(is_repeat_free(b));
+  // Map each symbol of b to its (unique) position, walk a, and take the LIS
+  // of the positions: increasing position chains == common subsequences.
+  std::unordered_map<Symbol, Symbol> pos_in_b;
+  pos_in_b.reserve(b.size() * 2);
+  for (std::size_t j = 0; j < b.size(); ++j) {
+    pos_in_b.emplace(b[j], static_cast<Symbol>(j));
+  }
+  std::vector<Symbol> positions;
+  positions.reserve(a.size());
+  for (const Symbol s : a) {
+    if (auto it = pos_in_b.find(s); it != pos_in_b.end()) {
+      positions.push_back(it->second);
+    }
+  }
+  return lis_length(positions);
+}
+
+std::int64_t indel_distance_repeat_free(SymView a, SymView b) {
+  return static_cast<std::int64_t>(a.size() + b.size()) -
+         2 * lcs_length_repeat_free(a, b);
+}
+
+bool is_repeat_free(SymView s) {
+  std::unordered_set<Symbol> seen;
+  seen.reserve(s.size() * 2);
+  for (const Symbol v : s) {
+    if (!seen.insert(v).second) return false;
+  }
+  return true;
+}
+
+}  // namespace mpcsd::seq

@@ -1,0 +1,35 @@
+// Longest increasing subsequence and longest common subsequence.
+//
+// LIS is the classical dual of Ulam distance: for repeat-free strings, the
+// common characters form a point set whose increasing chains are exactly the
+// common subsequences.  `lis_length` (patience sorting, O(n log n)) is used
+// by tests and by the Hunt–Szymanski LCS for repeat-free strings.
+#pragma once
+
+#include <cstdint>
+
+#include "seq/types.hpp"
+
+namespace mpcsd::seq {
+
+/// Length of the longest strictly increasing subsequence.  O(n log n).
+std::int64_t lis_length(SymView values);
+
+/// Length of the longest common subsequence; classic O(|a||b|) DP.
+/// Intended as a test oracle for moderate sizes.
+std::int64_t lcs_length(SymView a, SymView b);
+
+/// LCS length for strings in which no symbol repeats (Hunt–Szymanski
+/// degenerates to LIS): O((|a|+|b|) log).  Preconditions checked.
+std::int64_t lcs_length_repeat_free(SymView a, SymView b);
+
+/// True iff no symbol occurs twice in `s` (the Ulam-distance precondition).
+bool is_repeat_free(SymView s);
+
+/// Indel-only edit distance (no substitutions): |a| + |b| - 2*LCS(a, b).
+/// This is the relaxed Ulam notion of [17]/[18] the paper contrasts with
+/// the substitution-allowing formulation; for repeat-free strings it is
+/// computed via the LIS duality in O((|a|+|b|) log).
+std::int64_t indel_distance_repeat_free(SymView a, SymView b);
+
+}  // namespace mpcsd::seq

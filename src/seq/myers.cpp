@@ -1,0 +1,74 @@
+#include "seq/myers.hpp"
+
+#include <unordered_map>
+#include <vector>
+
+namespace mpcsd::seq {
+
+std::int64_t edit_distance_myers(SymView a, SymView b, std::uint64_t* work) {
+  const auto m = static_cast<std::int64_t>(a.size());
+  const auto n = static_cast<std::int64_t>(b.size());
+  if (m == 0) return n;
+  if (n == 0) return m;
+
+  const auto blocks = static_cast<std::size_t>((m + 63) / 64);
+
+  // Equality masks of the pattern, one 64-bit word per block per symbol.
+  std::unordered_map<Symbol, std::vector<std::uint64_t>> peq;
+  peq.reserve(a.size() * 2);
+  for (std::int64_t i = 0; i < m; ++i) {
+    auto& masks = peq.try_emplace(a[static_cast<std::size_t>(i)],
+                                  std::vector<std::uint64_t>(blocks, 0))
+                      .first->second;
+    masks[static_cast<std::size_t>(i >> 6)] |= 1ULL << (i & 63);
+  }
+  const std::vector<std::uint64_t> zero(blocks, 0);
+
+  // Vertical delta encoding (Hyyrö 2003): Pv bit set = +1, Mv bit set = -1.
+  // Bits above m-1 in the last block are garbage but harmless: all carries
+  // propagate upward only, and the score is read at bit (m-1).
+  std::vector<std::uint64_t> pv(blocks, ~0ULL);
+  std::vector<std::uint64_t> mv(blocks, 0);
+  const std::uint64_t last_bit = 1ULL << ((m - 1) & 63);
+  std::int64_t score = m;
+
+  for (std::int64_t j = 0; j < n; ++j) {
+    const auto it = peq.find(b[static_cast<std::size_t>(j)]);
+    const std::vector<std::uint64_t>& eqv = it == peq.end() ? zero : it->second;
+    int hin = 1;  // top boundary row: d[0][j] = j
+    for (std::size_t k = 0; k < blocks; ++k) {
+      std::uint64_t eq = eqv[k];
+      const std::uint64_t pvk = pv[k];
+      const std::uint64_t mvk = mv[k];
+      const std::uint64_t xv = eq | mvk;
+      if (hin < 0) eq |= 1ULL;
+      const std::uint64_t xh = (((eq & pvk) + pvk) ^ pvk) | eq;
+      std::uint64_t ph = mvk | ~(xh | pvk);
+      std::uint64_t mh = pvk & xh;
+
+      const std::uint64_t top = (k + 1 == blocks) ? last_bit : (1ULL << 63U);
+      int hout = 0;
+      if (ph & top) {
+        hout = 1;
+      } else if (mh & top) {
+        hout = -1;
+      }
+
+      ph <<= 1U;
+      mh <<= 1U;
+      if (hin > 0) {
+        ph |= 1ULL;
+      } else if (hin < 0) {
+        mh |= 1ULL;
+      }
+      pv[k] = mh | ~(xv | ph);
+      mv[k] = ph & xv;
+      hin = hout;
+    }
+    score += hin;
+  }
+  if (work != nullptr) *work += static_cast<std::uint64_t>(n) * blocks;
+  return score;
+}
+
+}  // namespace mpcsd::seq

@@ -1,0 +1,20 @@
+// Myers' bit-parallel edit distance (Myers 1999, blocked form after
+// Hyyrö 2003): exact Levenshtein distance in O(|a|·|b|/64) word operations.
+//
+// Used as an ablation unit in the benches — it is the fastest exact engine
+// for moderate distances and large alphabets, and a strong baseline for
+// the work-metering of the DP engines.  Symbols are arbitrary 32-bit
+// values (the pattern's equality bitmasks live in a hash map).
+#pragma once
+
+#include <cstdint>
+
+#include "seq/types.hpp"
+
+namespace mpcsd::seq {
+
+/// Exact edit distance via the blocked bit-parallel recurrence.
+/// O(ceil(|a|/64) * |b|) word ops, O(ceil(|a|/64) * distinct(a)) memory.
+std::int64_t edit_distance_myers(SymView a, SymView b, std::uint64_t* work = nullptr);
+
+}  // namespace mpcsd::seq

@@ -1,0 +1,51 @@
+// Core string types shared by the whole library.
+//
+// Strings are sequences of 32-bit symbols: large alphabets are first-class
+// because Ulam-distance inputs are (w.l.o.g.) permutations of [n], which do
+// not fit in char.  All algorithms take non-owning `SymView`s (Core
+// Guidelines F.24: prefer span over pointer+size).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+#include <vector>
+
+namespace mpcsd {
+
+using Symbol = std::int32_t;
+using SymString = std::vector<Symbol>;
+using SymView = std::span<const Symbol>;
+
+/// Converts an ASCII string into a symbol string (for examples and tests).
+inline SymString to_symbols(std::string_view text) {
+  SymString out;
+  out.reserve(text.size());
+  for (const char c : text) out.push_back(static_cast<Symbol>(static_cast<unsigned char>(c)));
+  return out;
+}
+
+/// A half-open index interval [begin, end) into a string; `empty()` when
+/// begin == end.  All public interval APIs in the library are half-open and
+/// 0-based (the paper uses 1-based closed intervals; the conversion is
+/// confined to the documentation).
+struct Interval {
+  std::int64_t begin = 0;
+  std::int64_t end = 0;
+
+  [[nodiscard]] std::int64_t length() const noexcept { return end - begin; }
+  [[nodiscard]] bool empty() const noexcept { return begin >= end; }
+
+  friend bool operator==(const Interval&, const Interval&) = default;
+};
+
+/// View of `s` restricted to interval `iv` (clamped to the string bounds).
+inline SymView subview(SymView s, Interval iv) {
+  const auto n = static_cast<std::int64_t>(s.size());
+  std::int64_t b = iv.begin < 0 ? 0 : iv.begin;
+  std::int64_t e = iv.end > n ? n : iv.end;
+  if (b >= e) return {};
+  return s.subspan(static_cast<std::size_t>(b), static_cast<std::size_t>(e - b));
+}
+
+}  // namespace mpcsd

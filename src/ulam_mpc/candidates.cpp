@@ -1,0 +1,176 @@
+#include "ulam_mpc/candidates.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <unordered_set>
+
+#include "common/contracts.hpp"
+#include "common/grid.hpp"
+
+namespace mpcsd::ulam_mpc {
+
+namespace {
+
+using seq::MatchPoint;
+
+/// Per-block evaluation context: match points of the block against s̄ in
+/// both p-order and q-order, plus a dedup set so that every candidate
+/// window is evaluated exactly once across all guess levels.
+class BlockEvaluator {
+ public:
+  BlockEvaluator(std::int64_t block_begin, const std::vector<std::int64_t>& positions,
+                 std::int64_t n_bar, CandidateStats* stats)
+      : block_begin_(block_begin),
+        block_len_(static_cast<std::int64_t>(positions.size())),
+        n_bar_(n_bar),
+        stats_(stats) {
+    for (std::size_t p = 0; p < positions.size(); ++p) {
+      if (positions[p] >= 0) {
+        pts_.push_back(MatchPoint{static_cast<std::int64_t>(p), positions[p]});
+      }
+    }
+    by_q_ = pts_;
+    std::sort(by_q_.begin(), by_q_.end(),
+              [](const MatchPoint& a, const MatchPoint& b) { return a.q < b.q; });
+  }
+
+  [[nodiscard]] const std::vector<MatchPoint>& points() const noexcept { return pts_; }
+  [[nodiscard]] std::int64_t block_len() const noexcept { return block_len_; }
+  [[nodiscard]] std::uint64_t work() const noexcept { return work_; }
+
+  /// Evaluates candidate window [sp, ep) with the band-filtered exact
+  /// engine capped at `cap`; appends a tuple when the distance is <= cap.
+  void evaluate(std::int64_t sp, std::int64_t ep, std::int64_t cap,
+                std::vector<Tuple>& out) {
+    sp = std::clamp<std::int64_t>(sp, 0, n_bar_);
+    ep = std::clamp<std::int64_t>(ep, sp, n_bar_);
+    const std::uint64_t key = static_cast<std::uint64_t>(sp) * (static_cast<std::uint64_t>(n_bar_) + 2) +
+                              static_cast<std::uint64_t>(ep);
+    if (!seen_.insert(key).second) return;
+    if (stats_ != nullptr) ++stats_->candidates_evaluated;
+
+    // Window slice: match points with q in [sp, ep) are contiguous in
+    // q-order; keep only those within the diagonal band of the cap.
+    const auto lo = std::lower_bound(by_q_.begin(), by_q_.end(), sp,
+                                     [](const MatchPoint& m, std::int64_t v) { return m.q < v; });
+    const auto hi = std::lower_bound(by_q_.begin(), by_q_.end(), ep,
+                                     [](const MatchPoint& m, std::int64_t v) { return m.q < v; });
+    std::vector<MatchPoint> window;
+    window.reserve(static_cast<std::size_t>(hi - lo));
+    for (auto it = lo; it != hi; ++it) {
+      const std::int64_t q_local = it->q - sp;
+      if (std::abs(q_local - it->p) <= cap) {
+        window.push_back(MatchPoint{it->p, q_local});
+      }
+    }
+    work_ += static_cast<std::uint64_t>(hi - lo) + 1;
+    std::sort(window.begin(), window.end(),
+              [](const MatchPoint& a, const MatchPoint& b) { return a.p < b.p; });
+
+    const auto d = seq::bounded_ulam_from_match_points(window, block_len_, ep - sp,
+                                                       cap, &work_);
+    if (!d.has_value()) {
+      if (stats_ != nullptr) ++stats_->candidates_pruned;
+      return;
+    }
+    out.push_back(Tuple{block_begin_, block_begin_ + block_len_, sp, ep, *d});
+  }
+
+ private:
+  std::int64_t block_begin_;
+  std::int64_t block_len_;
+  std::int64_t n_bar_;
+  CandidateStats* stats_;
+  std::vector<MatchPoint> pts_;   // sorted by p
+  std::vector<MatchPoint> by_q_;  // sorted by q
+  std::unordered_set<std::uint64_t> seen_;
+  std::uint64_t work_ = 0;
+};
+
+}  // namespace
+
+std::vector<Tuple> build_block_candidates(std::int64_t block_begin,
+                                          const std::vector<std::int64_t>& positions,
+                                          const CandidateParams& params,
+                                          Pcg32& rng, CandidateStats* stats) {
+  MPCSD_EXPECTS(params.eps_prime > 0.0);
+  MPCSD_EXPECTS(params.n > 0 && params.n_bar >= 0);
+  std::vector<Tuple> out;
+  const auto b_len = static_cast<std::int64_t>(positions.size());
+  if (b_len == 0) return out;
+
+  const double eps = params.eps_prime;
+  BlockEvaluator eval(block_begin, positions, params.n_bar, stats);
+
+  // Locate the locally best window (lulam); its distance d* lower-bounds
+  // the opt-induced distance u_i of this block.
+  std::uint64_t lulam_work = 0;
+  const auto lul = seq::local_ulam_from_match_points(eval.points(), b_len,
+                                                     params.n_bar, &lulam_work);
+  const std::int64_t d_star = lul.distance;
+  // Always record the lulam window itself (it is an exact, useful tuple and
+  // covers the d* == 0 case of Algorithm 1 line 2).
+  if (!lul.window.empty() || d_star == 0) {
+    eval.evaluate(lul.window.begin, lul.window.end, std::max<std::int64_t>(d_star, 1), out);
+  }
+
+  // Guess levels u = ceil((1+eps')^j); a level can only be the one whose
+  // analysis applies when u_i ∈ [u, (1+eps')u), and u_i >= d*, so levels
+  // with (1+eps')u < d* are skipped.  Section 4.1 caps the levels at
+  // n^{1-x} = B (blocks whose opt image is even further are covered by the
+  // anchored near-diagonal candidates plus the combine DP's gap charging);
+  // we keep a 2x margin.
+  const std::int64_t u_max = std::min(std::max(params.n, params.n_bar), 2 * b_len);
+  for (const std::int64_t u : geometric_grid(u_max, eps)) {
+    if (u == 0) continue;
+    const auto u_hat = static_cast<std::int64_t>(
+        std::ceil((1.0 + eps) * static_cast<double>(u)));
+    if (u_hat < d_star) continue;
+    const std::int64_t gap = std::max<std::int64_t>(
+        static_cast<std::int64_t>(eps * static_cast<double>(u)), 1);
+    const std::int64_t cap = 4 * u_hat + 2;
+
+    if (u < ceil_div(b_len, 2)) {
+      // Lemma 1 regime: grid around the lulam window.
+      const std::int64_t gamma = lul.window.begin;
+      const std::int64_t kappa = lul.window.end;
+      for (std::int64_t sp = gamma - 2 * u_hat; sp <= gamma + 2 * u_hat; sp += gap) {
+        for (std::int64_t ep = kappa - 2 * u_hat; ep <= kappa + 2 * u_hat; ep += gap) {
+          if (ep < sp) continue;
+          eval.evaluate(sp, ep, cap, out);
+        }
+      }
+    } else {
+      // Lemma 2 regime: hitting-set anchors.
+      const double theta = std::min(
+          1.0, params.theta_constant *
+                   std::log(static_cast<double>(std::max<std::int64_t>(params.n, 3))) /
+                   (eps * static_cast<double>(b_len)));
+      std::unordered_set<std::int64_t> anchor_diagonals;
+      for (const seq::MatchPoint& m : eval.points()) {
+        if (!rng.bernoulli(theta)) continue;
+        if (stats != nullptr) ++stats->anchors_sampled;
+        // Unchanged characters in the same aligned run share a diagonal and
+        // hence an identical candidate set; dedupe on the diagonal.
+        anchor_diagonals.insert(m.q - m.p);
+      }
+      if (stats != nullptr) stats->anchors_distinct += anchor_diagonals.size();
+      for (const std::int64_t diag : anchor_diagonals) {
+        const std::int64_t gamma2 = diag;          // q - p
+        const std::int64_t kappa2 = diag + b_len;  // exclusive end
+        for (std::int64_t sp = gamma2 - u_hat; sp <= gamma2 + u_hat; sp += gap) {
+          for (std::int64_t ep = std::max(kappa2 - u_hat, sp); ep <= kappa2 + u_hat;
+               ep += gap) {
+            eval.evaluate(sp, ep, cap, out);
+          }
+        }
+      }
+    }
+  }
+
+  if (stats != nullptr) stats->work += eval.work() + lulam_work;
+  return out;
+}
+
+}  // namespace mpcsd::ulam_mpc

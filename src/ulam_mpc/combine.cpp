@@ -1,0 +1,14 @@
+#include "ulam_mpc/combine.hpp"
+
+namespace mpcsd::ulam_mpc {
+
+std::int64_t combine_machine(const Bytes& payload, std::int64_t n,
+                             std::int64_t n_bar, std::uint64_t* work) {
+  auto tuples = seq::read_all_tuples(payload);
+  seq::CombineOptions options;
+  options.gap = seq::GapCost::kMax;  // Algorithm 2 charges max-gaps
+  options.use_fast = true;
+  return seq::combine_tuples(std::move(tuples), n, n_bar, options, work);
+}
+
+}  // namespace mpcsd::ulam_mpc

@@ -1,0 +1,21 @@
+// Round-2 machinery for the Ulam MPC algorithm: the single combine machine
+// that runs Algorithm 2 on everything round 1 produced.  Tuple
+// (de)serialization lives in seq/combine.hpp and is re-exported here.
+#pragma once
+
+#include <cstdint>
+
+#include "common/bytes.hpp"
+#include "seq/combine.hpp"
+
+namespace mpcsd::ulam_mpc {
+
+using seq::read_all_tuples;
+using seq::write_tuples;
+
+/// The round-2 machine body: parse tuples, run the combine DP (Algorithm 2,
+/// max-gap costs), return the approximate Ulam distance.
+std::int64_t combine_machine(const Bytes& payload, std::int64_t n,
+                             std::int64_t n_bar, std::uint64_t* work = nullptr);
+
+}  // namespace mpcsd::ulam_mpc

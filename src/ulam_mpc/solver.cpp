@@ -1,0 +1,154 @@
+#include "ulam_mpc/solver.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "common/contracts.hpp"
+#include "common/grid.hpp"
+#include "mpc/cluster.hpp"
+#include "mpc/primitives.hpp"
+#include "seq/lis.hpp"
+#include "ulam_mpc/combine.hpp"
+
+namespace mpcsd::ulam_mpc {
+
+std::uint64_t ulam_memory_cap_bytes(std::int64_t n, const UlamMpcParams& params) {
+  const std::int64_t block = std::max<std::int64_t>(1, ipow_ceil(n, 1.0 - params.x));
+  const double eps_prime = params.epsilon / 2.0;
+  const double logn = std::log2(static_cast<double>(std::max<std::int64_t>(n, 4)));
+  // Input feed: 8 bytes per block position; output: tuples of ~48 bytes
+  // with poly(1/eps') multiplicity — the grids contribute (1/eps')^2 per
+  // level and ~1/eps' levels matter per block (Section 4.1's Õ(1/eps'^5)
+  // bound), so the cap carries a cubic 1/eps' factor.  Still
+  // Õ_eps(n^{1-x}).
+  const double inv = 1.0 + 1.0 / eps_prime;
+  const double cap = params.memory_slack * 8.0 *
+                     (static_cast<double>(block) + 64.0) * (logn + 2.0) *
+                     inv * inv * inv;
+  return static_cast<std::uint64_t>(cap);
+}
+
+UlamMpcResult ulam_distance_mpc(SymView s, SymView t, const UlamMpcParams& params) {
+  MPCSD_EXPECTS(params.x > 0.0 && params.x < 1.0);
+  MPCSD_EXPECTS(params.epsilon > 0.0);
+  MPCSD_EXPECTS(seq::is_repeat_free(s));
+  MPCSD_EXPECTS(seq::is_repeat_free(t));
+
+  UlamMpcResult result;
+  const auto n = static_cast<std::int64_t>(s.size());
+  const auto n_bar = static_cast<std::int64_t>(t.size());
+  if (n == 0) {
+    result.distance = n_bar;
+    return result;
+  }
+
+  const double eps_prime = params.epsilon / 2.0;
+  const std::int64_t block = std::max<std::int64_t>(1, ipow_ceil(n, 1.0 - params.x));
+  const std::int64_t block_count = ceil_div(n, block);
+  result.block_size = block;
+  result.block_count = static_cast<std::size_t>(block_count);
+  result.memory_cap_bytes = ulam_memory_cap_bytes(n, params);
+
+  mpc::ClusterConfig config;
+  config.memory_limit_bytes = result.memory_cap_bytes;
+  config.strict_memory = params.strict_memory;
+  config.workers = params.workers;
+  config.seed = params.seed;
+  mpc::Cluster cluster(config);
+
+  // Character-position map: either an in-model MPC hash join (two extra
+  // rounds on this cluster) or the equivalent driver-side routing (the
+  // paper's "input is already distributed" assumption).
+  std::vector<std::int64_t> all_positions;
+  if (params.in_model_position_map) {
+    all_positions = mpc::position_map_round(
+        cluster, s, t, static_cast<std::size_t>(block_count));
+  } else {
+    std::unordered_map<Symbol, std::int64_t> pos_in_t;
+    pos_in_t.reserve(t.size() * 2);
+    for (std::size_t j = 0; j < t.size(); ++j) {
+      pos_in_t.emplace(t[j], static_cast<std::int64_t>(j));
+    }
+    all_positions.reserve(s.size());
+    for (const Symbol v : s) {
+      const auto it = pos_in_t.find(v);
+      all_positions.push_back(it == pos_in_t.end() ? -1 : it->second);
+    }
+  }
+
+  std::vector<Bytes> inputs;
+  inputs.reserve(static_cast<std::size_t>(block_count));
+  for (std::int64_t b = 0; b < block_count; ++b) {
+    const std::int64_t begin = b * block;
+    const std::int64_t end = std::min(n, begin + block);
+    ByteWriter w;
+    w.put<std::int64_t>(begin);
+    w.put_vector(std::vector<std::int64_t>(
+        all_positions.begin() + begin, all_positions.begin() + end));
+    inputs.push_back(std::move(w).take());
+  }
+
+  // ---- Round 1: Algorithm 1 on every block. ----
+  std::vector<CandidateStats> stats(inputs.size());
+  const auto mail = cluster.run_round(
+      "ulam:candidates", inputs, [&](mpc::MachineContext& ctx) {
+        ByteReader r = ctx.reader();
+        const auto begin = r.get<std::int64_t>();
+        const auto positions = r.get_vector<std::int64_t>();
+        CandidateParams cp;
+        cp.eps_prime = eps_prime;
+        cp.theta_constant = params.theta_constant;
+        cp.n = n;
+        cp.n_bar = n_bar;
+        CandidateStats& st = stats[ctx.machine_id()];
+        const auto tuples =
+            build_block_candidates(begin, positions, cp, ctx.rng(), &st);
+        ctx.charge_work(st.work);
+        ctx.charge_scratch(positions.size() * 32);
+        ByteWriter w;
+        write_tuples(w, tuples);
+        ctx.emit(0, std::move(w).take());
+      });
+
+  for (const CandidateStats& st : stats) {
+    result.stats.candidates_evaluated += st.candidates_evaluated;
+    result.stats.candidates_pruned += st.candidates_pruned;
+    result.stats.anchors_sampled += st.anchors_sampled;
+    result.stats.anchors_distinct += st.anchors_distinct;
+    result.stats.work += st.work;
+  }
+
+  // ---- Round 2: Algorithm 2 on one machine. ----
+  const Bytes all_tuples = mpc::gather(mail, 0);
+  std::int64_t answer = std::max(n, n_bar);
+  std::size_t tuple_count = 0;
+  std::vector<seq::Tuple> kept;
+  const auto mail2 = cluster.run_round(
+      "ulam:combine", {all_tuples}, [&](mpc::MachineContext& ctx) {
+        std::uint64_t work = 0;
+        auto tuples = read_all_tuples(ctx.input());
+        tuple_count = tuples.size();
+        if (params.keep_tuples) kept = tuples;
+        seq::CombineOptions options;
+        options.gap = params.combine_gap;
+        answer = seq::combine_tuples(std::move(tuples), n, n_bar, options, &work);
+        ctx.charge_work(work);
+        ctx.charge_scratch(tuple_count * sizeof(seq::Tuple) * 2);
+        ByteWriter w;
+        w.put<std::int64_t>(answer);
+        ctx.emit(0, std::move(w).take());
+      });
+  (void)mail2;
+
+  result.distance = answer;
+  result.tuple_count = tuple_count;
+  result.tuples = std::move(kept);
+  result.trace = cluster.take_trace();
+  MPCSD_ENSURES(result.trace.round_count() ==
+                (params.in_model_position_map ? 4u : 2u));
+  MPCSD_ENSURES(result.distance >= 0);
+  return result;
+}
+
+}  // namespace mpcsd::ulam_mpc

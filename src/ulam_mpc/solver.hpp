@@ -1,0 +1,61 @@
+// Theorem 4: the two-round MPC algorithm for Ulam distance.
+//
+// Round 1 — one machine per block of size B = n^{1-x}: each machine
+//   receives its block's character positions in s̄ (Õ(n^{1-x}) bytes) and
+//   emits candidate tuples (Algorithm 1).
+// Round 2 — a single machine receives all Õ_eps(n^x) tuples and runs the
+//   combine DP (Algorithm 2).
+//
+// The returned distance is the cost of a realizable transformation (always
+// >= ulam(s, s̄)) and is <= (1+eps)·ulam(s, s̄) with high probability.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mpc/stats.hpp"
+#include "seq/combine.hpp"
+#include "seq/types.hpp"
+#include "ulam_mpc/candidates.hpp"
+
+namespace mpcsd::ulam_mpc {
+
+struct UlamMpcParams {
+  double x = 1.0 / 3;          ///< memory exponent: B = n^{1-x}; needs x < 1/2
+  double epsilon = 0.5;        ///< approximation slack (eps' = eps/2 internally)
+  double theta_constant = 8.0; ///< hitting-set rate constant (paper: 8)
+  std::uint64_t seed = 7;
+  std::size_t workers = 0;     ///< simulator thread pool; 0 = hardware
+  bool strict_memory = false;  ///< throw on per-machine memory violations
+  double memory_slack = 8.0;   ///< constant inside the Õ_eps(n^{1-x}) cap
+  bool keep_tuples = false;    ///< retain round-1 tuples in the result
+  /// Build the character-position map with an in-model MPC hash join (two
+  /// extra rounds) instead of driver-side routing.  The paper's two-round
+  /// count assumes the input is already distributed; this flag makes that
+  /// assumption itself run through the simulator.
+  bool in_model_position_map = false;
+  /// Gap charging of the combine DP.  Algorithm 2 uses kMax (substitute the
+  /// paired stretch); kSum is the Algorithm 4 variant, exposed for the
+  /// DESIGN.md ablation.
+  seq::GapCost combine_gap = seq::GapCost::kMax;
+};
+
+struct UlamMpcResult {
+  std::int64_t distance = 0;
+  std::int64_t block_size = 0;
+  std::size_t block_count = 0;
+  std::size_t tuple_count = 0;
+  std::uint64_t memory_cap_bytes = 0;
+  mpc::ExecutionTrace trace;
+  CandidateStats stats;              ///< aggregated over all round-1 machines
+  std::vector<seq::Tuple> tuples;    ///< populated iff keep_tuples
+};
+
+/// Approximates ulam(s, t).  Preconditions: both strings repeat-free.
+UlamMpcResult ulam_distance_mpc(SymView s, SymView t,
+                                const UlamMpcParams& params = {});
+
+/// The per-machine memory budget the solver configures: Õ_eps(n^{1-x}).
+std::uint64_t ulam_memory_cap_bytes(std::int64_t n, const UlamMpcParams& params);
+
+}  // namespace mpcsd::ulam_mpc

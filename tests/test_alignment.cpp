@@ -1,0 +1,118 @@
+// Hirschberg alignment: optimal cost, valid scripts, monotone cuts, and the
+// Fig. 1 partition structure of block images.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/workload.hpp"
+#include "edit_mpc/candidates.hpp"
+#include "seq/alignment.hpp"
+#include "seq/edit_distance.hpp"
+#include "seq/types.hpp"
+
+namespace mpcsd::seq {
+namespace {
+
+TEST(Alignment, ScriptCostEqualsEditDistance) {
+  for (std::uint64_t seed = 0; seed < 40; ++seed) {
+    const auto n = 5 + static_cast<std::int64_t>(seed * 7);
+    const auto a = core::random_string(n, 4, seed);
+    const auto b = core::random_string(n + static_cast<std::int64_t>(seed % 9) - 4, 4,
+                                       seed + 200);
+    const auto script = edit_script(a, b);
+    ASSERT_EQ(script_cost(script), edit_distance(a, b)) << "seed=" << seed;
+  }
+}
+
+TEST(Alignment, ScriptReplaysToTarget) {
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    const auto a = core::random_string(30, 3, seed);
+    const auto b = core::random_string(35, 3, seed + 500);
+    const auto script = edit_script(a, b);
+    // Replay the script on a and check we produce b.
+    SymString out;
+    std::size_t i = 0;
+    std::size_t j = 0;
+    for (const EditOp op : script) {
+      switch (op) {
+        case EditOp::kMatch:
+          ASSERT_EQ(a[i], b[j]);
+          out.push_back(a[i]);
+          ++i;
+          ++j;
+          break;
+        case EditOp::kSubstitute:
+          out.push_back(b[j]);
+          ++i;
+          ++j;
+          break;
+        case EditOp::kDelete:
+          ++i;
+          break;
+        case EditOp::kInsert:
+          out.push_back(b[j]);
+          ++j;
+          break;
+      }
+    }
+    ASSERT_EQ(out, b) << "seed=" << seed;
+  }
+}
+
+TEST(Alignment, EmptyCases) {
+  EXPECT_TRUE(edit_script(SymString{}, SymString{}).empty());
+  EXPECT_EQ(script_cost(edit_script(to_symbols("abc"), SymString{})), 3);
+  EXPECT_EQ(script_cost(edit_script(SymString{}, to_symbols("xy"))), 2);
+}
+
+TEST(Alignment, CutsAreMonotoneAndComplete) {
+  const auto a = core::random_string(50, 4, 3);
+  const auto b = core::random_string(64, 4, 4);
+  const auto script = edit_script(a, b);
+  const auto cuts = alignment_cuts(script, 50, 64);
+  ASSERT_EQ(cuts.size(), 51u);
+  EXPECT_EQ(cuts.front(), 0);
+  EXPECT_EQ(cuts.back(), 64);
+  EXPECT_TRUE(std::is_sorted(cuts.begin(), cuts.end()));
+}
+
+TEST(Alignment, BlockImagesPartitionTarget) {
+  // Fig. 1: the images of consecutive blocks of s partition s̄.
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    const auto s = core::random_string(120, 4, seed);
+    const auto t = core::plant_edits(s, 15, seed + 9, false).text;
+    const auto blocks = edit_mpc::make_blocks(120, 30);
+    const auto images = block_images(s, t, blocks);
+    ASSERT_EQ(images.size(), blocks.size());
+    EXPECT_EQ(images.front().begin, 0);
+    EXPECT_EQ(images.back().end, static_cast<std::int64_t>(t.size()));
+    for (std::size_t i = 1; i < images.size(); ++i) {
+      ASSERT_EQ(images[i].begin, images[i - 1].end) << "seed=" << seed;
+    }
+  }
+}
+
+TEST(Alignment, BlockImageDistancesSumToTotal) {
+  // Sum over blocks of ed(block, image) <= total distance (the per-block
+  // decomposition the paper's analysis uses).
+  const auto s = core::random_string(200, 4, 5);
+  const auto t = core::plant_edits(s, 25, 6, false).text;
+  const auto blocks = edit_mpc::make_blocks(200, 40);
+  const auto images = block_images(s, t, blocks);
+  std::int64_t total = 0;
+  for (std::size_t i = 0; i < blocks.size(); ++i) {
+    total += edit_distance(subview(s, blocks[i]), subview(t, images[i]));
+  }
+  EXPECT_LE(total, edit_distance(s, t));
+  EXPECT_GE(total, 0);
+}
+
+TEST(Alignment, IdenticalStringsGiveAllMatches) {
+  const auto a = core::random_string(40, 4, 1);
+  const auto script = edit_script(a, a);
+  EXPECT_EQ(script_cost(script), 0);
+  EXPECT_EQ(script.size(), 40u);
+}
+
+}  // namespace
+}  // namespace mpcsd::seq

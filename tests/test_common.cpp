@@ -1,0 +1,242 @@
+// Unit tests for the support library: serialization, RNG, Fenwick trees,
+// geometric grids, and the thread pool.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <numeric>
+#include <set>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/contracts.hpp"
+#include "common/fenwick.hpp"
+#include "common/grid.hpp"
+#include "common/rng.hpp"
+#include "common/thread_pool.hpp"
+
+namespace mpcsd {
+namespace {
+
+TEST(Bytes, RoundTripScalars) {
+  ByteWriter w;
+  w.put<std::int64_t>(-42);
+  w.put<std::uint32_t>(7);
+  w.put<double>(3.25);
+  const Bytes buf = std::move(w).take();
+
+  ByteReader r(buf);
+  EXPECT_EQ(r.get<std::int64_t>(), -42);
+  EXPECT_EQ(r.get<std::uint32_t>(), 7u);
+  EXPECT_EQ(r.get<double>(), 3.25);
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(Bytes, RoundTripVectorAndString) {
+  ByteWriter w;
+  const std::vector<std::int32_t> v{1, -2, 3};
+  w.put_vector(v);
+  w.put_string("hello");
+  const Bytes buf = std::move(w).take();
+
+  ByteReader r(buf);
+  EXPECT_EQ(r.get_vector<std::int32_t>(), v);
+  EXPECT_EQ(r.get_string(), "hello");
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(Bytes, EmptyVectorRoundTrip) {
+  ByteWriter w;
+  w.put_vector(std::vector<std::int64_t>{});
+  ByteReader r(w.bytes());
+  EXPECT_TRUE(r.get_vector<std::int64_t>().empty());
+}
+
+TEST(Bytes, OverReadThrows) {
+  ByteWriter w;
+  w.put<std::int32_t>(1);
+  ByteReader r(w.bytes());
+  (void)r.get<std::int32_t>();
+  EXPECT_THROW((void)r.get<std::int32_t>(), ContractViolation);
+}
+
+TEST(Bytes, ConcatPreservesOrder) {
+  ByteWriter a;
+  a.put<std::int32_t>(1);
+  ByteWriter b;
+  b.put<std::int32_t>(2);
+  const Bytes merged = concat({a.bytes(), b.bytes()});
+  ByteReader r(merged);
+  EXPECT_EQ(r.get<std::int32_t>(), 1);
+  EXPECT_EQ(r.get<std::int32_t>(), 2);
+}
+
+TEST(Rng, Deterministic) {
+  Pcg32 a = derive_stream(1, 2, 3);
+  Pcg32 b = derive_stream(1, 2, 3);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, StreamsDiffer) {
+  Pcg32 a = derive_stream(1, 2, 3);
+  Pcg32 b = derive_stream(1, 2, 4);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.next() == b.next());
+  EXPECT_LT(same, 4);
+}
+
+TEST(Rng, BelowIsInRangeAndCoversValues) {
+  Pcg32 rng(42, 54);
+  std::set<std::uint32_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.below(7);
+    ASSERT_LT(v, 7u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, UniformInclusiveRange) {
+  Pcg32 rng(1, 2);
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.uniform(-3, 3);
+    ASSERT_GE(v, -3);
+    ASSERT_LE(v, 3);
+  }
+}
+
+TEST(Rng, BernoulliExtremes) {
+  Pcg32 rng(9, 9);
+  for (int i = 0; i < 32; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+}
+
+TEST(Rng, BernoulliRateApproximatelyCorrect) {
+  Pcg32 rng(7, 8);
+  int hits = 0;
+  const int trials = 20000;
+  for (int i = 0; i < trials; ++i) hits += rng.bernoulli(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / trials, 0.3, 0.02);
+}
+
+TEST(FenwickMin, PrefixMinMatchesBruteForce) {
+  Pcg32 rng(5, 6);
+  const std::size_t n = 64;
+  FenwickMin<std::int64_t> fen(n);
+  std::vector<std::int64_t> ref(n, std::numeric_limits<std::int64_t>::max());
+  for (int step = 0; step < 500; ++step) {
+    const std::size_t i = rng.below(n);
+    const auto v = static_cast<std::int64_t>(rng.below(1000)) - 500;
+    fen.update(i, v);
+    ref[i] = std::min(ref[i], v);
+    const std::size_t q = rng.below(n);
+    std::int64_t expected = std::numeric_limits<std::int64_t>::max();
+    for (std::size_t k = 0; k <= q; ++k) expected = std::min(expected, ref[k]);
+    ASSERT_EQ(fen.prefix_min(q), expected) << "query " << q;
+  }
+}
+
+struct PayloadEntry {
+  std::int64_t v;
+  int tag;
+  friend bool operator<(const PayloadEntry& a, const PayloadEntry& b) {
+    return a.v < b.v;
+  }
+};
+
+TEST(FenwickMin, CustomPayloadIdentity) {
+  using Entry = PayloadEntry;
+  FenwickMin<Entry> fen(8, Entry{1 << 30, -1});
+  EXPECT_EQ(fen.prefix_min(7).tag, -1);
+  fen.update(3, Entry{5, 42});
+  fen.update(5, Entry{7, 43});
+  EXPECT_EQ(fen.prefix_min(7).tag, 42);
+  EXPECT_EQ(fen.prefix_min(2).tag, -1);
+}
+
+TEST(FenwickSum, RangeSums) {
+  FenwickSum<std::int64_t> fen(10);
+  for (std::size_t i = 0; i < 10; ++i) fen.add(i, static_cast<std::int64_t>(i));
+  EXPECT_EQ(fen.prefix_sum(9), 45);
+  EXPECT_EQ(fen.range_sum(3, 5), 3 + 4 + 5);
+  EXPECT_EQ(fen.range_sum(5, 3), 0);
+}
+
+TEST(Grid, ContainsZeroOneAndLimit) {
+  const auto g = geometric_grid(1000, 0.3);
+  EXPECT_EQ(g.front(), 0);
+  EXPECT_TRUE(std::find(g.begin(), g.end(), 1) != g.end());
+  EXPECT_EQ(g.back(), 1000);
+  EXPECT_TRUE(std::is_sorted(g.begin(), g.end()));
+  EXPECT_EQ(std::adjacent_find(g.begin(), g.end()), g.end()) << "duplicates";
+}
+
+TEST(Grid, CoversEveryValueWithinFactor) {
+  const double eps = 0.25;
+  const auto g = geometric_grid(5000, eps);
+  for (std::int64_t v = 1; v <= 5000; v += 7) {
+    // Some grid point in [v/(1+eps), v].
+    const auto it = std::upper_bound(g.begin(), g.end(), v);
+    ASSERT_NE(it, g.begin());
+    const double lo = static_cast<double>(v) / (1.0 + eps) - 1.0;
+    EXPECT_GE(static_cast<double>(*(it - 1)), lo) << "v=" << v;
+  }
+}
+
+TEST(Grid, RoundUp) {
+  const auto g = geometric_grid(100, 0.5);
+  EXPECT_EQ(grid_round_up(g, 0), 0);
+  for (std::int64_t v = 1; v <= 100; ++v) {
+    const auto r = grid_round_up(g, v);
+    EXPECT_GE(r, v);
+  }
+}
+
+TEST(Grid, IntegerPowers) {
+  EXPECT_EQ(ipow(1000, 0.5), 31);
+  EXPECT_EQ(ipow_ceil(1000, 0.5), 32);
+  EXPECT_EQ(ipow(0, 0.5), 0);
+  EXPECT_EQ(ipow(1024, 1.0), 1024);
+  EXPECT_EQ(ceil_div(10, 3), 4);
+  EXPECT_EQ(ceil_div(9, 3), 3);
+  EXPECT_EQ(ceil_div(0, 3), 0);
+}
+
+TEST(ThreadPool, RunsAllIndices) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(100);
+  pool.parallel_for(100, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, PropagatesException) {
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.parallel_for(10,
+                                 [](std::size_t i) {
+                                   if (i == 5) throw std::runtime_error("boom");
+                                 }),
+               std::runtime_error);
+}
+
+TEST(ThreadPool, SingleWorkerStillCompletes) {
+  ThreadPool pool(1);
+  std::atomic<int> total{0};
+  pool.parallel_for(1000, [&](std::size_t) { total.fetch_add(1); });
+  EXPECT_EQ(total.load(), 1000);
+}
+
+TEST(ThreadPool, ZeroCountNoOp) {
+  ThreadPool pool(2);
+  pool.parallel_for(0, [](std::size_t) { FAIL(); });
+}
+
+TEST(Contracts, ViolationThrows) {
+  EXPECT_THROW(MPCSD_EXPECTS(false), ContractViolation);
+  EXPECT_NO_THROW(MPCSD_EXPECTS(true));
+}
+
+}  // namespace
+}  // namespace mpcsd

@@ -1,0 +1,168 @@
+// Differential fuzzing: every engine that computes the same quantity is
+// compared on a large deterministic corpus of random instances.  This is
+// the safety net under all other tests — any divergence between two
+// implementations of the same function is a bug in one of them.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/rng.hpp"
+#include "core/workload.hpp"
+#include "seq/combine.hpp"
+#include "seq/edit_distance.hpp"
+#include "seq/lis.hpp"
+#include "seq/myers.hpp"
+#include "seq/types.hpp"
+#include "seq/ulam.hpp"
+
+namespace mpcsd::seq {
+namespace {
+
+struct Instance {
+  SymString a;
+  SymString b;
+};
+
+Instance random_instance(std::uint64_t seed, bool repeat_free) {
+  Pcg32 rng = derive_stream(seed, 0xD1FF);
+  const auto na = 1 + rng.below(120);
+  Instance inst;
+  if (repeat_free) {
+    inst.a = core::random_permutation(na, seed * 3 + 1);
+    switch (rng.below(3)) {
+      case 0:
+        inst.b = core::plant_edits(inst.a, rng.below(40), seed * 3 + 2, true).text;
+        break;
+      case 1:
+        inst.b = core::random_permutation(1 + rng.below(120), seed * 3 + 2);
+        break;
+      default:
+        inst.b = core::rotate_by(inst.a, rng.below(na));
+        break;
+    }
+  } else {
+    const Symbol sigma = 2 + static_cast<Symbol>(rng.below(8));
+    inst.a = core::random_string(na, sigma, seed * 3 + 1);
+    switch (rng.below(3)) {
+      case 0:
+        inst.b = core::plant_edits(inst.a, rng.below(40), seed * 3 + 2, false, sigma).text;
+        break;
+      case 1:
+        inst.b = core::random_string(1 + rng.below(120), sigma, seed * 3 + 2);
+        break;
+      default:
+        inst.b = core::block_shuffle(inst.a, 1 + rng.below(30), seed * 3 + 2);
+        break;
+    }
+  }
+  return inst;
+}
+
+TEST(Differential, EditDistanceEnginesAgree) {
+  for (std::uint64_t seed = 0; seed < 300; ++seed) {
+    const auto inst = random_instance(seed, false);
+    const auto reference = edit_distance(inst.a, inst.b);
+    ASSERT_EQ(edit_distance_doubling(inst.a, inst.b), reference) << "seed=" << seed;
+    ASSERT_EQ(edit_distance_myers(inst.a, inst.b), reference) << "seed=" << seed;
+    // The band certifies exactly at the reference and refuses below it.
+    ASSERT_EQ(edit_distance_banded(inst.a, inst.b, reference),
+              std::optional<std::int64_t>(reference))
+        << "seed=" << seed;
+    if (reference > 0) {
+      ASSERT_FALSE(edit_distance_banded(inst.a, inst.b, reference - 1).has_value())
+          << "seed=" << seed;
+    }
+  }
+}
+
+TEST(Differential, UlamEnginesAgreeWithWagnerFischer) {
+  for (std::uint64_t seed = 0; seed < 300; ++seed) {
+    const auto inst = random_instance(seed, true);
+    const auto reference = edit_distance(inst.a, inst.b);
+    ASSERT_EQ(ulam_distance(inst.a, inst.b), reference) << "seed=" << seed;
+    ASSERT_EQ(ulam_distance_dense(inst.a, inst.b), reference) << "seed=" << seed;
+    ASSERT_EQ(ulam_alignment(inst.a, inst.b).distance, reference) << "seed=" << seed;
+  }
+}
+
+TEST(Differential, BoundedUlamConsistentWithExact) {
+  for (std::uint64_t seed = 0; seed < 150; ++seed) {
+    const auto inst = random_instance(seed, true);
+    const auto reference = ulam_distance(inst.a, inst.b);
+    const auto pts = match_points(inst.a, inst.b);
+    const auto na = static_cast<std::int64_t>(inst.a.size());
+    const auto nb = static_cast<std::int64_t>(inst.b.size());
+    Pcg32 rng = derive_stream(seed, 0xCA9);
+    const std::int64_t cap = rng.below(140);
+    const auto bounded = bounded_ulam_from_match_points(pts, na, nb, cap);
+    if (reference <= cap) {
+      ASSERT_EQ(bounded, std::optional<std::int64_t>(reference)) << "seed=" << seed;
+    } else {
+      ASSERT_FALSE(bounded.has_value()) << "seed=" << seed;
+    }
+  }
+}
+
+TEST(Differential, LocalUlamEnginesAgree) {
+  for (std::uint64_t seed = 0; seed < 120; ++seed) {
+    Pcg32 rng = derive_stream(seed, 0x10CA);
+    const auto t = core::random_permutation(10 + rng.below(25), seed + 1);
+    const auto edited = core::plant_edits(t, rng.below(8), seed + 2, true).text;
+    const auto from = rng.below(static_cast<std::uint32_t>(edited.size()));
+    const auto len = 1 + rng.below(static_cast<std::uint32_t>(edited.size() - from));
+    const SymView block = subview(edited, {static_cast<std::int64_t>(from),
+                                           static_cast<std::int64_t>(from + len)});
+    const auto brute = local_ulam_bruteforce(block, t);
+    const auto sparse = local_ulam(block, t);
+    const auto dense = local_ulam_dense(block, t);
+    ASSERT_EQ(sparse.distance, brute.distance) << "seed=" << seed;
+    ASSERT_EQ(dense.distance, brute.distance) << "seed=" << seed;
+  }
+}
+
+TEST(Differential, CombineSolversAgreeOnAdversarialTuples) {
+  for (std::uint64_t seed = 0; seed < 150; ++seed) {
+    Pcg32 rng = derive_stream(seed, 0xC0B1);
+    const std::int64_t n = 1 + rng.below(60);
+    const std::int64_t n_bar = 1 + rng.below(60);
+    std::vector<Tuple> tuples;
+    const auto count = rng.below(60);
+    for (std::uint32_t i = 0; i < count; ++i) {
+      Tuple t;
+      t.block_begin = rng.uniform(0, n - 1);
+      t.block_end = rng.uniform(t.block_begin + 1, n);
+      t.window_begin = rng.uniform(0, n_bar);
+      t.window_end = rng.uniform(t.window_begin, n_bar);
+      t.distance = rng.uniform(0, 10);
+      tuples.push_back(t);
+    }
+    for (const GapCost gap : {GapCost::kMax, GapCost::kSum}) {
+      const auto fast =
+          combine_tuples(tuples, n, n_bar, CombineOptions{gap, true, false});
+      const auto naive =
+          combine_tuples_naive(tuples, n, n_bar, CombineOptions{gap, false, false});
+      ASSERT_EQ(fast, naive) << "seed=" << seed << " gap=" << static_cast<int>(gap);
+    }
+  }
+}
+
+TEST(Differential, LcsFastPathAgreesOnMixedAlphabets) {
+  for (std::uint64_t seed = 0; seed < 150; ++seed) {
+    Pcg32 rng = derive_stream(seed, 0x1C5);
+    // Partially overlapping repeat-free alphabets.
+    const auto n = 1 + rng.below(80);
+    SymString a(n);
+    SymString b(n);
+    for (std::uint32_t i = 0; i < n; ++i) {
+      a[i] = static_cast<Symbol>(i * 2);            // evens
+      b[i] = static_cast<Symbol>(i * 2 + (i % 3 ? 0 : 1));  // some odds
+    }
+    // Shuffle both.
+    for (std::size_t i = n; i > 1; --i) std::swap(a[i - 1], a[rng.below(static_cast<std::uint32_t>(i))]);
+    for (std::size_t i = n; i > 1; --i) std::swap(b[i - 1], b[rng.below(static_cast<std::uint32_t>(i))]);
+    ASSERT_EQ(lcs_length_repeat_free(a, b), lcs_length(a, b)) << "seed=" << seed;
+  }
+}
+
+}  // namespace
+}  // namespace mpcsd::seq

@@ -1,0 +1,168 @@
+// Candidate geometry for the edit-distance MPC algorithm (Figures 4 and 5)
+// and the Lemma 5 cover property against explicit optimal alignments.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/workload.hpp"
+#include "edit_mpc/candidates.hpp"
+#include "edit_mpc/graph_tau.hpp"
+#include "seq/alignment.hpp"
+#include "seq/edit_distance.hpp"
+
+namespace mpcsd::edit_mpc {
+namespace {
+
+CandidateGeometry geometry(std::int64_t n, std::int64_t n_bar, std::int64_t block,
+                           std::int64_t guess, double eps = 0.1) {
+  CandidateGeometry geo;
+  geo.eps_prime = eps;
+  geo.n = n;
+  geo.n_bar = n_bar;
+  geo.block_size = block;
+  geo.delta_guess = guess;
+  return geo;
+}
+
+TEST(EditCandidates, MakeBlocksPartition) {
+  const auto blocks = make_blocks(100, 30);
+  ASSERT_EQ(blocks.size(), 4u);
+  EXPECT_EQ(blocks[0], (Interval{0, 30}));
+  EXPECT_EQ(blocks[3], (Interval{90, 100}));
+}
+
+TEST(EditCandidates, StartGapFormula) {
+  // G = max(floor(eps' * guess * B / n), 1) = eps' * n^{delta - y}.
+  const auto geo = geometry(10000, 10000, 1000, 500, 0.1);
+  // eps'*guess*B/n = 0.1*500*1000/10000 = 5.
+  EXPECT_EQ(start_gap(geo), 5);
+  const auto tiny = geometry(10000, 10000, 10, 50, 0.1);
+  EXPECT_EQ(start_gap(tiny), 1);  // floor < 1 clamps to 1
+}
+
+TEST(EditCandidates, StartsAreGriddedAndCoverTheRange) {
+  const auto geo = geometry(10000, 10000, 1000, 500, 0.1);
+  const auto starts = candidate_starts(3000, geo);
+  ASSERT_FALSE(starts.empty());
+  const auto gap = start_gap(geo);
+  for (const auto sp : starts) {
+    EXPECT_EQ(sp % gap, 0);
+    EXPECT_GE(sp, 3000 - 500);
+    EXPECT_LE(sp, 3000 + 500 + gap);  // one boundary gap (Lemma 5 cover)
+  }
+  // Every grid point in range present (plus at most the boundary point).
+  const auto base_count = static_cast<std::size_t>((3500 - 2500) / gap + 1);
+  EXPECT_GE(starts.size(), base_count);
+  EXPECT_LE(starts.size(), base_count + 1);
+}
+
+TEST(EditCandidates, StartsClampedAtBoundaries) {
+  const auto geo = geometry(1000, 1000, 100, 400, 0.1);
+  const auto starts = candidate_starts(50, geo);
+  for (const auto sp : starts) {
+    EXPECT_GE(sp, 0);
+    EXPECT_LT(sp, 1000);
+  }
+}
+
+TEST(EditCandidates, EndsClusterGeometricallyAroundDiagonal) {
+  const auto geo = geometry(10000, 10000, 1000, 2000, 0.1);
+  const auto ends = candidate_ends(3000, 1000, geo);
+  ASSERT_FALSE(ends.empty());
+  EXPECT_TRUE(std::is_sorted(ends.begin(), ends.end()));
+  EXPECT_TRUE(std::find(ends.begin(), ends.end(), 4000) != ends.end());
+  // Bounded count: Õ_eps(1) endpoints.
+  EXPECT_LT(ends.size(), 260u);
+  for (const auto ep : ends) {
+    EXPECT_GT(ep, 3000);
+    // Max length B/eps'.
+    EXPECT_LE(ep - 3000, static_cast<std::int64_t>(1000.0 / 0.1) + 1);
+  }
+}
+
+TEST(EditCandidates, Lemma5CoverProperty) {
+  // For a guess >= ed(s,t), every block whose opt image satisfies the size
+  // gate has a candidate meeting conditions (3) and (4).
+  for (std::uint64_t seed = 0; seed < 6; ++seed) {
+    const std::int64_t n = 600;
+    const auto s = core::random_string(n, 4, seed);
+    const auto t = core::plant_edits(s, 25, seed + 5, false).text;
+    const auto exact = seq::edit_distance(s, t);
+    const std::int64_t guess = exact + 5;
+    const std::int64_t bsize = 100;
+    const auto geo = geometry(n, static_cast<std::int64_t>(t.size()), bsize, guess, 0.1);
+    const auto blocks = make_blocks(n, bsize);
+    const auto images = seq::block_images(s, t, blocks);
+    const std::int64_t gap = start_gap(geo);
+    const double fine = 0.1 * static_cast<double>(guess) * bsize / n;  // eps'*n^{delta-y}
+
+    for (std::size_t i = 0; i < blocks.size(); ++i) {
+      const Interval img = images[i];
+      // Lemma 5 gate: alpha + G + eps'B < beta <= alpha + B/eps'.
+      if (img.length() <= gap + static_cast<std::int64_t>(0.1 * bsize)) continue;
+      if (img.length() > static_cast<std::int64_t>(bsize / 0.1)) continue;
+      const auto ed_block =
+          seq::edit_distance(subview(s, blocks[i]), subview(t, img));
+      const double end_slack = fine + 0.1 * static_cast<double>(ed_block);
+      const auto windows = candidate_windows(blocks[i].begin, blocks[i].length(), geo);
+      const bool covered = std::any_of(windows.begin(), windows.end(), [&](Interval w) {
+        return w.begin >= img.begin &&
+               static_cast<double>(w.begin) <= static_cast<double>(img.begin) + fine + 1 &&
+               w.end <= img.end &&
+               static_cast<double>(w.end) >= static_cast<double>(img.end) - end_slack - 1;
+      });
+      EXPECT_TRUE(covered) << "seed=" << seed << " block=" << i
+                           << " img=[" << img.begin << "," << img.end << ")";
+    }
+  }
+}
+
+TEST(GraphTau, UniverseDedupsCandidates) {
+  const auto geo = geometry(1000, 1000, 100, 900, 0.25);
+  const auto universe = build_universe(geo);
+  EXPECT_EQ(universe.blocks.size(), 10u);
+  ASSERT_FALSE(universe.cs.empty());
+  // No duplicate windows.
+  std::set<std::pair<std::int64_t, std::int64_t>> seen;
+  for (const Interval& c : universe.cs) {
+    EXPECT_TRUE(seen.emplace(c.begin, c.end).second);
+  }
+  // Every block's candidate ids are valid and deduped.
+  for (const auto& cands : universe.block_cands) {
+    EXPECT_FALSE(cands.empty());
+    std::set<std::int32_t> ids(cands.begin(), cands.end());
+    EXPECT_EQ(ids.size(), cands.size());
+    for (const auto id : cands) {
+      ASSERT_GE(id, 0);
+      ASSERT_LT(static_cast<std::size_t>(id), universe.cs.size());
+    }
+  }
+}
+
+TEST(GraphTau, TauGridAndMinIndex) {
+  const auto grid = tau_grid(100, 0.5);
+  EXPECT_EQ(grid.front(), 0);
+  EXPECT_EQ(grid.back(), 100);
+  EXPECT_EQ(min_tau_index(grid, 0), 0u);
+  for (std::int64_t v = 1; v <= 100; v += 13) {
+    const auto j = min_tau_index(grid, v);
+    ASSERT_LT(j, grid.size());
+    EXPECT_GE(grid[j], v);
+    if (j > 0) EXPECT_LT(grid[j - 1], v);
+  }
+  EXPECT_EQ(min_tau_index(grid, 101), grid.size());
+}
+
+TEST(GraphTau, NodeIdLayout) {
+  const auto geo = geometry(500, 500, 100, 450, 0.25);
+  const auto universe = build_universe(geo);
+  EXPECT_TRUE(universe.is_block(0));
+  EXPECT_TRUE(universe.is_block(universe.blocks.size() - 1));
+  EXPECT_FALSE(universe.is_block(universe.blocks.size()));
+  EXPECT_EQ(universe.node_interval(0), universe.blocks[0]);
+  EXPECT_EQ(universe.node_interval(universe.blocks.size()), universe.cs[0]);
+}
+
+}  // namespace
+}  // namespace mpcsd::edit_mpc

@@ -1,0 +1,115 @@
+// The two-round small-distance pipeline (Lemma 6): validity for every
+// guess, quality when the guess is right, unit ablation, round/memory
+// discipline.
+#include <gtest/gtest.h>
+
+#include "core/workload.hpp"
+#include "edit_mpc/small_distance.hpp"
+#include "edit_mpc/solver.hpp"
+#include "seq/edit_distance.hpp"
+
+namespace mpcsd::edit_mpc {
+namespace {
+
+SmallDistanceParams base_params(std::int64_t guess, DistanceUnit unit) {
+  SmallDistanceParams p;
+  p.eps_prime = 0.2;
+  p.x = 0.3;
+  p.delta_guess = guess;
+  p.unit = unit;
+  return p;
+}
+
+TEST(EditSmall, ExactUnitSandwichAtRightGuess) {
+  for (std::uint64_t seed = 0; seed < 6; ++seed) {
+    const auto s = core::random_string(500, 4, seed);
+    const auto t = core::plant_edits(s, 15, seed + 2, false).text;
+    const auto exact = seq::edit_distance(s, t);
+    const auto result =
+        run_small_distance(s, t, base_params(exact + 2, DistanceUnit::kExactBanded));
+    ASSERT_GE(result.distance, exact) << "seed=" << seed;
+    // Exact unit + sum gaps: within 1+O(eps') of exact once covered.
+    ASSERT_LE(static_cast<double>(result.distance),
+              1.5 * static_cast<double>(exact) + 2.0)
+        << "seed=" << seed << " exact=" << exact;
+  }
+}
+
+TEST(EditSmall, ValidUpperBoundEvenForWrongGuess) {
+  const auto s = core::random_string(400, 4, 3);
+  const auto t = core::plant_edits(s, 40, 4, false).text;
+  const auto exact = seq::edit_distance(s, t);
+  for (const std::int64_t guess : {1L, 5L, 20L, 200L}) {
+    const auto result =
+        run_small_distance(s, t, base_params(guess, DistanceUnit::kExactBanded));
+    ASSERT_GE(result.distance, exact) << "guess=" << guess;
+    ASSERT_LE(result.distance,
+              static_cast<std::int64_t>(s.size() + t.size())) << "guess=" << guess;
+  }
+}
+
+TEST(EditSmall, Approx3UnitWithinConstantFactor) {
+  for (std::uint64_t seed = 0; seed < 4; ++seed) {
+    const auto s = core::random_string(600, 4, seed + 50);
+    const auto t = core::plant_edits(s, 20, seed + 51, false).text;
+    const auto exact = seq::edit_distance(s, t);
+    auto params = base_params(exact + 2, DistanceUnit::kApprox3);
+    params.approx.epsilon = 0.25;
+    const auto result = run_small_distance(s, t, params);
+    ASSERT_GE(result.distance, exact);
+    ASSERT_LE(static_cast<double>(result.distance),
+              5.0 * static_cast<double>(exact) + 8.0)
+        << "seed=" << seed << " exact=" << exact;
+  }
+}
+
+TEST(EditSmall, TwoRounds) {
+  const auto s = core::random_string(300, 4, 9);
+  const auto t = core::plant_edits(s, 10, 10, false).text;
+  const auto result = run_small_distance(s, t, base_params(20, DistanceUnit::kExactBanded));
+  EXPECT_EQ(result.trace.round_count(), 2u);
+}
+
+TEST(EditSmall, IdenticalStringsZeroAtAnyGuess) {
+  const auto s = core::random_string(400, 4, 11);
+  const auto result = run_small_distance(s, s, base_params(8, DistanceUnit::kExactBanded));
+  EXPECT_EQ(result.distance, 0);
+}
+
+TEST(EditSmall, BatchingReducesMachinesVsBaselineLayout) {
+  const auto s = core::random_string(600, 4, 12);
+  const auto t = core::plant_edits(s, 30, 13, false).text;
+  auto batched = base_params(50, DistanceUnit::kExactBanded);
+  auto single = batched;
+  single.batch_starts = false;
+  const auto rb = run_small_distance(s, t, batched);
+  const auto rs = run_small_distance(s, t, single);
+  EXPECT_LT(rb.machines_round1, rs.machines_round1);
+  EXPECT_EQ(rb.distance, rs.distance);  // same tuples, same combine
+}
+
+TEST(EditSmall, MemoryCapHolds) {
+  const auto s = core::random_string(2000, 4, 14);
+  const auto t = core::plant_edits(s, 30, 15, false).text;
+  EditMpcParams cap_params;
+  cap_params.x = 0.3;
+  cap_params.epsilon = 2.2;  // eps' = 0.1
+  auto params = base_params(40, DistanceUnit::kExactBanded);
+  params.memory_cap_bytes = edit_memory_cap_bytes(2000, cap_params);
+  params.strict_memory = true;
+  const auto result = run_small_distance(s, t, params);
+  EXPECT_EQ(result.trace.memory_violations(), 0u);
+}
+
+TEST(EditSmall, DeterministicGivenSeed) {
+  const auto s = core::random_string(500, 4, 16);
+  const auto t = core::plant_edits(s, 25, 17, false).text;
+  auto params = base_params(30, DistanceUnit::kApprox3);
+  const auto r1 = run_small_distance(s, t, params);
+  const auto r2 = run_small_distance(s, t, params);
+  EXPECT_EQ(r1.distance, r2.distance);
+  EXPECT_EQ(r1.tuple_count, r2.tuple_count);
+}
+
+}  // namespace
+}  // namespace mpcsd::edit_mpc

@@ -1,0 +1,149 @@
+// Property tests for the candidate geometry and threshold encoding — the
+// combinatorial backbone of Theorem 9's machine counts.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "edit_mpc/candidates.hpp"
+#include "edit_mpc/graph_tau.hpp"
+
+namespace mpcsd::edit_mpc {
+namespace {
+
+CandidateGeometry geo(std::int64_t n, std::int64_t block, std::int64_t guess,
+                      double eps = 0.2) {
+  CandidateGeometry g;
+  g.eps_prime = eps;
+  g.n = n;
+  g.n_bar = n;
+  g.block_size = block;
+  g.delta_guess = guess;
+  return g;
+}
+
+TEST(GeometryProperties, GapMonotoneInGuess) {
+  std::int64_t prev = 0;
+  for (const std::int64_t guess : {10, 100, 1000, 5000}) {
+    const auto g = start_gap(geo(10000, 1000, guess));
+    EXPECT_GE(g, prev);
+    prev = g;
+  }
+}
+
+TEST(GeometryProperties, StartCountRoughlyInvariantInGuess) {
+  // starts ~ 2*guess/G with G ~ eps*guess*B/n: the guess cancels, so the
+  // count stays ~2n/(eps*B) once G > 1.
+  const std::int64_t n = 100000;
+  const std::int64_t b = 10000;
+  std::vector<std::size_t> counts;
+  for (const std::int64_t guess : {10000, 20000, 40000}) {
+    counts.push_back(candidate_starts(n / 2, geo(n, b, guess)).size());
+  }
+  for (std::size_t i = 1; i < counts.size(); ++i) {
+    const double ratio = static_cast<double>(counts[i]) / static_cast<double>(counts[0]);
+    EXPECT_GT(ratio, 0.7);
+    EXPECT_LT(ratio, 1.4);
+  }
+}
+
+TEST(GeometryProperties, EveryOffsetCoveredWithinGap) {
+  // Cover property behind Lemma 5 condition (3): for any true image start
+  // alpha in [l - guess, l + guess], some candidate start lies in
+  // [alpha, alpha + G].
+  const auto g = geo(5000, 500, 400);
+  const auto starts = candidate_starts(2500, g);
+  const auto gap = start_gap(g);
+  for (std::int64_t alpha = 2100; alpha <= 2900; alpha += 7) {
+    const auto it = std::lower_bound(starts.begin(), starts.end(), alpha);
+    ASSERT_NE(it, starts.end()) << "alpha=" << alpha;
+    EXPECT_LE(*it - alpha, gap) << "alpha=" << alpha;
+  }
+}
+
+TEST(GeometryProperties, EndsBracketTheDiagonal) {
+  const auto g = geo(20000, 2000, 3000);
+  const auto ends = candidate_ends(5000, 2000, g);
+  // kappa = start + B must be present, with ends on both sides.
+  EXPECT_TRUE(std::find(ends.begin(), ends.end(), 7000) != ends.end());
+  EXPECT_LT(ends.front(), 7000);
+  EXPECT_GT(ends.back(), 7000);
+}
+
+TEST(GeometryProperties, EndGridIsGeometricAroundKappa) {
+  const auto g = geo(20000, 2000, 3000);
+  const auto ends = candidate_ends(5000, 2000, g);
+  // Deltas above kappa grow at most by the (1+eps') ratio (after integer
+  // rounding): consecutive gaps are non-decreasing in the upper tail.
+  std::vector<std::int64_t> upper;
+  for (const auto e : ends) {
+    if (e > 7000) upper.push_back(e - 7000);
+  }
+  ASSERT_GE(upper.size(), 3u);
+  for (std::size_t i = 2; i < upper.size(); ++i) {
+    EXPECT_LE(static_cast<double>(upper[i]),
+              (1.0 + g.eps_prime) * static_cast<double>(upper[i - 1]) + 2.0);
+  }
+}
+
+TEST(GeometryProperties, CanonicalEndsCollapseToOne) {
+  auto g = geo(20000, 2000, 3000);
+  g.canonical_ends = true;
+  const auto ends = candidate_ends(5000, 2000, g);
+  ASSERT_EQ(ends.size(), 1u);
+  EXPECT_EQ(ends.front(), 7000);
+}
+
+TEST(GeometryProperties, WindowsRespectBounds) {
+  for (const std::int64_t guess : {10, 500, 4900}) {
+    const auto g = geo(5000, 500, guess);
+    for (const Interval& w : candidate_windows(4800, 200, g)) {
+      ASSERT_GE(w.begin, 0);
+      ASSERT_LE(w.end, 5000);
+      ASSERT_LE(w.begin, w.end);
+    }
+  }
+}
+
+TEST(RepTupleSemantics, MinTauIndexEncodesAllThresholds) {
+  const auto taus = tau_grid(1000, 0.2);
+  // A block at distance d enters N_tau at the first tau >= d; a candidate
+  // substring enters N_2tau at the first tau >= ceil(d/2).
+  for (const std::int64_t d : {0, 1, 7, 64, 999}) {
+    const auto jb = min_tau_index(taus, d);
+    ASSERT_LT(jb, taus.size());
+    EXPECT_GE(taus[jb], d);
+    if (jb > 0) EXPECT_LT(taus[jb - 1], d);
+
+    const auto jc = min_tau_index(taus, (d + 1) / 2);
+    EXPECT_GE(2 * taus[jc], d);
+    if (jc > 0) EXPECT_LT(2 * taus[jc - 1], d);
+  }
+}
+
+TEST(RepTupleSemantics, TauGridCapsAtLimit) {
+  const auto taus = tau_grid(77, 0.2);
+  EXPECT_EQ(taus.back(), 77);
+  EXPECT_TRUE(std::is_sorted(taus.begin(), taus.end()));
+}
+
+TEST(GeometryProperties, BlocksCoverStringExactly) {
+  for (const std::int64_t n : {1, 7, 100, 101}) {
+    for (const std::int64_t b : {1, 3, 50}) {
+      const auto blocks = make_blocks(n, b);
+      std::int64_t covered = 0;
+      std::int64_t expected_begin = 0;
+      for (const Interval& blk : blocks) {
+        ASSERT_EQ(blk.begin, expected_begin);
+        ASSERT_GT(blk.length(), 0);
+        ASSERT_LE(blk.length(), b);
+        covered += blk.length();
+        expected_begin = blk.end;
+      }
+      EXPECT_EQ(covered, n);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mpcsd::edit_mpc

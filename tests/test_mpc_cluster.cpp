@@ -1,0 +1,205 @@
+// The MPC simulator: round semantics, deterministic mail routing, memory
+// accounting and caps, work metering, and trace composition.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "mpc/cluster.hpp"
+#include "mpc/stats.hpp"
+
+namespace mpcsd::mpc {
+namespace {
+
+Bytes payload_of(std::int64_t v) {
+  ByteWriter w;
+  w.put(v);
+  return std::move(w).take();
+}
+
+TEST(Cluster, SingleRoundEcho) {
+  Cluster cluster(ClusterConfig{});
+  std::vector<Bytes> inputs{payload_of(1), payload_of(2), payload_of(3)};
+  const auto mail = cluster.run_round("echo", inputs, [](MachineContext& ctx) {
+    ByteReader r = ctx.reader();
+    const auto v = r.get<std::int64_t>();
+    ByteWriter w;
+    w.put(v * 10);
+    ctx.emit(0, std::move(w).take());
+  });
+  const Bytes merged = gather(mail, 0);
+  ByteReader r(merged);
+  EXPECT_EQ(r.get<std::int64_t>(), 10);
+  EXPECT_EQ(r.get<std::int64_t>(), 20);
+  EXPECT_EQ(r.get<std::int64_t>(), 30);
+  EXPECT_EQ(cluster.trace().round_count(), 1u);
+  EXPECT_EQ(cluster.trace().rounds()[0].machines, 3u);
+}
+
+TEST(Cluster, MailOrderIsDeterministicAcrossRuns) {
+  auto run_once = [] {
+    Cluster cluster(ClusterConfig{.memory_limit_bytes = UINT64_MAX,
+                                  .strict_memory = false,
+                                  .workers = 4,
+                                  .seed = 5});
+    std::vector<Bytes> inputs;
+    for (std::int64_t i = 0; i < 50; ++i) inputs.push_back(payload_of(i));
+    const auto mail = cluster.run_round("m", inputs, [](MachineContext& ctx) {
+      ByteReader r = ctx.reader();
+      ByteWriter w;
+      w.put(r.get<std::int64_t>());
+      ctx.emit(0, std::move(w).take());
+    });
+    return gather(mail, 0);
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+TEST(Cluster, MachineRngIsDeterministicPerMachine) {
+  auto sample = [](std::size_t workers) {
+    Cluster cluster(ClusterConfig{.memory_limit_bytes = UINT64_MAX,
+                                  .strict_memory = false,
+                                  .workers = workers,
+                                  .seed = 42});
+    std::vector<Bytes> inputs(8);
+    std::vector<std::uint32_t> values(8);
+    cluster.run_round("rng", inputs, [&](MachineContext& ctx) {
+      values[ctx.machine_id()] = ctx.rng().next();
+    });
+    return values;
+  };
+  EXPECT_EQ(sample(1), sample(4));  // independent of scheduling
+}
+
+TEST(Cluster, MemoryAccountingCountsInputAndOutput) {
+  Cluster cluster(ClusterConfig{});
+  std::vector<Bytes> inputs{Bytes(100)};
+  cluster.run_round("mem", inputs, [](MachineContext& ctx) {
+    ctx.emit(0, Bytes(40));
+    ctx.charge_scratch(60);
+  });
+  const RoundReport& r = cluster.trace().rounds()[0];
+  EXPECT_EQ(r.max_machine_memory, 200u);
+  EXPECT_EQ(r.total_comm_bytes, 40u);
+  EXPECT_EQ(r.total_input_bytes, 100u);
+}
+
+TEST(Cluster, StrictMemoryThrows) {
+  Cluster cluster(ClusterConfig{.memory_limit_bytes = 50,
+                                .strict_memory = true,
+                                .workers = 1,
+                                .seed = 0});
+  std::vector<Bytes> inputs{Bytes(100)};
+  EXPECT_THROW(cluster.run_round("boom", inputs, [](MachineContext&) {}),
+               MemoryLimitExceeded);
+}
+
+TEST(Cluster, NonStrictMemoryRecordsViolation) {
+  Cluster cluster(ClusterConfig{.memory_limit_bytes = 50,
+                                .strict_memory = false,
+                                .workers = 1,
+                                .seed = 0});
+  std::vector<Bytes> inputs{Bytes(100), Bytes(10)};
+  cluster.run_round("soft", inputs, [](MachineContext&) {});
+  EXPECT_EQ(cluster.trace().rounds()[0].memory_violations, 1u);
+}
+
+TEST(Cluster, WorkMetering) {
+  Cluster cluster(ClusterConfig{});
+  std::vector<Bytes> inputs(3);
+  cluster.run_round("work", inputs, [](MachineContext& ctx) {
+    ctx.charge_work(10 * (ctx.machine_id() + 1));
+  });
+  const RoundReport& r = cluster.trace().rounds()[0];
+  EXPECT_EQ(r.total_work, 60u);
+  EXPECT_EQ(r.max_machine_work, 30u);
+}
+
+TEST(Cluster, MultipleMailboxes) {
+  Cluster cluster(ClusterConfig{});
+  std::vector<Bytes> inputs(4);
+  const auto mail = cluster.run_round("route", inputs, [](MachineContext& ctx) {
+    ByteWriter w;
+    w.put<std::uint64_t>(ctx.machine_id());
+    ctx.emit(static_cast<std::uint32_t>(ctx.machine_id() % 2), std::move(w).take());
+  });
+  EXPECT_EQ(mail.at(0).size(), 2u);
+  EXPECT_EQ(mail.at(1).size(), 2u);
+  EXPECT_TRUE(gather(mail, 99).empty());
+}
+
+TEST(Trace, SequentialAppend) {
+  ExecutionTrace a;
+  a.add_round(RoundReport{.label = "r1", .machines = 3, .max_machine_memory = 10,
+                          .total_comm_bytes = 5, .total_input_bytes = 7,
+                          .total_work = 100, .max_machine_work = 50,
+                          .wall_seconds = 0, .memory_violations = 0});
+  ExecutionTrace b;
+  b.add_round(RoundReport{.label = "r2", .machines = 5, .max_machine_memory = 20,
+                          .total_comm_bytes = 6, .total_input_bytes = 8,
+                          .total_work = 200, .max_machine_work = 60,
+                          .wall_seconds = 0, .memory_violations = 1});
+  a.append_sequential(b);
+  EXPECT_EQ(a.round_count(), 2u);
+  EXPECT_EQ(a.max_machines(), 5u);
+  EXPECT_EQ(a.total_work(), 300u);
+  EXPECT_EQ(a.critical_path_work(), 110u);
+  EXPECT_EQ(a.memory_violations(), 1u);
+}
+
+TEST(Trace, ParallelMerge) {
+  ExecutionTrace a;
+  a.add_round(RoundReport{.label = "x", .machines = 3, .max_machine_memory = 10,
+                          .total_comm_bytes = 5, .total_input_bytes = 0,
+                          .total_work = 100, .max_machine_work = 50,
+                          .wall_seconds = 0, .memory_violations = 0});
+  ExecutionTrace b;
+  b.add_round(RoundReport{.label = "y", .machines = 4, .max_machine_memory = 30,
+                          .total_comm_bytes = 2, .total_input_bytes = 0,
+                          .total_work = 10, .max_machine_work = 9,
+                          .wall_seconds = 0, .memory_violations = 0});
+  b.add_round(RoundReport{.label = "y2", .machines = 1, .max_machine_memory = 1,
+                          .total_comm_bytes = 1, .total_input_bytes = 0,
+                          .total_work = 1, .max_machine_work = 1,
+                          .wall_seconds = 0, .memory_violations = 0});
+  a.merge_parallel(b);
+  ASSERT_EQ(a.round_count(), 2u);  // padded to the longer trace
+  EXPECT_EQ(a.rounds()[0].machines, 7u);
+  EXPECT_EQ(a.rounds()[0].max_machine_memory, 30u);
+  EXPECT_EQ(a.rounds()[0].total_work, 110u);
+  EXPECT_EQ(a.rounds()[1].machines, 1u);
+}
+
+TEST(Trace, SummaryMentionsRoundsAndViolations) {
+  ExecutionTrace tr;
+  tr.add_round(RoundReport{.label = "only", .machines = 2, .max_machine_memory = 8,
+                           .total_comm_bytes = 3, .total_input_bytes = 4,
+                           .total_work = 9, .max_machine_work = 5,
+                           .wall_seconds = 0, .memory_violations = 2});
+  const std::string s = tr.summary();
+  EXPECT_NE(s.find("rounds=1"), std::string::npos);
+  EXPECT_NE(s.find("MEMORY_VIOLATIONS=2"), std::string::npos);
+}
+
+TEST(Trace, CsvExport) {
+  ExecutionTrace tr;
+  tr.add_round(RoundReport{.label = "phase1", .machines = 2, .max_machine_memory = 8,
+                           .total_comm_bytes = 3, .total_input_bytes = 4,
+                           .total_work = 9, .max_machine_work = 5,
+                           .wall_seconds = 0, .memory_violations = 0});
+  const std::string csv = tr.to_csv();
+  EXPECT_NE(csv.find("round,label,machines"), std::string::npos);
+  EXPECT_NE(csv.find("1,phase1,2,8,3,4,9,5,"), std::string::npos);
+  // header + one row
+  EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 2);
+}
+
+TEST(Cluster, ZeroMachinesRound) {
+  Cluster cluster(ClusterConfig{});
+  const auto mail = cluster.run_round("empty", {}, [](MachineContext&) {});
+  EXPECT_TRUE(mail.empty());
+  EXPECT_EQ(cluster.trace().rounds()[0].machines, 0u);
+}
+
+}  // namespace
+}  // namespace mpcsd::mpc

@@ -1,0 +1,89 @@
+// Myers/Hyyrö bit-parallel edit distance pinned against Wagner–Fischer.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/workload.hpp"
+#include "seq/edit_distance.hpp"
+#include "seq/myers.hpp"
+#include "seq/types.hpp"
+
+namespace mpcsd::seq {
+namespace {
+
+TEST(Myers, KnownValues) {
+  EXPECT_EQ(edit_distance_myers(to_symbols("kitten"), to_symbols("sitting")), 3);
+  EXPECT_EQ(edit_distance_myers(to_symbols("elephant"), to_symbols("relevant")), 3);
+  EXPECT_EQ(edit_distance_myers(to_symbols("abc"), to_symbols("abc")), 0);
+  EXPECT_EQ(edit_distance_myers(to_symbols("abc"), SymString{}), 3);
+  EXPECT_EQ(edit_distance_myers(SymString{}, to_symbols("xy")), 2);
+}
+
+TEST(Myers, SingleBlockFuzz) {
+  for (std::uint64_t seed = 0; seed < 60; ++seed) {
+    const auto n = 1 + static_cast<std::int64_t>(seed);
+    const auto a = core::random_string(n, 4, seed);
+    const auto b = core::random_string(
+        std::max<std::int64_t>(0, n + static_cast<std::int64_t>(seed % 7) - 3), 4,
+        seed + 400);
+    ASSERT_EQ(edit_distance_myers(a, b), edit_distance(a, b)) << "seed=" << seed;
+  }
+}
+
+TEST(Myers, BlockBoundaryLengths) {
+  // Pattern lengths straddling the 64-bit block boundaries.
+  for (const std::int64_t m : {63, 64, 65, 127, 128, 129, 191, 192, 193}) {
+    for (std::uint64_t seed = 0; seed < 3; ++seed) {
+      const auto a = core::random_string(m, 3, seed + static_cast<std::uint64_t>(m));
+      const auto b = core::random_string(m + 10, 3, seed + 900);
+      ASSERT_EQ(edit_distance_myers(a, b), edit_distance(a, b))
+          << "m=" << m << " seed=" << seed;
+    }
+  }
+}
+
+TEST(Myers, MultiBlockFuzz) {
+  for (std::uint64_t seed = 0; seed < 25; ++seed) {
+    const auto m = 100 + static_cast<std::int64_t>(seed * 23);
+    const auto a = core::random_string(m, 6, seed);
+    const auto b = core::plant_edits(a, static_cast<std::int64_t>(seed * 5), seed + 1,
+                                     false, 6)
+                       .text;
+    ASSERT_EQ(edit_distance_myers(a, b), edit_distance(a, b)) << "seed=" << seed;
+  }
+}
+
+TEST(Myers, LargeAlphabet) {
+  const auto a = core::random_string(500, 100000, 1);
+  const auto b = core::random_string(480, 100000, 2);
+  EXPECT_EQ(edit_distance_myers(a, b), edit_distance(a, b));
+}
+
+TEST(Myers, WorkMeterCountsWords) {
+  const auto a = core::random_string(200, 4, 1);  // 4 blocks
+  const auto b = core::random_string(300, 4, 2);
+  std::uint64_t work = 0;
+  edit_distance_myers(a, b, &work);
+  EXPECT_EQ(work, 300u * 4u);
+}
+
+class MyersSweep
+    : public ::testing::TestWithParam<std::tuple<std::int64_t, Symbol>> {};
+
+TEST_P(MyersSweep, MatchesWagnerFischer) {
+  const auto [n, alphabet] = GetParam();
+  for (std::uint64_t seed = 0; seed < 4; ++seed) {
+    const auto a = core::random_string(n, alphabet, seed + static_cast<std::uint64_t>(n));
+    const auto b = core::random_string(n, alphabet, seed + 31);
+    ASSERT_EQ(edit_distance_myers(a, b), edit_distance(a, b))
+        << "n=" << n << " sigma=" << alphabet;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SizesAndAlphabets, MyersSweep,
+    ::testing::Combine(::testing::Values<std::int64_t>(1, 2, 64, 65, 200, 1000),
+                       ::testing::Values<Symbol>(2, 4, 26, 1000)));
+
+}  // namespace
+}  // namespace mpcsd::seq

@@ -1,0 +1,127 @@
+// Robustness and integration: scheduler independence (answers must not
+// depend on the thread-pool size), moderate-scale runs, and the extended
+// workload families pushed through both solvers end-to-end.
+#include <gtest/gtest.h>
+
+#include "core/workload.hpp"
+#include "edit_mpc/solver.hpp"
+#include "seq/edit_distance.hpp"
+#include "seq/ulam.hpp"
+#include "ulam_mpc/solver.hpp"
+
+namespace mpcsd {
+namespace {
+
+TEST(Robustness, UlamAnswerIndependentOfWorkerCount) {
+  const auto s = core::random_permutation(1500, 1);
+  const auto t = core::plant_edits(s, 80, 2, true).text;
+  std::int64_t reference = -1;
+  for (const std::size_t workers : {1u, 2u, 4u}) {
+    ulam_mpc::UlamMpcParams params;
+    params.workers = workers;
+    params.seed = 99;
+    const auto result = ulam_mpc::ulam_distance_mpc(s, t, params);
+    if (reference < 0) reference = result.distance;
+    ASSERT_EQ(result.distance, reference) << "workers=" << workers;
+  }
+}
+
+TEST(Robustness, EditAnswerIndependentOfWorkerCount) {
+  const auto s = core::random_string(700, 4, 3);
+  const auto t = core::plant_edits(s, 30, 4, false).text;
+  std::int64_t reference = -1;
+  for (const std::size_t workers : {1u, 3u}) {
+    edit_mpc::EditMpcParams params;
+    params.workers = workers;
+    params.seed = 17;
+    const auto result = edit_mpc::edit_distance_mpc(s, t, params);
+    if (reference < 0) reference = result.distance;
+    ASSERT_EQ(result.distance, reference) << "workers=" << workers;
+  }
+}
+
+TEST(Robustness, UlamAtScale) {
+  // n = 100k: near-linear total work makes this comfortably fast.
+  const std::int64_t n = 100000;
+  const auto s = core::random_permutation(n, 5);
+  const auto t = core::plant_edits(s, 1000, 6, true).text;
+  ulam_mpc::UlamMpcParams params;
+  params.x = 1.0 / 3;
+  const auto result = ulam_mpc::ulam_distance_mpc(s, t, params);
+  const auto exact = seq::ulam_distance(s, t);
+  EXPECT_GE(result.distance, exact);
+  EXPECT_LE(static_cast<double>(result.distance), 1.5 * static_cast<double>(exact) + 2);
+  EXPECT_EQ(result.trace.round_count(), 2u);
+  EXPECT_EQ(result.trace.memory_violations(), 0u);
+}
+
+TEST(Robustness, ZipfTextThroughEditSolver) {
+  // Repetitive (natural-language-like) inputs are the adversarial case for
+  // alignment heuristics; validity and the factor must still hold.
+  const auto s = core::zipf_text(800, 50, 1.1, 7);
+  const auto t = core::plant_edits(s, 40, 8, false, 50).text;
+  const auto exact = seq::edit_distance(s, t);
+  edit_mpc::EditMpcParams params;
+  params.unit = edit_mpc::DistanceUnit::kApprox3;
+  const auto result = edit_mpc::edit_distance_mpc(s, t, params);
+  EXPECT_GE(result.distance, exact);
+  EXPECT_LE(static_cast<double>(result.distance),
+            4.0 * static_cast<double>(exact) + 8.0);
+}
+
+TEST(Robustness, BurstEditsThroughUlamSolver) {
+  const auto s = core::random_permutation(2000, 9);
+  const auto burst = core::burst_edits(s, 3, 30, 10, true);
+  const auto exact = seq::ulam_distance(s, burst.text);
+  ulam_mpc::UlamMpcParams params;
+  params.epsilon = 0.5;
+  const auto result = ulam_mpc::ulam_distance_mpc(s, burst.text, params);
+  EXPECT_GE(result.distance, exact);
+  EXPECT_LE(static_cast<double>(result.distance), 1.5 * static_cast<double>(exact) + 2);
+}
+
+TEST(Robustness, RotationThroughUlamSolver) {
+  // Rotation: every block far from home, zero character changes — the
+  // hitting-set path must anchor everything.
+  const auto s = core::random_permutation(3000, 11);
+  const auto t = core::rotate_by(s, 700);
+  const auto exact = seq::ulam_distance(s, t);
+  ulam_mpc::UlamMpcParams params;
+  params.epsilon = 0.5;
+  const auto result = ulam_mpc::ulam_distance_mpc(s, t, params);
+  EXPECT_GE(result.distance, exact);
+  EXPECT_LE(static_cast<double>(result.distance), 1.5 * static_cast<double>(exact) + 2);
+}
+
+TEST(Robustness, ExtremeEpsilonValues) {
+  const auto s = core::random_permutation(500, 13);
+  const auto t = core::plant_edits(s, 25, 14, true).text;
+  const auto exact = seq::ulam_distance(s, t);
+  for (const double eps : {0.1, 2.0, 8.0}) {
+    ulam_mpc::UlamMpcParams params;
+    params.epsilon = eps;
+    const auto result = ulam_mpc::ulam_distance_mpc(s, t, params);
+    ASSERT_GE(result.distance, exact) << "eps=" << eps;
+    ASSERT_LE(static_cast<double>(result.distance),
+              (1.0 + eps) * static_cast<double>(exact) + 2.0)
+        << "eps=" << eps;
+  }
+}
+
+TEST(Robustness, TinyInputsThroughBothSolvers) {
+  for (std::int64_t n = 1; n <= 6; ++n) {
+    const auto s = core::random_permutation(n, static_cast<std::uint64_t>(n));
+    const auto t = core::random_permutation(n, static_cast<std::uint64_t>(n) + 50);
+    const auto ulam_exact = seq::ulam_distance(s, t);
+    const auto r1 = ulam_mpc::ulam_distance_mpc(s, t);
+    ASSERT_GE(r1.distance, ulam_exact) << "n=" << n;
+
+    const auto ed_exact = seq::edit_distance(s, t);
+    const auto r2 = edit_mpc::edit_distance_mpc(s, t);
+    ASSERT_GE(r2.distance, ed_exact) << "n=" << n;
+    ASSERT_LE(r2.distance, 2 * n);
+  }
+}
+
+}  // namespace
+}  // namespace mpcsd

@@ -1,0 +1,71 @@
+// Message formats: tuple batches, RepTuples, and the round-2 combine
+// machine consuming raw mailbox payloads.
+#include <gtest/gtest.h>
+
+#include "common/bytes.hpp"
+#include "edit_mpc/graph_tau.hpp"
+#include "seq/combine.hpp"
+#include "ulam_mpc/combine.hpp"
+
+namespace mpcsd {
+namespace {
+
+TEST(TupleIo, RoundTripSingleBatch) {
+  std::vector<seq::Tuple> tuples{
+      {0, 10, 3, 12, 4},
+      {10, 20, 12, 25, 0},
+  };
+  ByteWriter w;
+  seq::write_tuples(w, tuples);
+  const auto back = seq::read_all_tuples(w.bytes());
+  EXPECT_EQ(back, tuples);
+}
+
+TEST(TupleIo, ConcatenatedBatches) {
+  ByteWriter w1;
+  seq::write_tuples(w1, std::vector<seq::Tuple>{{0, 5, 0, 5, 1}});
+  ByteWriter w2;
+  seq::write_tuples(w2, std::vector<seq::Tuple>{});
+  ByteWriter w3;
+  seq::write_tuples(w3, std::vector<seq::Tuple>{{5, 9, 5, 9, 2}, {2, 4, 2, 4, 0}});
+  const Bytes merged = concat({w1.bytes(), w2.bytes(), w3.bytes()});
+  const auto back = seq::read_all_tuples(merged);
+  ASSERT_EQ(back.size(), 3u);
+  EXPECT_EQ(back[0].distance, 1);
+  EXPECT_EQ(back[2].block_begin, 2);
+}
+
+TEST(TupleIo, EmptyPayload) {
+  EXPECT_TRUE(seq::read_all_tuples(Bytes{}).empty());
+}
+
+TEST(RepTuple, PodRoundTrip) {
+  edit_mpc::RepTuple t;
+  t.node = 17;
+  t.rep = 42;
+  t.min_tau_index = 3;
+  t.rep_distance = 999;
+  ByteWriter w;
+  w.put(t);
+  ByteReader r(w.bytes());
+  const auto back = r.get<edit_mpc::RepTuple>();
+  EXPECT_EQ(back, t);
+}
+
+TEST(CombineMachine, ComputesUlamAnswerFromPayload) {
+  // Two adjacent perfect tuples covering [0,10) -> [0,10).
+  std::vector<seq::Tuple> tuples{{0, 5, 0, 5, 1}, {5, 10, 5, 10, 2}};
+  ByteWriter w;
+  seq::write_tuples(w, tuples);
+  std::uint64_t work = 0;
+  const auto answer = ulam_mpc::combine_machine(w.bytes(), 10, 10, &work);
+  EXPECT_EQ(answer, 3);
+  EXPECT_GT(work, 0u);
+}
+
+TEST(CombineMachine, EmptyPayloadGivesTrivialAnswer) {
+  EXPECT_EQ(ulam_mpc::combine_machine(Bytes{}, 7, 11), 11);  // max-gap mode
+}
+
+}  // namespace
+}  // namespace mpcsd

@@ -1,0 +1,120 @@
+// Parameterized sweeps across the memory exponent x and workload families
+// for both MPC solvers — the knobs of Table 1, exercised as tests.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/workload.hpp"
+#include "edit_mpc/solver.hpp"
+#include "mpc/primitives.hpp"
+#include "seq/edit_distance.hpp"
+#include "seq/ulam.hpp"
+#include "ulam_mpc/solver.hpp"
+
+namespace mpcsd {
+namespace {
+
+enum class Family { kPlanted, kRotated, kShuffled, kIndependent };
+
+SymString make_partner(const SymString& s, Family family, std::uint64_t seed,
+                       bool repeat_free) {
+  const auto n = static_cast<std::int64_t>(s.size());
+  switch (family) {
+    case Family::kPlanted:
+      return core::plant_edits(s, n / 25, seed, repeat_free).text;
+    case Family::kRotated:
+      return core::rotate_by(s, n / 5);
+    case Family::kShuffled:
+      return core::block_shuffle(s, n / 8, seed);
+    case Family::kIndependent:
+      return repeat_free ? core::random_permutation(n, seed + 777)
+                         : core::random_string(n, 4, seed + 777);
+  }
+  return {};
+}
+
+class UlamXSweep : public ::testing::TestWithParam<std::tuple<double, Family>> {};
+
+TEST_P(UlamXSweep, SandwichHoldsForEveryExponentAndFamily) {
+  const auto [x, family] = GetParam();
+  const std::int64_t n = 900;
+  const auto s = core::random_permutation(n, 3);
+  const auto t = make_partner(s, family, 4, /*repeat_free=*/true);
+  const auto exact = seq::ulam_distance(s, t);
+
+  ulam_mpc::UlamMpcParams params;
+  params.x = x;
+  params.epsilon = 0.5;
+  const auto result = ulam_mpc::ulam_distance_mpc(s, t, params);
+  ASSERT_GE(result.distance, exact);
+  ASSERT_LE(static_cast<double>(result.distance),
+            1.5 * static_cast<double>(exact) + 2.0)
+      << "x=" << x << " family=" << static_cast<int>(family);
+  EXPECT_EQ(result.trace.round_count(), 2u);
+  // Block size must track n^{1-x}.
+  EXPECT_NEAR(static_cast<double>(result.block_size),
+              std::pow(static_cast<double>(n), 1.0 - x), 2.0 + 0.02 * result.block_size);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ExponentsAndFamilies, UlamXSweep,
+    ::testing::Combine(::testing::Values(0.2, 1.0 / 3, 0.45),
+                       ::testing::Values(Family::kPlanted, Family::kRotated,
+                                         Family::kShuffled, Family::kIndependent)));
+
+class EditXSweep : public ::testing::TestWithParam<std::tuple<double, Family>> {};
+
+TEST_P(EditXSweep, ValidityAndFactorForEveryExponentAndFamily) {
+  const auto [x, family] = GetParam();
+  const std::int64_t n = 600;
+  const auto s = core::random_string(n, 4, 5);
+  const auto t = make_partner(s, family, 6, /*repeat_free=*/false);
+  const auto exact = seq::edit_distance(s, t);
+
+  edit_mpc::EditMpcParams params;
+  params.x = x;
+  params.epsilon = 1.0;
+  params.unit = edit_mpc::DistanceUnit::kExactBanded;
+  const auto result = edit_mpc::edit_distance_mpc(s, t, params);
+  ASSERT_GE(result.distance, exact)
+      << "x=" << x << " family=" << static_cast<int>(family);
+  ASSERT_LE(static_cast<double>(result.distance),
+            4.0 * static_cast<double>(exact) + 4.0)
+      << "x=" << x << " family=" << static_cast<int>(family);
+  EXPECT_LE(result.trace.round_count(), 4u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ExponentsAndFamilies, EditXSweep,
+    ::testing::Combine(::testing::Values(0.2, 0.25, 5.0 / 17),
+                       ::testing::Values(Family::kPlanted, Family::kRotated,
+                                         Family::kShuffled, Family::kIndependent)));
+
+class PrimitiveSweep : public ::testing::TestWithParam<std::tuple<std::size_t, int>> {};
+
+TEST_P(PrimitiveSweep, SortCorrectAtEveryScaleAndMachineCount) {
+  const auto [machines, size_class] = GetParam();
+  const std::size_t n = size_class == 0 ? 10 : (size_class == 1 ? 500 : 8000);
+  mpc::Cluster cluster(mpc::ClusterConfig{});
+  std::vector<mpc::KeyValue> records;
+  Pcg32 rng = derive_stream(machines, static_cast<std::uint64_t>(size_class));
+  for (std::size_t i = 0; i < n; ++i) {
+    records.push_back({rng.uniform(-50, 50), static_cast<std::int64_t>(i)});
+  }
+  auto expected = records;
+  std::sort(expected.begin(), expected.end(),
+            [](const mpc::KeyValue& a, const mpc::KeyValue& b) {
+              return a.key != b.key ? a.key < b.key : a.value < b.value;
+            });
+  EXPECT_EQ(mpc_sort(cluster, records, machines).records, expected)
+      << "machines=" << machines << " n=" << n;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    MachinesAndSizes, PrimitiveSweep,
+    ::testing::Combine(::testing::Values<std::size_t>(1, 3, 16),
+                       ::testing::Values(0, 1, 2)));
+
+}  // namespace
+}  // namespace mpcsd

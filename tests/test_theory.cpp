@@ -1,0 +1,65 @@
+// Table 1 exponents and the log-log slope fitter used by the benches.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/theory.hpp"
+
+namespace mpcsd::core {
+namespace {
+
+TEST(Theory, Table1RowsMatchPaper) {
+  const auto rows = table1_rows(0.25);
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_EQ(rows[0].rounds, 2);
+  EXPECT_DOUBLE_EQ(rows[0].machines_exponent, 0.25);
+  EXPECT_DOUBLE_EQ(rows[0].work_exponent, 1.0);
+  EXPECT_EQ(rows[1].rounds, 4);
+  EXPECT_DOUBLE_EQ(rows[1].machines_exponent, 0.45);
+  EXPECT_EQ(rows[2].rounds, 2);
+  EXPECT_DOUBLE_EQ(rows[2].machines_exponent, 0.5);
+}
+
+TEST(Theory, EditWorkExponentBreakpoint) {
+  // min((1-x)/6, 2x/5): the crossover is at x = 5/17.
+  const double x_star = 5.0 / 17.0;
+  EXPECT_NEAR(edit_work_exponent(x_star), 2.0 - (1.0 - x_star) / 6.0, 1e-12);
+  EXPECT_NEAR(edit_work_exponent(x_star), 2.0 - 2.0 * x_star / 5.0, 1e-12);
+  // Below the crossover 2x/5 binds.
+  EXPECT_DOUBLE_EQ(edit_work_exponent(0.1), 2.0 - 0.04);
+  // Above it (1-x)/6 binds.
+  EXPECT_DOUBLE_EQ(edit_work_exponent(0.5), 2.0 - 0.5 / 6.0);
+}
+
+TEST(Theory, HeadlineNumbers) {
+  // "using Õ(n^{5/17}) machines, total time O(n^{1.883}) and parallel time
+  // O(n^{1.353})" (Section 1).
+  const double x = 5.0 / 17.0;
+  EXPECT_NEAR(edit_work_exponent(x), 1.883, 0.001);
+  EXPECT_NEAR(edit_parallel_exponent(x), 1.353, 0.001);
+}
+
+TEST(Theory, MachineImprovementFactor) {
+  // Ours vs [20]: n^{2x} / n^{(9/5)x} = n^{x/5}.
+  const double x = 0.25;
+  EXPECT_NEAR(hss_machines_exponent(x) - edit_machines_exponent(x), x / 5.0, 1e-12);
+}
+
+TEST(Theory, FitExponentRecoversSlope) {
+  std::vector<double> n;
+  std::vector<double> y;
+  for (double v = 1000; v <= 64000; v *= 2) {
+    n.push_back(v);
+    y.push_back(3.7 * std::pow(v, 1.25));
+  }
+  EXPECT_NEAR(fit_exponent(n, y), 1.25, 1e-9);
+}
+
+TEST(Theory, FitExponentConstantSeries) {
+  std::vector<double> n{100, 200, 400, 800};
+  std::vector<double> y{5, 5, 5, 5};
+  EXPECT_NEAR(fit_exponent(n, y), 0.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace mpcsd::core

@@ -1,0 +1,85 @@
+// Workload generators: determinism, planted-edit distance bounds, and the
+// repeat-free invariant for Ulam inputs.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "core/workload.hpp"
+#include "seq/edit_distance.hpp"
+#include "seq/lis.hpp"
+
+namespace mpcsd::core {
+namespace {
+
+TEST(Workload, RandomStringDeterministicAndInRange) {
+  const auto a = random_string(500, 4, 7);
+  const auto b = random_string(500, 4, 7);
+  EXPECT_EQ(a, b);
+  EXPECT_TRUE(std::all_of(a.begin(), a.end(), [](Symbol v) { return v >= 0 && v < 4; }));
+  EXPECT_NE(a, random_string(500, 4, 8));
+}
+
+TEST(Workload, RandomPermutationIsPermutation) {
+  const auto p = random_permutation(300, 3);
+  std::set<Symbol> seen(p.begin(), p.end());
+  EXPECT_EQ(seen.size(), 300u);
+  EXPECT_EQ(*seen.begin(), 0);
+  EXPECT_EQ(*seen.rbegin(), 299);
+}
+
+TEST(Workload, PlantedEditsBoundDistance) {
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    const auto base = random_string(150, 4, seed);
+    const std::int64_t k = static_cast<std::int64_t>(seed % 30);
+    const auto planted = plant_edits(base, k, seed, false);
+    EXPECT_EQ(planted.edits_applied, k);
+    EXPECT_LE(seq::edit_distance(base, planted.text), k) << "seed=" << seed;
+  }
+}
+
+TEST(Workload, PlantedEditsRepeatFreePreservesInvariant) {
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    const auto base = random_permutation(200, seed);
+    const auto planted = plant_edits(base, 40, seed + 1, true);
+    EXPECT_TRUE(seq::is_repeat_free(planted.text)) << "seed=" << seed;
+  }
+}
+
+TEST(Workload, PlantedZeroEditsIsIdentity) {
+  const auto base = random_permutation(50, 1);
+  const auto planted = plant_edits(base, 0, 2, true);
+  EXPECT_EQ(planted.text, base);
+  EXPECT_EQ(planted.edits_applied, 0);
+}
+
+TEST(Workload, DnaAlphabet) {
+  const auto d = random_dna(1000, 5);
+  EXPECT_TRUE(std::all_of(d.begin(), d.end(), [](Symbol v) { return v >= 0 && v < 4; }));
+}
+
+TEST(Workload, BlockShufflePreservesMultiset) {
+  const auto base = random_string(100, 6, 9);
+  const auto shuffled = block_shuffle(base, 13, 10);
+  ASSERT_EQ(shuffled.size(), base.size());
+  auto a = base;
+  auto b = shuffled;
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  EXPECT_EQ(a, b);
+}
+
+TEST(Workload, BlockShuffleOfPermutationStaysRepeatFree) {
+  const auto base = random_permutation(128, 11);
+  const auto shuffled = block_shuffle(base, 16, 12);
+  EXPECT_TRUE(seq::is_repeat_free(shuffled));
+}
+
+TEST(Workload, BlockShuffleUsuallyMovesBlocksFar) {
+  const auto base = random_permutation(1000, 13);
+  const auto shuffled = block_shuffle(base, 100, 14);
+  EXPECT_GT(seq::edit_distance(base, shuffled), 100);
+}
+
+}  // namespace
+}  // namespace mpcsd::core

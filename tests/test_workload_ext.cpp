@@ -1,0 +1,97 @@
+// Extended workload generators: rotations, Zipf text, burst edits.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "core/workload.hpp"
+#include "seq/edit_distance.hpp"
+#include "seq/lis.hpp"
+
+namespace mpcsd::core {
+namespace {
+
+TEST(RotateBy, BasicAndWrap) {
+  const SymString base{0, 1, 2, 3, 4};
+  EXPECT_EQ(rotate_by(base, 2), (SymString{2, 3, 4, 0, 1}));
+  EXPECT_EQ(rotate_by(base, 0), base);
+  EXPECT_EQ(rotate_by(base, 5), base);
+  EXPECT_EQ(rotate_by(base, -1), (SymString{4, 0, 1, 2, 3}));
+  EXPECT_TRUE(rotate_by(SymString{}, 3).empty());
+}
+
+TEST(RotateBy, DistanceBoundedByTwiceShift) {
+  const auto base = random_permutation(500, 1);
+  const auto rotated = rotate_by(base, 40);
+  EXPECT_LE(seq::edit_distance(base, rotated), 80);
+  EXPECT_GT(seq::edit_distance(base, rotated), 0);
+}
+
+TEST(ZipfText, SkewConcentratesMass) {
+  const auto text = zipf_text(20000, 100, 1.2, 3);
+  std::map<Symbol, int> freq;
+  for (const Symbol v : text) ++freq[v];
+  // Rank-0 symbol should dominate any deep-tail symbol by a wide margin.
+  EXPECT_GT(freq[0], 20 * std::max(freq[90], 1));
+  for (const Symbol v : text) {
+    ASSERT_GE(v, 0);
+    ASSERT_LT(v, 100);
+  }
+}
+
+TEST(ZipfText, ZeroSkewIsRoughlyUniform) {
+  const auto text = zipf_text(50000, 10, 0.0, 4);
+  std::map<Symbol, int> freq;
+  for (const Symbol v : text) ++freq[v];
+  for (const auto& [sym, count] : freq) {
+    EXPECT_NEAR(count, 5000, 600) << "symbol " << sym;
+  }
+}
+
+TEST(ZipfText, Deterministic) {
+  EXPECT_EQ(zipf_text(1000, 50, 1.0, 9), zipf_text(1000, 50, 1.0, 9));
+  EXPECT_NE(zipf_text(1000, 50, 1.0, 9), zipf_text(1000, 50, 1.0, 10));
+}
+
+TEST(BurstEdits, BoundsDistanceAndCountsOps) {
+  const auto base = random_string(800, 4, 5);
+  const auto burst = burst_edits(base, 4, 10, 6, false);
+  EXPECT_EQ(burst.edits_applied, 40);
+  EXPECT_LE(seq::edit_distance(base, burst.text), 40);
+}
+
+TEST(BurstEdits, RepeatFreePreserved) {
+  const auto base = random_permutation(600, 7);
+  const auto burst = burst_edits(base, 5, 8, 8, true);
+  EXPECT_TRUE(seq::is_repeat_free(burst.text));
+}
+
+TEST(BurstEdits, EditsAreLocalised) {
+  // With 1 burst, the changed region should be a narrow window: the prefix
+  // and suffix outside it must match the base exactly.
+  const auto base = random_string(2000, 1000, 11);
+  const auto burst = burst_edits(base, 1, 12, 12, false, 1000);
+  // Longest common prefix + suffix should cover all but O(burst) symbols.
+  std::size_t prefix = 0;
+  while (prefix < base.size() && prefix < burst.text.size() &&
+         base[prefix] == burst.text[prefix]) {
+    ++prefix;
+  }
+  std::size_t suffix = 0;
+  while (suffix + prefix < base.size() && suffix + prefix < burst.text.size() &&
+         base[base.size() - 1 - suffix] == burst.text[burst.text.size() - 1 - suffix]) {
+    ++suffix;
+  }
+  const auto uncovered = static_cast<std::int64_t>(base.size() - prefix - suffix);
+  EXPECT_LE(uncovered, 3 * 12 + 4);
+}
+
+TEST(BurstEdits, ZeroBurstsIdentity) {
+  const auto base = random_string(100, 4, 13);
+  const auto burst = burst_edits(base, 0, 50, 14, false);
+  EXPECT_EQ(burst.text, base);
+  EXPECT_EQ(burst.edits_applied, 0);
+}
+
+}  // namespace
+}  // namespace mpcsd::core
