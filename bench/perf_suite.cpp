@@ -1,0 +1,255 @@
+// Machine-readable performance regression suite (BENCH_PR1.json).
+//
+// Emits one JSON record per benchmark:
+//   { "bench": ..., "n": ..., "wall_seconds": ..., "work": ..., "bytes_moved": ... }
+//
+//  * edit_unit_{scalar,fast}     — the unit-distance kernel (full DP) that
+//    round-1 machines run per (block, window) pair; the fast variant must
+//    be >= 3x the scalar at n = 2000 (hard-checked, non-smoke runs).
+//  * edit_bounded_{scalar,fast}  — the capped kernel used by the small/large
+//    distance pipelines on near pairs.
+//  * ulam_combine_{copy,view}    — materialising the combine machine's inbox
+//    from round-1 mail: seed semantics concatenate every payload into one
+//    buffer (bytes_moved = inbox size); the zero-copy chain reads the
+//    envelopes in place (bytes_moved = 0).
+//  * ulam_e2e                    — whole Theorem 4 solve; work and
+//    bytes_moved come from the execution trace.
+//
+// `--smoke` runs tiny sizes once, checks the emitted JSON parses, and skips
+// the speedup gate — registered in ctest so the suite itself cannot rot.
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/workload.hpp"
+#include "mpc/cluster.hpp"
+#include "seq/combine.hpp"
+#include "seq/edit_distance.hpp"
+#include "seq/edit_distance_fast.hpp"
+#include "ulam_mpc/solver.hpp"
+
+namespace {
+
+using namespace mpcsd;
+
+struct Record {
+  std::string bench;
+  std::int64_t n = 0;
+  double wall_seconds = 0.0;
+  std::uint64_t work = 0;
+  std::uint64_t bytes_moved = 0;
+};
+
+/// Minimum wall time over `reps` runs of `f` (first run warms caches).
+template <typename F>
+double time_best(F&& f, int reps) {
+  double best = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    const auto t0 = std::chrono::steady_clock::now();
+    f();
+    const auto t1 = std::chrono::steady_clock::now();
+    best = std::min(best, std::chrono::duration<double>(t1 - t0).count());
+  }
+  return best;
+}
+
+void write_json(const std::vector<Record>& records, const std::string& path) {
+  std::ofstream out(path);
+  out << "[\n";
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const Record& r = records[i];
+    out << "  {\"bench\": \"" << r.bench << "\", \"n\": " << r.n
+        << ", \"wall_seconds\": " << r.wall_seconds << ", \"work\": " << r.work
+        << ", \"bytes_moved\": " << r.bytes_moved << "}"
+        << (i + 1 < records.size() ? "," : "") << "\n";
+  }
+  out << "]\n";
+}
+
+/// Just enough validation for the smoke gate: the file must exist, be a
+/// bracket-balanced JSON array, and contain one "bench" key per record.
+bool json_well_formed(const std::string& path, std::size_t expected_records) {
+  std::ifstream in(path);
+  if (!in) return false;
+  std::stringstream ss;
+  ss << in.rdbuf();
+  const std::string text = ss.str();
+  long depth = 0;
+  std::size_t keys = 0;
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    if (text[i] == '[' || text[i] == '{') ++depth;
+    if (text[i] == ']' || text[i] == '}') --depth;
+    if (depth < 0) return false;
+    if (text.compare(i, 8, "\"bench\":") == 0) ++keys;
+  }
+  return depth == 0 && keys == expected_records && !text.empty() &&
+         text.front() == '[';
+}
+
+double record_wall(const std::vector<Record>& records, const std::string& bench,
+                   std::int64_t n) {
+  for (const Record& r : records) {
+    if (r.bench == bench && r.n == n) return r.wall_seconds;
+  }
+  return -1.0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string out_path = "BENCH_PR1.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+    if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) out_path = argv[++i];
+  }
+
+  const int reps = smoke ? 1 : 5;
+  const std::vector<std::int64_t> kernel_sizes =
+      smoke ? std::vector<std::int64_t>{64, 128}
+            : std::vector<std::int64_t>{256, 512, 1024, 2000};
+  std::vector<Record> records;
+
+  // ---- Unit-distance kernel: scalar full DP vs dispatched fast path. ----
+  for (const std::int64_t n : kernel_sizes) {
+    const auto a = core::random_string(n, 4, 1);
+    const auto b = core::random_string(n, 4, 2);
+    std::int64_t d_scalar = 0;
+    std::int64_t d_fast = 0;
+    Record scalar{"edit_unit_scalar", n};
+    scalar.wall_seconds =
+        time_best([&] { d_scalar = seq::edit_distance(a, b); }, reps);
+    seq::edit_distance(a, b, &scalar.work);
+    records.push_back(scalar);
+
+    Record fast{"edit_unit_fast", n};
+    fast.wall_seconds =
+        time_best([&] { d_fast = seq::edit_distance_fast(a, b); }, reps);
+    seq::edit_distance_fast(a, b, &fast.work);
+    records.push_back(fast);
+    if (d_scalar != d_fast) {
+      std::fprintf(stderr, "FATAL: kernel disagreement at n=%lld: %lld vs %lld\n",
+                   static_cast<long long>(n), static_cast<long long>(d_scalar),
+                   static_cast<long long>(d_fast));
+      return 1;
+    }
+  }
+
+  // ---- Capped kernel on near pairs (the pipelines' censoring workhorse). ----
+  for (const std::int64_t n : kernel_sizes) {
+    const auto a = core::random_string(n, 4, 1);
+    const auto b = core::plant_edits(a, std::max<std::int64_t>(4, n / 8), 3, false).text;
+    const std::int64_t limit = n;
+    Record scalar{"edit_bounded_scalar", n};
+    scalar.wall_seconds = time_best(
+        [&] { (void)seq::edit_distance_bounded(a, b, limit); }, reps);
+    seq::edit_distance_bounded(a, b, limit, &scalar.work);
+    records.push_back(scalar);
+
+    Record fast{"edit_bounded_fast", n};
+    fast.wall_seconds = time_best(
+        [&] { (void)seq::edit_distance_bounded_fast(a, b, limit); }, reps);
+    seq::edit_distance_bounded_fast(a, b, limit, &fast.work);
+    records.push_back(fast);
+  }
+
+  // ---- Combine-inbox routing: concatenate-and-copy vs zero-copy chain. ----
+  {
+    const std::size_t machines = smoke ? 4 : 64;
+    const std::size_t tuples_per_machine = smoke ? 16 : 512;
+    std::vector<Bytes> inputs(machines);
+    mpc::Cluster cluster({});
+    const auto mail = cluster.run_round(
+        "perf:emit", inputs, [&](mpc::MachineContext& ctx) {
+          std::vector<seq::Tuple> tuples(tuples_per_machine);
+          for (std::size_t t = 0; t < tuples.size(); ++t) {
+            tuples[t] = seq::Tuple{static_cast<std::int64_t>(t),
+                                   static_cast<std::int64_t>(t + 8),
+                                   static_cast<std::int64_t>(t),
+                                   static_cast<std::int64_t>(t + 8), 1};
+          }
+          ByteWriter w;
+          seq::write_tuples(w, tuples);
+          ctx.emit(0, std::move(w).take());
+        });
+    const std::int64_t total_tuples =
+        static_cast<std::int64_t>(machines * tuples_per_machine);
+
+    std::size_t parsed = 0;
+    Record copy{"ulam_combine_copy", total_tuples};
+    copy.wall_seconds = time_best(
+        [&] {
+          const Bytes inbox = mpc::gather(mail, 0);  // seed semantics: memcpy all
+          parsed = seq::read_all_tuples(inbox).size();
+        },
+        reps);
+    copy.bytes_moved = mpc::gather(mail, 0).size();
+    records.push_back(copy);
+
+    Record view{"ulam_combine_view", total_tuples};
+    view.wall_seconds = time_best(
+        [&] {
+          const ByteChain inbox = mpc::gather_view(mail, 0);  // reads in place
+          parsed = seq::read_all_tuples(inbox).size();
+        },
+        reps);
+    view.bytes_moved = 0;
+    records.push_back(view);
+    if (parsed != machines * tuples_per_machine) {
+      std::fprintf(stderr, "FATAL: combine inbox parsed %zu tuples, expected %zu\n",
+                   parsed, machines * tuples_per_machine);
+      return 1;
+    }
+  }
+
+  // ---- End-to-end Theorem 4 solve. ----
+  {
+    const std::int64_t n = smoke ? 256 : 4096;
+    const auto s = core::random_permutation(n, 11);
+    const auto t = core::plant_edits(s, n / 16, 12, true).text;
+    ulam_mpc::UlamMpcParams params;
+    params.seed = 13;
+    Record e2e{"ulam_e2e", n};
+    ulam_mpc::UlamMpcResult result;
+    e2e.wall_seconds = time_best(
+        [&] { result = ulam_mpc::ulam_distance_mpc(s, SymView(t), params); },
+        smoke ? 1 : 3);
+    e2e.work = result.trace.total_work();
+    e2e.bytes_moved = result.trace.total_comm_bytes();
+    records.push_back(e2e);
+  }
+
+  write_json(records, out_path);
+  std::printf("perf_suite: %zu records -> %s\n", records.size(), out_path.c_str());
+  for (const Record& r : records) {
+    std::printf("  %-22s n=%-8lld wall=%.6fs work=%llu bytes_moved=%llu\n",
+                r.bench.c_str(), static_cast<long long>(r.n), r.wall_seconds,
+                static_cast<unsigned long long>(r.work),
+                static_cast<unsigned long long>(r.bytes_moved));
+  }
+
+  if (smoke) {
+    if (!json_well_formed(out_path, records.size())) {
+      std::fprintf(stderr, "FAIL: %s is not well-formed JSON\n", out_path.c_str());
+      return 1;
+    }
+    std::printf("smoke: JSON well-formed (%zu records)\n", records.size());
+    return 0;
+  }
+
+  const double scalar_wall = record_wall(records, "edit_unit_scalar", 2000);
+  const double fast_wall = record_wall(records, "edit_unit_fast", 2000);
+  const double speedup = scalar_wall / fast_wall;
+  std::printf("unit-distance speedup at n=2000: %.2fx (gate: >= 3x)\n", speedup);
+  if (!(speedup >= 3.0)) {
+    std::fprintf(stderr, "FAIL: unit-distance speedup %.2fx < 3x\n", speedup);
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Tier-1 verification: build + ctest under the release and asan presets.
+# Usage: scripts/verify.sh [preset ...]   (default: release asan)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+presets=("$@")
+if [ ${#presets[@]} -eq 0 ]; then
+  presets=(release asan)
+fi
+
+for preset in "${presets[@]}"; do
+  echo "==> configure [$preset]"
+  cmake --preset "$preset" >/dev/null
+  echo "==> build [$preset]"
+  cmake --build --preset "$preset" -j "$(nproc)"
+  echo "==> ctest [$preset]"
+  ctest --preset "$preset" -j "$(nproc)"
+done
+echo "verify: all presets green (${presets[*]})"

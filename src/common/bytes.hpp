@@ -2,11 +2,19 @@
 // simulator.  Forcing every payload through a byte encoding keeps the memory
 // accounting honest: a machine's input size is exactly the number of bytes
 // delivered to it, as in the MPC model.
+//
+// Two reading models are provided:
+//   * `ByteReader`  — a cursor over one contiguous buffer.
+//   * `ChainReader` — a cursor over a `ByteChain`, an ordered list of
+//     non-owning byte fragments.  A machine inbox is naturally a list of
+//     payloads from different senders; reading them through a chain avoids
+//     the concat-copy the old `gather` path performed every round.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
 #include <cstring>
+#include <span>
 #include <string>
 #include <type_traits>
 #include <vector>
@@ -16,11 +24,17 @@
 namespace mpcsd {
 
 using Bytes = std::vector<std::byte>;
+using ByteSpan = std::span<const std::byte>;
 
 /// Appends POD values / vectors to a growing byte buffer.
 class ByteWriter {
  public:
   ByteWriter() = default;
+
+  /// Pre-allocates capacity for `total` bytes.  Call once with the final
+  /// (or estimated) message size before a burst of puts; incremental exact
+  /// reserves would defeat the vector's geometric growth.
+  void reserve(std::size_t total) { buf_.reserve(total); }
 
   template <typename T>
   void put(const T& value) {
@@ -66,7 +80,7 @@ class ByteReader {
   template <typename T>
   T get() {
     static_assert(std::is_trivially_copyable_v<T>);
-    MPCSD_EXPECTS(pos_ + sizeof(T) <= size_);
+    MPCSD_EXPECTS(sizeof(T) <= size_ - pos_);
     T out;
     std::memcpy(&out, buf_ + pos_, sizeof(T));
     pos_ += sizeof(T);
@@ -77,7 +91,9 @@ class ByteReader {
   std::vector<T> get_vector() {
     static_assert(std::is_trivially_copyable_v<T>);
     const auto n = get<std::uint64_t>();
-    MPCSD_EXPECTS(pos_ + n * sizeof(T) <= size_);
+    // Divide instead of multiplying: `n` comes off the wire, and
+    // `n * sizeof(T)` can wrap for an adversarial length prefix.
+    MPCSD_EXPECTS(n <= (size_ - pos_) / sizeof(T));
     std::vector<T> out(n);
     if (n > 0) std::memcpy(out.data(), buf_ + pos_, n * sizeof(T));
     pos_ += n * sizeof(T);
@@ -86,7 +102,7 @@ class ByteReader {
 
   std::string get_string() {
     const auto n = get<std::uint64_t>();
-    MPCSD_EXPECTS(pos_ + n <= size_);
+    MPCSD_EXPECTS(n <= size_ - pos_);
     std::string out(reinterpret_cast<const char*>(buf_ + pos_), n);
     pos_ += n;
     return out;
@@ -99,6 +115,105 @@ class ByteReader {
   const std::byte* buf_;
   std::size_t size_;
   std::size_t pos_ = 0;
+};
+
+/// An ordered sequence of non-owning byte fragments, logically one buffer.
+/// The referenced storage (payloads in a `Mail`, machine inputs, ...) must
+/// outlive the chain.  Empty fragments are dropped on insertion.
+class ByteChain {
+ public:
+  ByteChain() = default;
+
+  void add(ByteSpan part) {
+    if (part.empty()) return;
+    parts_.push_back(part);
+    total_ += part.size();
+  }
+  // Guard against chaining a temporary buffer: the chain does not own bytes.
+  void add(Bytes&&) = delete;
+
+  void add(const ByteChain& other) {
+    for (const ByteSpan p : other.parts_) add(p);
+  }
+
+  [[nodiscard]] const std::vector<ByteSpan>& parts() const noexcept { return parts_; }
+  [[nodiscard]] std::size_t total_bytes() const noexcept { return total_; }
+  [[nodiscard]] bool empty() const noexcept { return total_ == 0; }
+
+  /// Copies the fragments into one contiguous buffer (compat / tests).
+  [[nodiscard]] Bytes to_bytes() const {
+    Bytes out;
+    out.reserve(total_);
+    for (const ByteSpan p : parts_) out.insert(out.end(), p.begin(), p.end());
+    return out;
+  }
+
+ private:
+  std::vector<ByteSpan> parts_;
+  std::size_t total_ = 0;
+};
+
+/// `ByteReader` over a `ByteChain`: same API, values may straddle fragment
+/// boundaries (the fast path stays within one fragment).  Over-reads throw.
+class ChainReader {
+ public:
+  explicit ChainReader(const ByteChain& chain) noexcept
+      : chain_(&chain), remaining_(chain.total_bytes()) {}
+  // The reader borrows the chain; a temporary would dangle immediately.
+  explicit ChainReader(ByteChain&&) = delete;
+
+  template <typename T>
+  T get() {
+    static_assert(std::is_trivially_copyable_v<T>);
+    T out;
+    read_raw(reinterpret_cast<std::byte*>(&out), sizeof(T));
+    return out;
+  }
+
+  template <typename T>
+  std::vector<T> get_vector() {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const auto n = get<std::uint64_t>();
+    MPCSD_EXPECTS(n <= remaining_ / sizeof(T));
+    std::vector<T> out(n);
+    if (n > 0) read_raw(reinterpret_cast<std::byte*>(out.data()), n * sizeof(T));
+    return out;
+  }
+
+  std::string get_string() {
+    const auto n = get<std::uint64_t>();
+    MPCSD_EXPECTS(n <= remaining_);
+    std::string out(n, '\0');
+    if (n > 0) read_raw(reinterpret_cast<std::byte*>(out.data()), n);
+    return out;
+  }
+
+  [[nodiscard]] bool exhausted() const noexcept { return remaining_ == 0; }
+  [[nodiscard]] std::size_t remaining() const noexcept { return remaining_; }
+
+ private:
+  void read_raw(std::byte* out, std::size_t n) {
+    MPCSD_EXPECTS(n <= remaining_);
+    const auto& parts = chain_->parts();
+    while (n > 0) {
+      const ByteSpan part = parts[part_];
+      const std::size_t take = std::min(n, part.size() - off_);
+      std::memcpy(out, part.data() + off_, take);
+      out += take;
+      off_ += take;
+      n -= take;
+      remaining_ -= take;
+      if (off_ == part.size()) {
+        ++part_;
+        off_ = 0;
+      }
+    }
+  }
+
+  const ByteChain* chain_;
+  std::size_t part_ = 0;       ///< current fragment index
+  std::size_t off_ = 0;        ///< offset within the current fragment
+  std::size_t remaining_ = 0;  ///< bytes left across all fragments
 };
 
 /// Concatenates several byte buffers (a machine's inbox) into one.

@@ -1,5 +1,6 @@
 #include "common/thread_pool.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <exception>
 #include <memory>
@@ -16,6 +17,7 @@ struct ForState {
   std::atomic<std::size_t> next{0};
   std::atomic<std::size_t> done{0};
   std::size_t count = 0;
+  std::size_t grain = 1;
   const std::function<void(std::size_t)>* body = nullptr;  // valid while done < count
   std::mutex error_mu;
   std::exception_ptr first_error;
@@ -25,15 +27,19 @@ struct ForState {
 
 void drain(const std::shared_ptr<ForState>& state) {
   for (;;) {
-    const std::size_t i = state->next.fetch_add(1, std::memory_order_relaxed);
-    if (i >= state->count) return;
-    try {
-      (*state->body)(i);
-    } catch (...) {
-      std::lock_guard<std::mutex> lock(state->error_mu);
-      if (!state->first_error) state->first_error = std::current_exception();
+    const std::size_t begin = state->next.fetch_add(state->grain, std::memory_order_relaxed);
+    if (begin >= state->count) return;
+    const std::size_t end = std::min(state->count, begin + state->grain);
+    for (std::size_t i = begin; i < end; ++i) {
+      try {
+        (*state->body)(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(state->error_mu);
+        if (!state->first_error) state->first_error = std::current_exception();
+      }
     }
-    if (state->done.fetch_add(1, std::memory_order_acq_rel) + 1 == state->count) {
+    const std::size_t chunk = end - begin;
+    if (state->done.fetch_add(chunk, std::memory_order_acq_rel) + chunk == state->count) {
       std::lock_guard<std::mutex> lock(state->done_mu);
       state->done_cv.notify_all();
     }
@@ -77,15 +83,18 @@ void ThreadPool::worker_loop() {
 }
 
 void ThreadPool::parallel_for(std::size_t count,
-                              const std::function<void(std::size_t)>& body) {
+                              const std::function<void(std::size_t)>& body,
+                              std::size_t grain) {
   if (count == 0) return;
   auto state = std::make_shared<ForState>();
   state->count = count;
+  state->grain = std::max<std::size_t>(grain, 1);
   state->body = &body;
 
   // One queued task per worker; each drains indices from the shared
   // counter, so queue pressure stays constant even for 10^5 machines.
-  const std::size_t fanout = std::min(count, threads_.size());
+  const std::size_t fanout = std::min((count + state->grain - 1) / state->grain,
+                                      threads_.size());
   {
     std::lock_guard<std::mutex> lock(mu_);
     for (std::size_t i = 0; i < fanout; ++i) {

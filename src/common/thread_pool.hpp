@@ -31,7 +31,14 @@ class ThreadPool {
 
   /// Runs body(i) for every i in [0, count), blocking until all complete.
   /// Exceptions thrown by `body` are captured and the first one rethrown.
-  void parallel_for(std::size_t count, const std::function<void(std::size_t)>& body);
+  ///
+  /// `grain` is the number of consecutive indices a worker claims per
+  /// atomic fetch: grain 1 (the default) load-balances perfectly but pays
+  /// one contended RMW per index, which dominates when bodies are tiny
+  /// (e.g. thousands of near-empty simulated machines).  Larger grains
+  /// amortise the RMW at the cost of coarser balancing.
+  void parallel_for(std::size_t count, const std::function<void(std::size_t)>& body,
+                    std::size_t grain = 1);
 
  private:
   void worker_loop();

@@ -11,6 +11,7 @@
 #include "mpc/cluster.hpp"
 #include "seq/combine.hpp"
 #include "seq/edit_distance.hpp"
+#include "seq/edit_distance_fast.hpp"
 
 namespace mpcsd::edit_mpc {
 
@@ -147,7 +148,7 @@ LargeDistanceResult run_large_distance(SymView s, SymView t,
 
   const auto mail1 = cluster.run_round(
       "edit:large:representatives", round1_inputs, [&](mpc::MachineContext& ctx) {
-        ByteReader r = ctx.reader();
+        auto r = ctx.reader();
         const auto rep_count = r.get<std::uint64_t>();
         std::vector<std::pair<std::int32_t, std::vector<Symbol>>> zs(rep_count);
         for (auto& [id, syms] : zs) {
@@ -168,7 +169,7 @@ LargeDistanceResult run_large_distance(SymView s, SymView t,
             const auto limit = std::min<std::int64_t>(
                 2 * taus.back(),
                 static_cast<std::int64_t>(zsyms.size() + vsyms.size()));
-            const auto d = seq::edit_distance_bounded(SymView(zsyms), SymView(vsyms),
+            const auto d = seq::edit_distance_bounded_fast(SymView(zsyms), SymView(vsyms),
                                                       std::max<std::int64_t>(limit, 1),
                                                       &work);
             if (!d.has_value()) continue;
@@ -191,8 +192,8 @@ LargeDistanceResult run_large_distance(SymView s, SymView t,
   std::vector<std::vector<BlockObservation>> btups(nb);
   std::unordered_map<std::int32_t, std::vector<CsObservation>> cstups;
   {
-    const Bytes payload = mpc::gather(mail1, 0);
-    ByteReader r(payload);
+    const ByteChain payload = mpc::gather_view(mail1, 0);
+    ChainReader r(payload);
     while (!r.exhausted()) {
       const auto count = r.get<std::uint64_t>();
       for (std::uint64_t i = 0; i < count; ++i) {
@@ -310,7 +311,7 @@ LargeDistanceResult run_large_distance(SymView s, SymView t,
 
   const auto mail2 = cluster.run_round(
       "edit:large:classify", round2_inputs, [&](mpc::MachineContext& ctx) {
-        ByteReader r = ctx.reader();
+        auto r = ctx.reader();
         const auto tag = r.get<std::uint8_t>();
         std::uint64_t work = 0;
         if (tag == 0) {
@@ -402,7 +403,7 @@ LargeDistanceResult run_large_distance(SymView s, SymView t,
                   std::max<std::int64_t>(
                       1, block_len + static_cast<std::int64_t>(window.size())));
               const auto e =
-                  seq::edit_distance_bounded(block_view, window, limit, &work);
+                  seq::edit_distance_bounded_fast(block_view, window, limit, &work);
               if (!e.has_value()) continue;
               tuples.push_back(seq::Tuple{block_begin, block_end, sp, ep, *e});
               if (*e <= extend_threshold) extendable.emplace_back(*e, Interval{sp, ep});
@@ -452,8 +453,8 @@ LargeDistanceResult run_large_distance(SymView s, SymView t,
   std::vector<ExtendRequest> requests;
   {
     std::unordered_set<std::uint64_t> seen;
-    const Bytes payload = mpc::gather(mail2, 1);
-    ByteReader r(payload);
+    const ByteChain payload = mpc::gather_view(mail2, 1);
+    ChainReader r(payload);
     while (!r.exhausted()) {
       const auto count = r.get<std::uint64_t>();
       for (std::uint64_t i = 0; i < count; ++i) {
@@ -515,7 +516,7 @@ LargeDistanceResult run_large_distance(SymView s, SymView t,
   // ------------------------------------------------------------------
   const auto mail3 = cluster.run_round(
       "edit:large:extend", round3_inputs, [&](mpc::MachineContext& ctx) {
-        ByteReader r = ctx.reader();
+        auto r = ctx.reader();
         const auto count = r.get<std::uint64_t>();
         std::uint64_t work = 0;
         std::vector<seq::Tuple> tuples;
@@ -530,7 +531,7 @@ LargeDistanceResult run_large_distance(SymView s, SymView t,
               cap, std::max<std::int64_t>(
                        1, static_cast<std::int64_t>(block_syms.size() +
                                                     window_syms.size())));
-          const auto e = seq::edit_distance_bounded(SymView(block_syms),
+          const auto e = seq::edit_distance_bounded_fast(SymView(block_syms),
                                                     SymView(window_syms), limit, &work);
           if (!e.has_value()) continue;
           tuples.push_back(seq::Tuple{bb, be, wb, we, *e});
@@ -542,17 +543,14 @@ LargeDistanceResult run_large_distance(SymView s, SymView t,
       });
 
   // ------------------------------------------------------------------
-  // Round 4: combine everything.
+  // Round 4: combine everything (round-2 and round-3 tuple payloads are
+  // chained in place; nothing is concatenated).
   // ------------------------------------------------------------------
-  Bytes all_tuples = mpc::gather(mail2, 0);
-  {
-    const Bytes extension_tuples = mpc::gather(mail3, 0);
-    all_tuples.insert(all_tuples.end(), extension_tuples.begin(),
-                      extension_tuples.end());
-  }
+  ByteChain all_tuples = mpc::gather_view(mail2, 0);
+  all_tuples.add(mpc::gather_view(mail3, 0));
   std::int64_t answer = n + n_bar;
   std::size_t tuple_count = 0;
-  cluster.run_round("edit:large:combine", {all_tuples}, [&](mpc::MachineContext& ctx) {
+  cluster.run_round_views("edit:large:combine", {all_tuples}, [&](mpc::MachineContext& ctx) {
     std::uint64_t work = 0;
     auto tuples = seq::read_all_tuples(ctx.input());
     tuple_count = tuples.size();

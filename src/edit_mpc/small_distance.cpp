@@ -9,6 +9,7 @@
 #include "mpc/cluster.hpp"
 #include "seq/combine.hpp"
 #include "seq/edit_distance.hpp"
+#include "seq/edit_distance_fast.hpp"
 
 namespace mpcsd::edit_mpc {
 
@@ -26,7 +27,7 @@ std::optional<std::int64_t> unit_distance(SymView a, SymView b, DistanceUnit uni
     return d <= limit ? std::optional<std::int64_t>(d) : std::nullopt;
   }
   if (unit == DistanceUnit::kExactBanded) {
-    return seq::edit_distance_bounded(a, b, std::max<std::int64_t>(limit, 0), work);
+    return seq::edit_distance_bounded_fast(a, b, std::max<std::int64_t>(limit, 0), work);
   }
   // Bound the unit's internal guess loop: if no guess up to ~limit
   // certifies, the true distance exceeds limit/(3+O(eps)) and the censored
@@ -106,7 +107,7 @@ PipelineResult run_small_distance(SymView s, SymView t,
   // ---- Round 1 (Algorithm 3): block-vs-candidate distances. ----
   const auto mail = cluster.run_round(
       "edit:small:distances", inputs, [&](mpc::MachineContext& ctx) {
-        ByteReader r = ctx.reader();
+        auto r = ctx.reader();
         const auto block_begin = r.get<std::int64_t>();
         const auto block_syms = r.get_vector<Symbol>();
         const auto batch = r.get_vector<std::int64_t>();
@@ -142,11 +143,11 @@ PipelineResult run_small_distance(SymView s, SymView t,
         ctx.emit(0, std::move(w).take());
       });
 
-  // ---- Round 2 (Algorithm 4): combine on one machine. ----
-  const Bytes all_tuples = mpc::gather(mail, 0);
+  // ---- Round 2 (Algorithm 4): combine on one machine (zero-copy inbox). ----
+  const ByteChain all_tuples = mpc::gather_view(mail, 0);
   std::int64_t answer = n + n_bar;
   std::size_t tuple_count = 0;
-  cluster.run_round("edit:small:combine", {all_tuples}, [&](mpc::MachineContext& ctx) {
+  cluster.run_round_views("edit:small:combine", {all_tuples}, [&](mpc::MachineContext& ctx) {
     std::uint64_t work = 0;
     auto tuples = seq::read_all_tuples(ctx.input());
     tuple_count = tuples.size();

@@ -8,7 +8,18 @@ namespace mpcsd::mpc {
 
 void MachineContext::emit(std::uint32_t dest, Bytes payload) {
   report_.output_bytes += payload.size();
-  outbox_.emplace_back(dest, std::move(payload));
+  outbox_.push_back(Envelope{dest, std::move(payload)});
+}
+
+std::span<const Envelope> Mail::at(std::uint32_t dest) const noexcept {
+  const auto lo = std::lower_bound(
+      msgs_.begin(), msgs_.end(), dest,
+      [](const Envelope& e, std::uint32_t d) { return e.dest < d; });
+  auto hi = lo;
+  while (hi != msgs_.end() && hi->dest == dest) ++hi;
+  return std::span<const Envelope>(msgs_).subspan(
+      static_cast<std::size_t>(lo - msgs_.begin()),
+      static_cast<std::size_t>(hi - lo));
 }
 
 Cluster::Cluster(ClusterConfig config)
@@ -16,21 +27,40 @@ Cluster::Cluster(ClusterConfig config)
 
 Mail Cluster::run_round(const std::string& label, const std::vector<Bytes>& inputs,
                         const std::function<void(MachineContext&)>& body) {
+  // Wrap each contiguous input as a single-fragment chain (no copy).
+  std::vector<ByteChain> chains(inputs.size());
+  for (std::size_t i = 0; i < inputs.size(); ++i) chains[i].add(ByteSpan(inputs[i]));
+  return run_round_views(label, chains, body);
+}
+
+Mail Cluster::run_round_views(const std::string& label,
+                              const std::vector<ByteChain>& inputs,
+                              const std::function<void(MachineContext&)>& body) {
   const std::size_t round = round_index_++;
   const std::size_t machines = inputs.size();
 
   std::vector<MachineReport> reports(machines);
-  std::vector<std::vector<std::pair<std::uint32_t, Bytes>>> outboxes(machines);
+  std::vector<std::vector<Envelope>> outboxes(machines);
+
+  // Auto grain: ~8 chunks per worker keeps balancing slack while tiny
+  // machine bodies stop paying one contended RMW each.
+  std::size_t grain = config_.grain;
+  if (grain == 0) {
+    grain = std::clamp<std::size_t>(machines / (pool_->worker_count() * 8 + 1),
+                                    1, 64);
+  }
 
   Stopwatch wall;
-  pool_->parallel_for(machines, [&](std::size_t i) {
-    MachineContext ctx(i, &inputs[i],
-                       derive_stream(config_.seed, round, i));
-    ctx.report_.input_bytes = inputs[i].size();
-    body(ctx);
-    reports[i] = ctx.report_;
-    outboxes[i] = std::move(ctx.outbox_);
-  });
+  pool_->parallel_for(
+      machines,
+      [&](std::size_t i) {
+        MachineContext ctx(i, &inputs[i], derive_stream(config_.seed, round, i));
+        ctx.report_.input_bytes = inputs[i].total_bytes();
+        body(ctx);
+        reports[i] = ctx.report_;
+        outboxes[i] = std::move(ctx.outbox_);
+      },
+      grain);
 
   RoundReport rr;
   rr.label = label;
@@ -55,20 +85,30 @@ Mail Cluster::run_round(const std::string& label, const std::vector<Bytes>& inpu
   }
   trace_.add_round(rr);
 
-  // Deterministic mail merge: machine id order, then emission order.
+  // Deterministic flat merge: move every envelope (payloads are never
+  // copied), then stable-sort by destination — within a mailbox the order
+  // stays (machine id, emission index), exactly as the old per-mailbox
+  // vectors were filled.
   Mail mail;
+  std::size_t total = 0;
+  for (const auto& outbox : outboxes) total += outbox.size();
+  mail.msgs_.reserve(total);
   for (auto& outbox : outboxes) {
-    for (auto& [dest, payload] : outbox) {
-      mail[dest].push_back(std::move(payload));
-    }
+    for (Envelope& env : outbox) mail.msgs_.push_back(std::move(env));
   }
+  std::stable_sort(mail.msgs_.begin(), mail.msgs_.end(),
+                   [](const Envelope& a, const Envelope& b) { return a.dest < b.dest; });
   return mail;
 }
 
 Bytes gather(const Mail& mail, std::uint32_t dest) {
-  const auto it = mail.find(dest);
-  if (it == mail.end()) return {};
-  return concat(it->second);
+  return gather_view(mail, dest).to_bytes();
+}
+
+ByteChain gather_view(const Mail& mail, std::uint32_t dest) {
+  ByteChain chain;
+  for (const Envelope& env : mail.at(dest)) chain.add(ByteSpan(env.payload));
+  return chain;
 }
 
 }  // namespace mpcsd::mpc

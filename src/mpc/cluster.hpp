@@ -14,12 +14,20 @@
 //     machine), so results are reproducible regardless of scheduling.
 //   * Work is charged explicitly by the machine body (DP cells etc.), which
 //     is what the "total running time" column of Table 1 counts.
+//
+// Mail routing is zero-copy: emitted payloads are moved (never re-copied)
+// into a flat `Mail` sorted by destination, and `gather_view` hands the next
+// round's machines a `ByteChain` over the payloads in place — the old
+// map-of-vectors merge plus `gather`/`concat` copied every inter-machine
+// byte twice per round.  The routing order is unchanged: ascending mailbox
+// id, and within a mailbox ascending (machine id, emission index).
 #pragma once
 
 #include <cstdint>
 #include <functional>
-#include <map>
 #include <memory>
+#include <span>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -39,6 +47,11 @@ struct ClusterConfig {
   std::size_t workers = 0;
   /// Root seed for all machine RNG streams.
   std::uint64_t seed = 0;
+  /// parallel_for grain: consecutive machines one worker claims per atomic
+  /// fetch.  0 = auto (scales with machines per worker, capped at 64) so
+  /// rounds with thousands of tiny machine bodies don't pay one contended
+  /// RMW per machine; rounds with few machines keep perfect balancing.
+  std::size_t grain = 0;
 };
 
 class MemoryLimitExceeded : public std::runtime_error {
@@ -46,16 +59,41 @@ class MemoryLimitExceeded : public std::runtime_error {
   using std::runtime_error::runtime_error;
 };
 
-/// Mailbox id -> payloads, in deterministic (machine id, emission) order.
-using Mail = std::map<std::uint32_t, std::vector<Bytes>>;
+/// One routed message: destination mailbox and its (owned) payload.
+struct Envelope {
+  std::uint32_t dest = 0;
+  Bytes payload;
+};
+
+/// The merged mail of one round: a flat vector of envelopes, stable-sorted
+/// by destination (within a mailbox: machine id order, then emission order —
+/// exactly the order the old map-of-vectors produced).
+class Mail {
+ public:
+  Mail() = default;
+
+  [[nodiscard]] bool empty() const noexcept { return msgs_.empty(); }
+  [[nodiscard]] std::size_t message_count() const noexcept { return msgs_.size(); }
+
+  /// All envelopes for `dest`, in deterministic order (empty span if none).
+  [[nodiscard]] std::span<const Envelope> at(std::uint32_t dest) const noexcept;
+
+  /// Every envelope, sorted by (dest, machine id, emission index).
+  [[nodiscard]] const std::vector<Envelope>& all() const noexcept { return msgs_; }
+
+ private:
+  friend class Cluster;
+  std::vector<Envelope> msgs_;
+};
 
 class Cluster;
 
-/// The per-machine execution context handed to the round body.
+/// The per-machine execution context handed to the round body.  A machine's
+/// input is a `ByteChain` — one fragment per routed payload — read in place.
 class MachineContext {
  public:
-  [[nodiscard]] const Bytes& input() const noexcept { return *input_; }
-  [[nodiscard]] ByteReader reader() const { return ByteReader(*input_); }
+  [[nodiscard]] const ByteChain& input() const noexcept { return *input_; }
+  [[nodiscard]] ChainReader reader() const { return ChainReader(*input_); }
   [[nodiscard]] std::size_t machine_id() const noexcept { return id_; }
 
   /// Sends `payload` to mailbox `dest` for the next round.
@@ -74,14 +112,14 @@ class MachineContext {
 
  private:
   friend class Cluster;
-  MachineContext(std::size_t id, const Bytes* input, Pcg32 rng)
+  MachineContext(std::size_t id, const ByteChain* input, Pcg32 rng)
       : id_(id), input_(input), rng_(rng) {}
 
   std::size_t id_;
-  const Bytes* input_;
+  const ByteChain* input_;
   Pcg32 rng_;
   MachineReport report_;
-  std::vector<std::pair<std::uint32_t, Bytes>> outbox_;
+  std::vector<Envelope> outbox_;
 };
 
 class Cluster {
@@ -92,6 +130,13 @@ class Cluster {
   /// mail for the next round.  Round metrics are appended to the trace.
   Mail run_round(const std::string& label, const std::vector<Bytes>& inputs,
                  const std::function<void(MachineContext&)>& body);
+
+  /// Zero-copy variant: each machine's input is a chain of byte fragments
+  /// (typically `gather_view` of the previous round's mail) read in place.
+  /// The storage the chains reference must stay alive for the call.
+  /// Metering is byte-identical to feeding the concatenated buffers.
+  Mail run_round_views(const std::string& label, const std::vector<ByteChain>& inputs,
+                       const std::function<void(MachineContext&)>& body);
 
   [[nodiscard]] const ExecutionTrace& trace() const noexcept { return trace_; }
   [[nodiscard]] ExecutionTrace take_trace() { return std::move(trace_); }
@@ -104,8 +149,12 @@ class Cluster {
   std::size_t round_index_ = 0;
 };
 
-/// Concatenates all payloads of one mailbox (common "single machine reads
-/// everything" pattern for combine rounds).
+/// Concatenates all payloads of one mailbox into a fresh buffer (copying;
+/// kept for call sites that need owned bytes, e.g. driver-side parsing).
 Bytes gather(const Mail& mail, std::uint32_t dest);
+
+/// Zero-copy gather: a chain over the mailbox payloads in place.  The
+/// returned chain borrows from `mail`, which must outlive it.
+ByteChain gather_view(const Mail& mail, std::uint32_t dest);
 
 }  // namespace mpcsd::mpc

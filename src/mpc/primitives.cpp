@@ -19,6 +19,7 @@ std::vector<Bytes> chunk_records(const std::vector<KeyValue>& records,
   for (std::size_t i = 0; i < records.size(); i += std::max<std::size_t>(per, 1)) {
     const std::size_t hi = std::min(records.size(), i + per);
     ByteWriter w;
+    w.reserve(sizeof(std::uint64_t) + (hi - i) * sizeof(KeyValue));
     w.put_vector(std::vector<KeyValue>(records.begin() + static_cast<std::ptrdiff_t>(i),
                                        records.begin() + static_cast<std::ptrdiff_t>(hi)));
     inputs.push_back(std::move(w).take());
@@ -51,7 +52,7 @@ SortResult mpc_sort(Cluster& cluster, std::vector<KeyValue> records,
   // ---- Round 1: sample candidate splitters. ----
   const auto chunks = chunk_records(records, machines);
   const auto mail1 = cluster.run_round("sort:sample", chunks, [&](MachineContext& ctx) {
-    ByteReader r = ctx.reader();
+    auto r = ctx.reader();
     const auto recs = r.get_vector<KeyValue>();
     std::vector<KeyValue> sample;
     for (const KeyValue& kv : recs) {
@@ -65,9 +66,9 @@ SortResult mpc_sort(Cluster& cluster, std::vector<KeyValue> records,
 
   // ---- Round 2: one coordinator picks machines-1 splitters. ----
   std::vector<KeyValue> splitters;
-  cluster.run_round("sort:splitters", {gather(mail1, 0)}, [&](MachineContext& ctx) {
+  cluster.run_round_views("sort:splitters", {gather_view(mail1, 0)}, [&](MachineContext& ctx) {
     std::vector<KeyValue> sample;
-    ByteReader r = ctx.reader();
+    auto r = ctx.reader();
     while (!r.exhausted()) {
       const auto part = r.get_vector<KeyValue>();
       sample.insert(sample.end(), part.begin(), part.end());
@@ -87,17 +88,19 @@ SortResult mpc_sort(Cluster& cluster, std::vector<KeyValue> records,
   });
 
   // ---- Round 3: partition records by splitter. ----
-  std::vector<Bytes> round3_inputs;
-  for (const Bytes& chunk : chunks) {
-    ByteWriter w;
-    w.put_vector(splitters);
-    Bytes merged = std::move(w).take();
-    merged.insert(merged.end(), chunk.begin(), chunk.end());
-    round3_inputs.push_back(std::move(merged));
+  // Each input is "splitter broadcast + original chunk": chain the two
+  // fragments instead of materialising the concatenation per machine.
+  ByteWriter splitter_msg;
+  splitter_msg.put_vector(splitters);
+  const Bytes splitter_bytes = std::move(splitter_msg).take();
+  std::vector<ByteChain> round3_inputs(chunks.size());
+  for (std::size_t i = 0; i < chunks.size(); ++i) {
+    round3_inputs[i].add(ByteSpan(splitter_bytes));
+    round3_inputs[i].add(ByteSpan(chunks[i]));
   }
   const auto mail3 =
-      cluster.run_round("sort:partition", round3_inputs, [&](MachineContext& ctx) {
-        ByteReader r = ctx.reader();
+      cluster.run_round_views("sort:partition", round3_inputs, [&](MachineContext& ctx) {
+        auto r = ctx.reader();
         const auto splits = r.get_vector<KeyValue>();
         const auto recs = r.get_vector<KeyValue>();
         std::vector<std::vector<KeyValue>> parts(machines);
@@ -115,14 +118,14 @@ SortResult mpc_sort(Cluster& cluster, std::vector<KeyValue> records,
       });
 
   // ---- Round 4: sort each partition locally; concatenation is sorted. ----
-  std::vector<Bytes> round4_inputs;
+  std::vector<ByteChain> round4_inputs;
   for (std::size_t p = 0; p < machines; ++p) {
-    round4_inputs.push_back(gather(mail3, static_cast<std::uint32_t>(p)));
+    round4_inputs.push_back(gather_view(mail3, static_cast<std::uint32_t>(p)));
   }
   const auto mail4 =
-      cluster.run_round("sort:local", round4_inputs, [&](MachineContext& ctx) {
+      cluster.run_round_views("sort:local", round4_inputs, [&](MachineContext& ctx) {
         std::vector<KeyValue> recs;
-        ByteReader r = ctx.reader();
+        auto r = ctx.reader();
         while (!r.exhausted()) {
           const auto part = r.get_vector<KeyValue>();
           recs.insert(recs.end(), part.begin(), part.end());
@@ -136,8 +139,8 @@ SortResult mpc_sort(Cluster& cluster, std::vector<KeyValue> records,
       });
 
   for (std::size_t p = 0; p < machines; ++p) {
-    const Bytes payload = gather(mail4, static_cast<std::uint32_t>(p));
-    ByteReader r(payload);
+    const ByteChain view = gather_view(mail4, static_cast<std::uint32_t>(p));
+    ChainReader r(view);
     while (!r.exhausted()) {
       const auto part = r.get_vector<KeyValue>();
       result.records.insert(result.records.end(), part.begin(), part.end());
@@ -169,7 +172,7 @@ std::vector<JoinedRecord> mpc_hash_join(Cluster& cluster,
   inputs.insert(inputs.end(), right_inputs.begin(), right_inputs.end());
 
   const auto mail1 = cluster.run_round("join:partition", inputs, [&](MachineContext& ctx) {
-    ByteReader r = ctx.reader();
+    auto r = ctx.reader();
     const auto tag = static_cast<std::uint8_t>(r.get<std::byte>());
     const auto recs = r.get_vector<KeyValue>();
     std::vector<std::vector<KeyValue>> parts(machines);
@@ -187,14 +190,14 @@ std::vector<JoinedRecord> mpc_hash_join(Cluster& cluster,
   });
 
   // ---- Round 2: per-partition hash join. ----
-  std::vector<Bytes> round2_inputs;
+  std::vector<ByteChain> round2_inputs;
   for (std::size_t p = 0; p < machines; ++p) {
-    round2_inputs.push_back(gather(mail1, static_cast<std::uint32_t>(p)));
+    round2_inputs.push_back(gather_view(mail1, static_cast<std::uint32_t>(p)));
   }
-  const auto mail2 = cluster.run_round("join:match", round2_inputs, [&](MachineContext& ctx) {
+  const auto mail2 = cluster.run_round_views("join:match", round2_inputs, [&](MachineContext& ctx) {
     std::vector<KeyValue> lefts;
     std::unordered_map<std::int64_t, std::int64_t> rights;
-    ByteReader r = ctx.reader();
+    auto r = ctx.reader();
     while (!r.exhausted()) {
       const auto tag = r.get<std::uint8_t>();
       const auto recs = r.get_vector<KeyValue>();
@@ -218,8 +221,8 @@ std::vector<JoinedRecord> mpc_hash_join(Cluster& cluster,
   });
 
   std::vector<JoinedRecord> joined;
-  const Bytes payload = gather(mail2, 0);
-  ByteReader r(payload);
+  const ByteChain payload = gather_view(mail2, 0);
+  ChainReader r(payload);
   while (!r.exhausted()) {
     const auto count = r.get<std::uint64_t>();
     for (std::uint64_t i = 0; i < count; ++i) joined.push_back(r.get<JoinedRecord>());

@@ -11,6 +11,7 @@
 #include "common/grid.hpp"
 #include "common/rng.hpp"
 #include "seq/edit_distance.hpp"
+#include "seq/edit_distance_fast.hpp"
 
 namespace mpcsd::seq {
 
@@ -125,7 +126,7 @@ class PairOracle {
       if (e.exact) return e.value <= cap ? std::optional<std::int64_t>(e.value) : std::nullopt;
       if (cap < 2 * std::max<std::int64_t>(e.value, 1)) return std::nullopt;
     }
-    const auto d = edit_distance_banded(node_view(u), node_view(v), cap, work_);
+    const auto d = edit_distance_banded_fast(node_view(u), node_view(v), cap, work_);
     Entry e;
     if (d.has_value()) {
       e.exact = true;
@@ -227,7 +228,7 @@ ApproxEditResult approx_edit_distance(SymView a, SymView b,
       // with early abort keeps this path at O(n·guess_limit) instead of
       // O(n²) per pair.
       const auto lim = std::min<std::int64_t>(na + nb, 2 * params.guess_limit + 2);
-      if (const auto d = edit_distance_banded(a, b, lim, &out.work)) {
+      if (const auto d = edit_distance_banded_fast(a, b, lim, &out.work)) {
         out.distance = *d;
         out.exact = true;
         return out;
@@ -238,7 +239,7 @@ ApproxEditResult approx_edit_distance(SymView a, SymView b,
       out.exact = false;
       return out;
     }
-    out.distance = edit_distance(a, b, &out.work);
+    out.distance = edit_distance_fast(a, b, &out.work);
     out.exact = true;
     return out;
   }
@@ -266,7 +267,7 @@ ApproxEditResult approx_edit_distance(SymView a, SymView b,
 
     if (t <= w) {
       // Exact band: certifies the distance exactly when <= t.
-      if (const auto d = edit_distance_banded(a, b, t, &out.work)) {
+      if (const auto d = edit_distance_banded_fast(a, b, t, &out.work)) {
         out.distance = std::min(best, *d);
         out.accepted_guess = t;
         out.exact = true;

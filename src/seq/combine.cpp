@@ -234,6 +234,7 @@ std::int64_t combine_tuples_naive(std::vector<Tuple> tuples, std::int64_t n,
 }
 
 void write_tuples(ByteWriter& writer, std::span<const Tuple> tuples) {
+  writer.reserve(writer.size() + sizeof(std::uint64_t) + tuples.size() * sizeof(Tuple));
   writer.put<std::uint64_t>(tuples.size());
   for (const Tuple& t : tuples) writer.put(t);
 }
@@ -244,6 +245,19 @@ std::vector<Tuple> read_all_tuples(const Bytes& payload) {
   while (!reader.exhausted()) {
     const auto count = reader.get<std::uint64_t>();
     out.reserve(out.size() + count);
+    for (std::uint64_t i = 0; i < count; ++i) out.push_back(reader.get<Tuple>());
+  }
+  return out;
+}
+
+std::vector<Tuple> read_all_tuples(const ByteChain& payload) {
+  std::vector<Tuple> out;
+  // Batches never straddle sender payloads, so nearly every read stays on
+  // the reader's single-fragment fast path.
+  out.reserve(payload.total_bytes() / sizeof(Tuple) + 1);
+  ChainReader reader(payload);
+  while (!reader.exhausted()) {
+    const auto count = reader.get<std::uint64_t>();
     for (std::uint64_t i = 0; i < count; ++i) out.push_back(reader.get<Tuple>());
   }
   return out;

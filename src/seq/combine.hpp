@@ -79,4 +79,8 @@ void write_tuples(ByteWriter& writer, std::span<const Tuple> tuples);
 /// Reads every tuple batch from a concatenated mailbox payload.
 std::vector<Tuple> read_all_tuples(const Bytes& payload);
 
+/// Zero-copy variant: reads every tuple batch straight out of a mailbox
+/// view (one fragment per sender payload) without concatenating.
+std::vector<Tuple> read_all_tuples(const ByteChain& payload);
+
 }  // namespace mpcsd::seq

@@ -1,28 +1,50 @@
 #include "seq/myers.hpp"
 
+#include <cstdlib>
 #include <unordered_map>
 #include <vector>
 
 namespace mpcsd::seq {
 
-std::int64_t edit_distance_myers(SymView a, SymView b, std::uint64_t* work) {
+namespace {
+
+/// Pattern preprocessing shared by the bounded and unbounded drivers: the
+/// pattern alphabet remapped to dense ids, with one flat row of `blocks`
+/// equality words per id.  Id `distinct` is an all-zero row for text
+/// symbols that do not occur in the pattern, so lookups never branch.
+struct PatternMasks {
+  std::size_t blocks = 0;
+  std::vector<std::uint64_t> eq;  ///< (distinct + 1) rows of `blocks` words
+  std::unordered_map<Symbol, std::uint32_t> ids;
+
+  PatternMasks(SymView a, std::size_t blocks_) : blocks(blocks_) {
+    ids.reserve(a.size() * 2);
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      const auto [it, inserted] =
+          ids.try_emplace(a[i], static_cast<std::uint32_t>(ids.size()));
+      if (inserted) eq.resize(eq.size() + blocks, 0);
+      eq[static_cast<std::size_t>(it->second) * blocks + (i >> 6)] |=
+          1ULL << (i & 63);
+    }
+    eq.resize(eq.size() + blocks, 0);  // the zero row
+  }
+
+  [[nodiscard]] const std::uint64_t* row(Symbol s) const {
+    const auto it = ids.find(s);
+    const std::size_t id = it == ids.end() ? ids.size() : it->second;
+    return eq.data() + id * blocks;
+  }
+};
+
+/// Core blocked Hyyrö recurrence.  Processes columns of `b` until done or
+/// (when `bound >= 0`) the score provably exceeds `bound`; returns the
+/// final score, or nullopt on early abort.  `work` counts words processed.
+std::optional<std::int64_t> myers_run(SymView a, SymView b, std::int64_t bound,
+                                      std::uint64_t* work) {
   const auto m = static_cast<std::int64_t>(a.size());
   const auto n = static_cast<std::int64_t>(b.size());
-  if (m == 0) return n;
-  if (n == 0) return m;
-
   const auto blocks = static_cast<std::size_t>((m + 63) / 64);
-
-  // Equality masks of the pattern, one 64-bit word per block per symbol.
-  std::unordered_map<Symbol, std::vector<std::uint64_t>> peq;
-  peq.reserve(a.size() * 2);
-  for (std::int64_t i = 0; i < m; ++i) {
-    auto& masks = peq.try_emplace(a[static_cast<std::size_t>(i)],
-                                  std::vector<std::uint64_t>(blocks, 0))
-                      .first->second;
-    masks[static_cast<std::size_t>(i >> 6)] |= 1ULL << (i & 63);
-  }
-  const std::vector<std::uint64_t> zero(blocks, 0);
+  const PatternMasks masks(a, blocks);
 
   // Vertical delta encoding (Hyyrö 2003): Pv bit set = +1, Mv bit set = -1.
   // Bits above m-1 in the last block are garbage but harmless: all carries
@@ -31,10 +53,10 @@ std::int64_t edit_distance_myers(SymView a, SymView b, std::uint64_t* work) {
   std::vector<std::uint64_t> mv(blocks, 0);
   const std::uint64_t last_bit = 1ULL << ((m - 1) & 63);
   std::int64_t score = m;
+  std::uint64_t words = 0;
 
   for (std::int64_t j = 0; j < n; ++j) {
-    const auto it = peq.find(b[static_cast<std::size_t>(j)]);
-    const std::vector<std::uint64_t>& eqv = it == peq.end() ? zero : it->second;
+    const std::uint64_t* eqv = masks.row(b[static_cast<std::size_t>(j)]);
     int hin = 1;  // top boundary row: d[0][j] = j
     for (std::size_t k = 0; k < blocks; ++k) {
       std::uint64_t eq = eqv[k];
@@ -66,9 +88,40 @@ std::int64_t edit_distance_myers(SymView a, SymView b, std::uint64_t* work) {
       hin = hout;
     }
     score += hin;
+    words += blocks;
+    // score = d[m][j+1]; the remaining n-j-1 columns each lower the final
+    // value by at most 1, so score - (n-j-1) <= d[m][n].
+    if (bound >= 0 && score - (n - j - 1) > bound) {
+      if (work != nullptr) *work += words;
+      return std::nullopt;
+    }
   }
-  if (work != nullptr) *work += static_cast<std::uint64_t>(n) * blocks;
+  if (work != nullptr) *work += words;
   return score;
+}
+
+}  // namespace
+
+std::int64_t edit_distance_myers(SymView a, SymView b, std::uint64_t* work) {
+  const auto m = static_cast<std::int64_t>(a.size());
+  const auto n = static_cast<std::int64_t>(b.size());
+  if (m == 0) return n;
+  if (n == 0) return m;
+  return *myers_run(a, b, -1, work);
+}
+
+std::optional<std::int64_t> edit_distance_myers_bounded(SymView a, SymView b,
+                                                        std::int64_t k,
+                                                        std::uint64_t* work) {
+  const auto m = static_cast<std::int64_t>(a.size());
+  const auto n = static_cast<std::int64_t>(b.size());
+  if (k < 0) return std::nullopt;
+  if (std::abs(n - m) > k) return std::nullopt;  // length gap lower bound
+  if (m == 0) return n;
+  if (n == 0) return m;
+  const auto d = myers_run(a, b, k, work);
+  if (!d.has_value() || *d > k) return std::nullopt;
+  return d;
 }
 
 }  // namespace mpcsd::seq

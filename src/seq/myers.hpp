@@ -1,13 +1,20 @@
 // Myers' bit-parallel edit distance (Myers 1999, blocked form after
 // Hyyrö 2003): exact Levenshtein distance in O(|a|·|b|/64) word operations.
 //
-// Used as an ablation unit in the benches — it is the fastest exact engine
-// for moderate distances and large alphabets, and a strong baseline for
-// the work-metering of the DP engines.  Symbols are arbitrary 32-bit
-// values (the pattern's equality bitmasks live in a hash map).
+// This is the fast exact engine behind `edit_distance_fast` (see
+// edit_distance_fast.hpp for the dispatch rules): ~w-fold fewer operations
+// than the scalar row DP for moderate-to-large distances, independent of
+// the answer.  Symbols are arbitrary 32-bit values; the pattern's alphabet
+// is remapped to dense ids so the equality bitmasks live in one flat,
+// cache-friendly table regardless of alphabet size.
+//
+// The `work` meter counts 64-bit words processed (columns × blocks), the
+// bit-parallel analogue of DP cells; `edit_distance_fast` converts this to
+// modelled DP cells so Table 1 metering stays cell-based.
 #pragma once
 
 #include <cstdint>
+#include <optional>
 
 #include "seq/types.hpp"
 
@@ -16,5 +23,15 @@ namespace mpcsd::seq {
 /// Exact edit distance via the blocked bit-parallel recurrence.
 /// O(ceil(|a|/64) * |b|) word ops, O(ceil(|a|/64) * distinct(a)) memory.
 std::int64_t edit_distance_myers(SymView a, SymView b, std::uint64_t* work = nullptr);
+
+/// k-bounded variant: the exact distance when it is <= k, std::nullopt
+/// otherwise.  Runs the same blocked recurrence but aborts as soon as the
+/// running score certifies distance > k (score at column j lower-bounds the
+/// final distance by score - (|b| - j)).  Cost never exceeds the unbounded
+/// run and the early abort makes censored pairs cheap; unlike the scalar
+/// band, cost does not grow with k, so no doubling driver is needed.
+std::optional<std::int64_t> edit_distance_myers_bounded(SymView a, SymView b,
+                                                        std::int64_t k,
+                                                        std::uint64_t* work = nullptr);
 
 }  // namespace mpcsd::seq

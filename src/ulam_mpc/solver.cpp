@@ -93,7 +93,7 @@ UlamMpcResult ulam_distance_mpc(SymView s, SymView t, const UlamMpcParams& param
   std::vector<CandidateStats> stats(inputs.size());
   const auto mail = cluster.run_round(
       "ulam:candidates", inputs, [&](mpc::MachineContext& ctx) {
-        ByteReader r = ctx.reader();
+        auto r = ctx.reader();
         const auto begin = r.get<std::int64_t>();
         const auto positions = r.get_vector<std::int64_t>();
         CandidateParams cp;
@@ -120,11 +120,13 @@ UlamMpcResult ulam_distance_mpc(SymView s, SymView t, const UlamMpcParams& param
   }
 
   // ---- Round 2: Algorithm 2 on one machine. ----
-  const Bytes all_tuples = mpc::gather(mail, 0);
+  // The combine machine reads the round-1 payloads in place (zero-copy);
+  // its metered input is still the full mailbox byte count.
+  const ByteChain all_tuples = mpc::gather_view(mail, 0);
   std::int64_t answer = std::max(n, n_bar);
   std::size_t tuple_count = 0;
   std::vector<seq::Tuple> kept;
-  const auto mail2 = cluster.run_round(
+  const auto mail2 = cluster.run_round_views(
       "ulam:combine", {all_tuples}, [&](mpc::MachineContext& ctx) {
         std::uint64_t work = 0;
         auto tuples = read_all_tuples(ctx.input());

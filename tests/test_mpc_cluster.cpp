@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <map>
 #include <numeric>
 
 #include "mpc/cluster.hpp"
@@ -21,7 +22,7 @@ TEST(Cluster, SingleRoundEcho) {
   Cluster cluster(ClusterConfig{});
   std::vector<Bytes> inputs{payload_of(1), payload_of(2), payload_of(3)};
   const auto mail = cluster.run_round("echo", inputs, [](MachineContext& ctx) {
-    ByteReader r = ctx.reader();
+    auto r = ctx.reader();
     const auto v = r.get<std::int64_t>();
     ByteWriter w;
     w.put(v * 10);
@@ -45,7 +46,7 @@ TEST(Cluster, MailOrderIsDeterministicAcrossRuns) {
     std::vector<Bytes> inputs;
     for (std::int64_t i = 0; i < 50; ++i) inputs.push_back(payload_of(i));
     const auto mail = cluster.run_round("m", inputs, [](MachineContext& ctx) {
-      ByteReader r = ctx.reader();
+      auto r = ctx.reader();
       ByteWriter w;
       w.put(r.get<std::int64_t>());
       ctx.emit(0, std::move(w).take());
@@ -199,6 +200,148 @@ TEST(Cluster, ZeroMachinesRound) {
   const auto mail = cluster.run_round("empty", {}, [](MachineContext&) {});
   EXPECT_TRUE(mail.empty());
   EXPECT_EQ(cluster.trace().rounds()[0].machines, 0u);
+}
+
+// ---- Zero-copy routing: equivalence with the contiguous-inputs path. ----
+
+// A body exercising everything a machine can do: read, compute, charge,
+// and emit to several interleaved mailboxes.
+void busy_body(MachineContext& ctx) {
+  auto r = ctx.reader();
+  const auto v = r.get<std::int64_t>();
+  ctx.charge_work(static_cast<std::uint64_t>(3 * v + 1));
+  ctx.charge_scratch(16);
+  ByteWriter w1;
+  w1.put<std::int64_t>(v + 100);
+  ctx.emit(static_cast<std::uint32_t>(v % 3), std::move(w1).take());
+  ByteWriter w2;
+  w2.put<std::int64_t>(-v);
+  ctx.emit(7, std::move(w2).take());
+}
+
+TEST(Cluster, ViewsPathMatchesBytesPathByteExact) {
+  std::vector<Bytes> inputs;
+  for (std::int64_t i = 0; i < 20; ++i) inputs.push_back(payload_of(i));
+
+  Cluster c1(ClusterConfig{});
+  const auto mail_bytes = c1.run_round("r", inputs, busy_body);
+
+  // Same storage, but each 8-byte input handed over as two fragments.
+  std::vector<ByteChain> chains(inputs.size());
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    chains[i].add(ByteSpan(inputs[i].data(), 3));
+    chains[i].add(ByteSpan(inputs[i].data() + 3, inputs[i].size() - 3));
+  }
+  Cluster c2(ClusterConfig{});
+  const auto mail_views = c2.run_round_views("r", chains, busy_body);
+
+  // Mail must be byte-exact, envelope by envelope.
+  ASSERT_EQ(mail_bytes.message_count(), mail_views.message_count());
+  for (std::size_t i = 0; i < mail_bytes.all().size(); ++i) {
+    EXPECT_EQ(mail_bytes.all()[i].dest, mail_views.all()[i].dest) << "envelope " << i;
+    EXPECT_EQ(mail_bytes.all()[i].payload, mail_views.all()[i].payload) << "envelope " << i;
+  }
+  for (const std::uint32_t dest : {0u, 1u, 2u, 7u, 99u}) {
+    EXPECT_EQ(gather(mail_bytes, dest), gather(mail_views, dest)) << "dest=" << dest;
+  }
+
+  // RoundReport metering must be identical (wall time excepted).
+  const RoundReport& a = c1.trace().rounds()[0];
+  const RoundReport& b = c2.trace().rounds()[0];
+  EXPECT_EQ(a.machines, b.machines);
+  EXPECT_EQ(a.max_machine_memory, b.max_machine_memory);
+  EXPECT_EQ(a.total_comm_bytes, b.total_comm_bytes);
+  EXPECT_EQ(a.total_input_bytes, b.total_input_bytes);
+  EXPECT_EQ(a.total_work, b.total_work);
+  EXPECT_EQ(a.max_machine_work, b.max_machine_work);
+  EXPECT_EQ(a.memory_violations, b.memory_violations);
+}
+
+TEST(Cluster, FlatRoutingMatchesMapReference) {
+  // Reference semantics: the seed's map-of-vectors merge — ascending dest,
+  // within a dest ascending machine id, then emission order.
+  std::vector<Bytes> inputs;
+  for (std::int64_t i = 0; i < 17; ++i) inputs.push_back(payload_of(i));
+  Cluster cluster(ClusterConfig{});
+  const auto mail = cluster.run_round("route", inputs, [](MachineContext& ctx) {
+    auto r = ctx.reader();
+    const auto v = r.get<std::int64_t>();
+    for (std::int64_t e = 0; e < 3; ++e) {
+      ByteWriter w;
+      w.put<std::int64_t>(v * 10 + e);
+      ctx.emit(static_cast<std::uint32_t>((v + e) % 4), std::move(w).take());
+    }
+  });
+
+  std::map<std::uint32_t, std::vector<Bytes>> reference;
+  for (std::int64_t v = 0; v < 17; ++v) {
+    for (std::int64_t e = 0; e < 3; ++e) {
+      ByteWriter w;
+      w.put<std::int64_t>(v * 10 + e);
+      reference[static_cast<std::uint32_t>((v + e) % 4)].push_back(std::move(w).take());
+    }
+  }
+  std::size_t i = 0;
+  for (const auto& [dest, payloads] : reference) {
+    const auto span = mail.at(dest);
+    ASSERT_EQ(span.size(), payloads.size()) << "dest=" << dest;
+    for (std::size_t j = 0; j < payloads.size(); ++j, ++i) {
+      EXPECT_EQ(span[j].payload, payloads[j]) << "dest=" << dest << " j=" << j;
+      EXPECT_EQ(mail.all()[i].dest, dest);
+      EXPECT_EQ(mail.all()[i].payload, payloads[j]);
+    }
+  }
+  EXPECT_EQ(i, mail.message_count());
+}
+
+TEST(Cluster, StrictMemoryThrowsOnViewsPath) {
+  Cluster cluster(ClusterConfig{.memory_limit_bytes = 50,
+                                .strict_memory = true,
+                                .workers = 1,
+                                .seed = 0});
+  const Bytes big(100);
+  std::vector<ByteChain> chains(1);
+  chains[0].add(ByteSpan(big));
+  EXPECT_THROW(cluster.run_round_views("boom", chains, [](MachineContext&) {}),
+               MemoryLimitExceeded);
+}
+
+TEST(Cluster, GrainConfigDoesNotChangeResults) {
+  auto run_with_grain = [](std::size_t grain) {
+    Cluster cluster(ClusterConfig{.memory_limit_bytes = UINT64_MAX,
+                                  .strict_memory = false,
+                                  .workers = 4,
+                                  .seed = 5,
+                                  .grain = grain});
+    std::vector<Bytes> inputs;
+    for (std::int64_t i = 0; i < 100; ++i) inputs.push_back(payload_of(i));
+    const auto mail = cluster.run_round("g", inputs, [](MachineContext& ctx) {
+      auto r = ctx.reader();
+      ByteWriter w;
+      w.put<std::int64_t>(r.get<std::int64_t>() * 2);
+      ctx.emit(0, std::move(w).take());
+    });
+    return gather(mail, 0);
+  };
+  const auto baseline = run_with_grain(1);
+  EXPECT_EQ(run_with_grain(0), baseline);   // auto
+  EXPECT_EQ(run_with_grain(7), baseline);
+  EXPECT_EQ(run_with_grain(64), baseline);
+}
+
+TEST(Cluster, GatherViewMatchesGather) {
+  Cluster cluster(ClusterConfig{});
+  std::vector<Bytes> inputs{payload_of(1), payload_of(2), payload_of(3)};
+  const auto mail = cluster.run_round("gv", inputs, [](MachineContext& ctx) {
+    auto r = ctx.reader();
+    ByteWriter w;
+    w.put<std::int64_t>(r.get<std::int64_t>());
+    ctx.emit(0, std::move(w).take());
+  });
+  const ByteChain view = gather_view(mail, 0);
+  EXPECT_EQ(view.to_bytes(), gather(mail, 0));
+  EXPECT_EQ(view.parts().size(), 3u);  // one fragment per payload, no copy
+  EXPECT_TRUE(gather_view(mail, 42).empty());
 }
 
 }  // namespace

@@ -3,8 +3,11 @@
 
 #include <algorithm>
 
+#include <optional>
+
 #include "core/workload.hpp"
 #include "seq/edit_distance.hpp"
+#include "seq/edit_distance_fast.hpp"
 #include "seq/myers.hpp"
 #include "seq/types.hpp"
 
@@ -84,6 +87,129 @@ INSTANTIATE_TEST_SUITE_P(
     SizesAndAlphabets, MyersSweep,
     ::testing::Combine(::testing::Values<std::int64_t>(1, 2, 64, 65, 200, 1000),
                        ::testing::Values<Symbol>(2, 4, 26, 1000)));
+
+TEST(MyersBounded, KnownValues) {
+  using Opt = std::optional<std::int64_t>;
+  EXPECT_EQ(edit_distance_myers_bounded(to_symbols("kitten"), to_symbols("sitting"), 3),
+            Opt(3));
+  EXPECT_EQ(edit_distance_myers_bounded(to_symbols("kitten"), to_symbols("sitting"), 2),
+            std::nullopt);
+  EXPECT_EQ(edit_distance_myers_bounded(SymString{}, to_symbols("xy"), 1), std::nullopt);
+  EXPECT_EQ(edit_distance_myers_bounded(SymString{}, to_symbols("xy"), 2), Opt(2));
+  EXPECT_EQ(edit_distance_myers_bounded(to_symbols("abc"), to_symbols("abc"), 0), Opt(0));
+}
+
+TEST(MyersBounded, MatchesBandedAcrossAlphabetsAndLengths) {
+  // Differential vs the scalar band: alphabets 2..1000, lengths 0..2000
+  // straddling the 64-bit block boundaries, caps from tight to slack.
+  const std::int64_t lengths[] = {0, 1, 2, 63, 64, 65, 127, 128, 129, 500, 2000};
+  const Symbol alphabets[] = {2, 4, 26, 1000};
+  for (const Symbol sigma : alphabets) {
+    for (const std::int64_t n : lengths) {
+      for (std::uint64_t seed = 0; seed < 3; ++seed) {
+        const auto a =
+            core::random_string(n, sigma, seed * 7 + static_cast<std::uint64_t>(n));
+        const auto b =
+            seed % 2 == 0
+                ? core::plant_edits(a, n / 10 + static_cast<std::int64_t>(seed),
+                                    seed + 17, false, sigma)
+                      .text
+                : core::random_string(
+                      std::max<std::int64_t>(0, n + static_cast<std::int64_t>(seed) - 1),
+                      sigma, seed + 51);
+        for (const std::int64_t k : {std::int64_t{0}, std::int64_t{1}, n / 16 + 1,
+                                     n / 4 + 1, n + 4}) {
+          ASSERT_EQ(edit_distance_myers_bounded(a, b, k), edit_distance_banded(a, b, k))
+              << "sigma=" << sigma << " n=" << n << " seed=" << seed << " k=" << k;
+        }
+      }
+    }
+  }
+}
+
+TEST(MyersBounded, EarlyAbortCheapOnFarPairs) {
+  // Large-alphabet random pairs are far apart: the running-score lower
+  // bound must kill a tight cap long before the full column sweep.
+  const auto a = core::random_string(2000, 1000, 1);
+  const auto b = core::random_string(2000, 1000, 2);
+  std::uint64_t full = 0;
+  std::uint64_t capped = 0;
+  edit_distance_myers(a, b, &full);
+  EXPECT_EQ(edit_distance_myers_bounded(a, b, 16, &capped), std::nullopt);
+  EXPECT_LT(capped, full / 2);
+}
+
+TEST(FastDispatch, MatchesScalarOnManyRandomCases) {
+  // The acceptance differential: >= 10^4 random cases, alphabets 2..1000,
+  // mixed near/far pairs, identical values AND identical modelled work.
+  for (std::uint64_t c = 0; c < 10000; ++c) {
+    const auto sigma = static_cast<Symbol>(2 + (c * 37) % 999);
+    const auto na = static_cast<std::int64_t>((c * 131) % 120);
+    const auto nb = static_cast<std::int64_t>((c * 61 + 31) % 120);
+    const auto a = core::random_string(na, sigma, c);
+    const auto b = c % 3 == 0
+                       ? core::plant_edits(a, nb / 8 + 1, c + 1, false, sigma).text
+                       : core::random_string(nb, sigma, c + 10007);
+    std::uint64_t work_scalar = 0;
+    std::uint64_t work_fast = 0;
+    const auto d_scalar = edit_distance(a, b, &work_scalar);
+    const auto d_fast = edit_distance_fast(a, b, &work_fast);
+    ASSERT_EQ(d_scalar, d_fast) << "case=" << c << " sigma=" << sigma;
+    ASSERT_EQ(work_scalar, work_fast) << "case=" << c;
+  }
+}
+
+TEST(FastDispatch, MatchesScalarOnLargePairs) {
+  for (std::uint64_t seed = 0; seed < 3; ++seed) {
+    const auto n = 1500 + 250 * static_cast<std::int64_t>(seed);
+    const Symbol sigma = seed == 0 ? 2 : (seed == 1 ? 26 : 1000);
+    const auto a = core::random_string(n, sigma, seed);
+    const auto b = seed % 2 == 0
+                       ? core::plant_edits(a, n / 20, seed + 5, false, sigma).text
+                       : core::random_string(n - 7, sigma, seed + 9);
+    ASSERT_EQ(edit_distance_fast(a, b), edit_distance(a, b)) << "n=" << n;
+  }
+}
+
+TEST(FastDispatch, BandedAndBoundedAgreeWithScalar) {
+  for (const std::int64_t n : {std::int64_t{64}, std::int64_t{200}, std::int64_t{1000}}) {
+    for (std::uint64_t seed = 0; seed < 4; ++seed) {
+      const auto a = core::random_string(n, 8, seed + static_cast<std::uint64_t>(n));
+      const auto b =
+          core::plant_edits(a, n / 8 + static_cast<std::int64_t>(seed), seed + 3, false, 8)
+              .text;
+      for (const std::int64_t k : {std::int64_t{1}, std::int64_t{8}, n / 4, n}) {
+        ASSERT_EQ(edit_distance_banded_fast(a, b, k), edit_distance_banded(a, b, k))
+            << "n=" << n << " k=" << k;
+        ASSERT_EQ(edit_distance_bounded_fast(a, b, k), edit_distance_bounded(a, b, k))
+            << "n=" << n << " limit=" << k;
+      }
+    }
+  }
+}
+
+TEST(FastDispatch, KernelSelection) {
+  const auto tiny_a = core::random_string(16, 4, 1);
+  const auto tiny_b = core::random_string(16, 4, 2);
+  EXPECT_EQ(edit_distance_fast_kernel(tiny_a, tiny_b), EditKernel::kScalar);
+  const auto big_a = core::random_string(2000, 4, 3);
+  const auto big_b = core::random_string(2000, 4, 4);
+  EXPECT_EQ(edit_distance_fast_kernel(big_a, big_b), EditKernel::kMyers);
+  // 2000 symbols = 32 blocks: a width-11 band is cheaper cell by cell, a
+  // width-401 band clears the ~8-cells-per-word bar.
+  EXPECT_EQ(edit_distance_banded_fast_kernel(big_a, big_b, 5),
+            EditKernel::kScalarBanded);
+  EXPECT_EQ(edit_distance_banded_fast_kernel(big_a, big_b, 200),
+            EditKernel::kMyersBounded);
+}
+
+TEST(FastDispatch, ChargesModelledCellsNotWords) {
+  const auto a = core::random_string(2000, 4, 5);
+  const auto b = core::random_string(2000, 4, 6);
+  std::uint64_t work = 0;
+  edit_distance_fast(a, b, &work);
+  EXPECT_EQ(work, 2000u * 2000u);  // full-DP cells, not ~n*blocks words
+}
 
 }  // namespace
 }  // namespace mpcsd::seq

@@ -2,7 +2,12 @@
 // machine consuming raw mailbox payloads.
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <string>
+#include <vector>
+
 #include "common/bytes.hpp"
+#include "common/contracts.hpp"
 #include "edit_mpc/graph_tau.hpp"
 #include "seq/combine.hpp"
 #include "ulam_mpc/combine.hpp"
@@ -65,6 +70,135 @@ TEST(CombineMachine, ComputesUlamAnswerFromPayload) {
 
 TEST(CombineMachine, EmptyPayloadGivesTrivialAnswer) {
   EXPECT_EQ(ulam_mpc::combine_machine(Bytes{}, 7, 11), 11);  // max-gap mode
+}
+
+// ---- Malformed-payload regressions (adversarial length prefixes). ----
+
+TEST(Robustness, AdversarialVectorLengthThrows) {
+  // Length prefix of 2^61 + 1 elements: n * sizeof(int64) wraps to 8 mod
+  // 2^64, so a multiply-based bounds check would accept it against the 16
+  // trailing bytes and allocate 2^61 elements.  The divide-based check
+  // must reject it.
+  ByteWriter w;
+  w.put<std::uint64_t>((1ULL << 61U) + 1);
+  w.put<std::int64_t>(7);
+  w.put<std::int64_t>(8);
+  ByteReader r(w.bytes());
+  EXPECT_THROW(r.get_vector<std::int64_t>(), ContractViolation);
+}
+
+TEST(Robustness, TruncatedVectorThrows) {
+  ByteWriter w;
+  w.put<std::uint64_t>(4);  // claims 4 elements...
+  w.put<std::int32_t>(1);   // ...delivers one
+  ByteReader r(w.bytes());
+  EXPECT_THROW(r.get_vector<std::int32_t>(), ContractViolation);
+}
+
+TEST(Robustness, TruncatedStringThrows) {
+  ByteWriter w;
+  w.put<std::uint64_t>(100);
+  w.put<std::uint8_t>('x');
+  ByteReader r(w.bytes());
+  EXPECT_THROW(r.get_string(), ContractViolation);
+}
+
+TEST(Robustness, OverreadScalarThrows) {
+  const Bytes empty;
+  ByteReader r(empty);
+  EXPECT_THROW(r.get<std::int64_t>(), ContractViolation);
+}
+
+TEST(Robustness, ChainReaderAdversarialLengthThrows) {
+  ByteWriter w;
+  w.put<std::uint64_t>((1ULL << 61U) + 1);
+  w.put<std::int64_t>(7);
+  w.put<std::int64_t>(8);
+  const Bytes buf = std::move(w).take();
+  ByteChain chain;
+  chain.add(ByteSpan(buf));
+  ChainReader r(chain);
+  EXPECT_THROW(r.get_vector<std::int64_t>(), ContractViolation);
+}
+
+// ---- ChainReader: zero-copy inbox reading. ----
+
+TEST(ChainIo, ReaderSpansFragmentBoundaries) {
+  ByteWriter w;
+  w.put<std::int64_t>(-42);
+  w.put_vector(std::vector<std::int32_t>{1, 2, 3, 4, 5});
+  w.put_string("hello chain");
+  w.put<std::uint16_t>(999);
+  const Bytes whole = std::move(w).take();
+
+  // Every two-way split: values must read back even when they straddle the
+  // fragment boundary.
+  for (std::size_t split = 0; split <= whole.size(); ++split) {
+    ByteChain chain;
+    chain.add(ByteSpan(whole.data(), split));
+    chain.add(ByteSpan(whole.data() + split, whole.size() - split));
+    ChainReader r(chain);
+    ASSERT_EQ(r.get<std::int64_t>(), -42) << "split=" << split;
+    ASSERT_EQ(r.get_vector<std::int32_t>(), (std::vector<std::int32_t>{1, 2, 3, 4, 5}));
+    ASSERT_EQ(r.get_string(), "hello chain");
+    ASSERT_EQ(r.get<std::uint16_t>(), 999);
+    ASSERT_TRUE(r.exhausted());
+  }
+
+  // Fine fragmentation: three-byte shards.
+  ByteChain shards;
+  for (std::size_t off = 0; off < whole.size(); off += 3) {
+    shards.add(ByteSpan(whole.data() + off, std::min<std::size_t>(3, whole.size() - off)));
+  }
+  ChainReader r(shards);
+  EXPECT_EQ(r.get<std::int64_t>(), -42);
+  EXPECT_EQ(r.get_vector<std::int32_t>(), (std::vector<std::int32_t>{1, 2, 3, 4, 5}));
+  EXPECT_EQ(r.get_string(), "hello chain");
+  EXPECT_EQ(r.get<std::uint16_t>(), 999);
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(ChainIo, ToBytesMatchesConcat) {
+  ByteWriter w1;
+  w1.put<std::int64_t>(1);
+  ByteWriter w2;
+  w2.put<std::int64_t>(2);
+  const Bytes b1 = std::move(w1).take();
+  const Bytes b2 = std::move(w2).take();
+  ByteChain chain;
+  chain.add(ByteSpan(b1));
+  chain.add(ByteSpan(b2));
+  EXPECT_EQ(chain.to_bytes(), concat({b1, b2}));
+  EXPECT_EQ(chain.total_bytes(), b1.size() + b2.size());
+}
+
+TEST(ChainIo, EmptyFragmentsDropped) {
+  ByteChain chain;
+  chain.add(ByteSpan{});
+  EXPECT_TRUE(chain.empty());
+  EXPECT_TRUE(chain.parts().empty());
+  const Bytes b(4);
+  chain.add(ByteSpan(b));
+  chain.add(ByteSpan{});
+  EXPECT_EQ(chain.parts().size(), 1u);
+  EXPECT_EQ(chain.total_bytes(), 4u);
+}
+
+TEST(TupleIo, ChainOfBatchesMatchesConcat) {
+  ByteWriter w1;
+  seq::write_tuples(w1, std::vector<seq::Tuple>{{0, 5, 0, 5, 1}});
+  ByteWriter w2;
+  seq::write_tuples(w2, std::vector<seq::Tuple>{});
+  ByteWriter w3;
+  seq::write_tuples(w3, std::vector<seq::Tuple>{{5, 9, 5, 9, 2}, {2, 4, 2, 4, 0}});
+  const Bytes b1 = std::move(w1).take();
+  const Bytes b2 = std::move(w2).take();
+  const Bytes b3 = std::move(w3).take();
+  ByteChain chain;
+  chain.add(ByteSpan(b1));
+  chain.add(ByteSpan(b2));
+  chain.add(ByteSpan(b3));
+  EXPECT_EQ(seq::read_all_tuples(chain), seq::read_all_tuples(concat({b1, b2, b3})));
 }
 
 }  // namespace
