@@ -2,12 +2,18 @@
 //
 //   mpcsd_cli ulam <file_a> <file_b> [--x 0.33] [--eps 0.5] [--seed 7]
 //   mpcsd_cli edit <file_a> <file_b> [--x 0.25] [--eps 1.0] [--exact-unit]
+//   mpcsd_cli batch <ulam|edit> <pairs_file> [--x X] [--eps E] [--seed S]
 //   mpcsd_cli demo [--n 20000] [--edits 300]
 //
 // Files are read as whitespace-separated integer symbols if every token is
 // numeric, otherwise byte-wise as text.  `ulam` requires repeat-free
 // inputs.  Prints the approximate distance, the guarantee band, and the
 // MPC trace.
+//
+// `batch` reads one TAB-separated (s, t) pair per line, runs every pair in
+// a single shared plan execution (core::distance_batch), and prints one
+// JSON object per query with its distance, attributed rounds, work, and
+// communication bytes.  Malformed lines abort with a nonzero exit.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -21,16 +27,7 @@ namespace {
 
 using namespace mpcsd;
 
-SymString load_symbols(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) {
-    std::fprintf(stderr, "error: cannot open '%s'\n", path.c_str());
-    std::exit(2);
-  }
-  std::stringstream buffer;
-  buffer << in.rdbuf();
-  const std::string content = buffer.str();
-
+SymString parse_symbols(const std::string& content) {
   // Numeric mode: every whitespace-separated token is an integer.
   std::istringstream tokens(content);
   SymString numeric;
@@ -47,6 +44,17 @@ SymString load_symbols(const std::string& path) {
   }
   if (all_numeric && !numeric.empty()) return numeric;
   return to_symbols(content);
+}
+
+SymString load_symbols(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "error: cannot open '%s'\n", path.c_str());
+    std::exit(2);
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return parse_symbols(buffer.str());
 }
 
 double flag_value(int argc, char** argv, const char* name, double fallback) {
@@ -68,8 +76,88 @@ int usage() {
                "usage:\n"
                "  mpcsd_cli ulam <file_a> <file_b> [--x X] [--eps E] [--seed S]\n"
                "  mpcsd_cli edit <file_a> <file_b> [--x X] [--eps E] [--exact-unit]\n"
+               "  mpcsd_cli batch <ulam|edit> <pairs_file> [--x X] [--eps E] [--seed S]\n"
                "  mpcsd_cli demo [--n N] [--edits K]\n");
   return 2;
+}
+
+// `batch` subcommand: TAB-separated (s, t) per line -> JSON lines.
+int run_batch(int argc, char** argv) {
+  if (argc < 4) return usage();
+  const std::string algo = argv[2];
+  core::BatchRequest request;
+  if (algo == "ulam") {
+    request.algorithm = core::BatchAlgorithm::kUlam;
+    request.ulam.x = flag_value(argc, argv, "--x", request.ulam.x);
+    request.ulam.epsilon = flag_value(argc, argv, "--eps", request.ulam.epsilon);
+    request.ulam.seed =
+        static_cast<std::uint64_t>(flag_value(argc, argv, "--seed", 7));
+  } else if (algo == "edit") {
+    request.algorithm = core::BatchAlgorithm::kEdit;
+    request.edit.x = flag_value(argc, argv, "--x", request.edit.x);
+    request.edit.epsilon = flag_value(argc, argv, "--eps", request.edit.epsilon);
+    request.edit.seed =
+        static_cast<std::uint64_t>(flag_value(argc, argv, "--seed", 7));
+  } else {
+    std::fprintf(stderr, "error: batch algorithm must be 'ulam' or 'edit'\n");
+    return 2;
+  }
+
+  const std::string path = argv[3];
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "error: cannot open '%s'\n", path.c_str());
+    return 2;
+  }
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    const auto tab = line.find('\t');
+    if (tab == std::string::npos) {
+      std::fprintf(stderr, "error: %s:%zu: expected TAB-separated pair\n",
+                   path.c_str(), line_no);
+      return 2;
+    }
+    core::BatchQuery query;
+    query.s = parse_symbols(line.substr(0, tab));
+    query.t = parse_symbols(line.substr(tab + 1));
+    if (request.algorithm == core::BatchAlgorithm::kUlam &&
+        (!seq::is_repeat_free(query.s) || !seq::is_repeat_free(query.t))) {
+      std::fprintf(stderr, "error: %s:%zu: ulam requires repeat-free inputs\n",
+                   path.c_str(), line_no);
+      return 2;
+    }
+    request.queries.push_back(std::move(query));
+  }
+  if (request.queries.empty()) {
+    std::fprintf(stderr, "error: '%s' contains no (s, t) pairs\n", path.c_str());
+    return 2;
+  }
+
+  const auto result = core::distance_batch(request);
+  for (std::size_t q = 0; q < result.queries.size(); ++q) {
+    const auto& qr = result.queries[q];
+    std::uint64_t work = 0;
+    std::uint64_t comm = 0;
+    for (const auto& round : qr.trace.rounds()) {
+      work += round.total_work;
+      comm += round.total_comm_bytes;
+    }
+    std::printf("{\"query\":%zu,\"distance\":%lld,\"accepted_guess\":%lld,"
+                "\"rounds\":%zu,\"work\":%llu,\"comm_bytes\":%llu,"
+                "\"memory_cap_bytes\":%llu}\n",
+                q, static_cast<long long>(qr.distance),
+                static_cast<long long>(qr.accepted_guess),
+                qr.trace.round_count(),
+                static_cast<unsigned long long>(work),
+                static_cast<unsigned long long>(comm),
+                static_cast<unsigned long long>(qr.memory_cap_bytes));
+  }
+  std::fprintf(stderr, "batch: %zu queries in %zu shared rounds\n",
+               result.queries.size(), result.trace.round_count());
+  return 0;
 }
 
 }  // namespace
@@ -91,6 +179,8 @@ int main(int argc, char** argv) {
                 result.trace.summary().c_str());
     return 0;
   }
+
+  if (mode == "batch") return run_batch(argc, argv);
 
   if (argc < 4) return usage();
   const auto a = load_symbols(argv[2]);

@@ -21,6 +21,7 @@
 #include "common/bytes.hpp"
 #include "common/grid.hpp"
 #include "common/rng.hpp"
+#include "core/batch.hpp"
 #include "core/theory.hpp"
 #include "core/workload.hpp"
 #include "edit_mpc/hss_baseline.hpp"
@@ -28,6 +29,7 @@
 #include "edit_mpc/small_distance.hpp"
 #include "edit_mpc/solver.hpp"
 #include "mpc/cluster.hpp"
+#include "mpc/plan.hpp"
 #include "mpc/stats.hpp"
 #include "seq/alignment.hpp"
 #include "seq/approx_edit.hpp"

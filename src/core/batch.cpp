@@ -1,0 +1,400 @@
+#include "core/batch.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "common/contracts.hpp"
+#include "common/grid.hpp"
+#include "common/rng.hpp"
+#include "edit_mpc/small_distance.hpp"
+#include "mpc/plan.hpp"
+#include "seq/combine.hpp"
+#include "seq/lis.hpp"
+#include "ulam_mpc/candidates.hpp"
+
+namespace mpcsd::core {
+
+namespace {
+
+/// Attributes one shared round to one query: sums/maxima over the machines
+/// the query owns, with violations re-checked against the query's own cap.
+mpc::RoundReport attribute_round(const std::string& label,
+                                 const std::vector<mpc::MachineReport>& reports,
+                                 const std::vector<std::uint32_t>& owner,
+                                 std::uint32_t query, std::uint64_t cap) {
+  mpc::RoundReport rr;
+  rr.label = label;
+  for (std::size_t i = 0; i < reports.size(); ++i) {
+    if (owner[i] != query) continue;
+    const mpc::MachineReport& m = reports[i];
+    ++rr.machines;
+    rr.max_machine_memory = std::max(rr.max_machine_memory, m.memory_footprint());
+    rr.total_comm_bytes += m.output_bytes;
+    rr.total_input_bytes += m.input_bytes;
+    rr.total_work += m.work;
+    rr.max_machine_work = std::max(rr.max_machine_work, m.work);
+    if (m.memory_footprint() > cap) ++rr.memory_violations;
+  }
+  return rr;
+}
+
+// ---------------------------------------------------------------------
+// Ulam batch: every query's block machines share round 1, every query's
+// combine machine shares round 2.  Mailbox = query id.
+// ---------------------------------------------------------------------
+
+/// Round-1 machine input: one block of one query.
+struct UlamBatchTask {
+  std::uint32_t query = 0;
+  std::int64_t begin = 0;
+  std::vector<std::int64_t> positions;
+
+  static constexpr auto fields() {
+    return std::make_tuple(&UlamBatchTask::query, &UlamBatchTask::begin,
+                           &UlamBatchTask::positions);
+  }
+};
+
+struct QueryMeta {
+  std::int64_t n = 0;
+  std::int64_t n_bar = 0;
+  std::uint64_t cap = 0;
+  bool degenerate = false;  ///< answered driver-side, owns no machines
+};
+
+BatchResult run_ulam_batch(const BatchRequest& request) {
+  const auto& params = request.ulam;
+  BatchResult result;
+  result.queries.resize(request.queries.size());
+
+  std::vector<QueryMeta> meta(request.queries.size());
+  std::vector<UlamBatchTask> tasks;
+  std::vector<std::uint64_t> task_limits;
+  std::vector<std::uint32_t> task_owner;
+  for (std::uint32_t q = 0; q < request.queries.size(); ++q) {
+    const BatchQuery& query = request.queries[q];
+    MPCSD_EXPECTS(seq::is_repeat_free(SymView(query.s)));
+    MPCSD_EXPECTS(seq::is_repeat_free(SymView(query.t)));
+    QueryMeta& m = meta[q];
+    m.n = static_cast<std::int64_t>(query.s.size());
+    m.n_bar = static_cast<std::int64_t>(query.t.size());
+    if (m.n == 0) {
+      m.degenerate = true;
+      result.queries[q].distance = m.n_bar;
+      continue;
+    }
+    m.cap = ulam_mpc::ulam_memory_cap_bytes(m.n, params);
+    result.queries[q].memory_cap_bytes = m.cap;
+
+    std::unordered_map<Symbol, std::int64_t> pos_in_t;
+    pos_in_t.reserve(query.t.size() * 2);
+    for (std::size_t j = 0; j < query.t.size(); ++j) {
+      pos_in_t.emplace(query.t[j], static_cast<std::int64_t>(j));
+    }
+    const std::int64_t block =
+        std::max<std::int64_t>(1, ipow_ceil(m.n, 1.0 - params.x));
+    for (std::int64_t begin = 0; begin < m.n; begin += block) {
+      const std::int64_t end = std::min(m.n, begin + block);
+      UlamBatchTask task;
+      task.query = q;
+      task.begin = begin;
+      task.positions.reserve(static_cast<std::size_t>(end - begin));
+      for (std::int64_t i = begin; i < end; ++i) {
+        const auto it = pos_in_t.find(query.s[static_cast<std::size_t>(i)]);
+        task.positions.push_back(it == pos_in_t.end() ? -1 : it->second);
+      }
+      tasks.push_back(std::move(task));
+      task_limits.push_back(m.cap);
+      task_owner.push_back(q);
+    }
+  }
+
+  mpc::ClusterConfig config;
+  config.memory_limit_bytes = UINT64_MAX;  // per-machine limits carry the caps
+  config.strict_memory = params.strict_memory;
+  config.workers = params.workers;
+  config.seed = params.seed;
+  mpc::Driver driver(
+      mpc::Plan{"batch:ulam",
+                {
+                    {"batch:ulam:candidates", "UlamBatchTask (sharded input)",
+                     "tuples@query"},
+                    {"batch:ulam:combine", "Inbox<tuples>@query", "answer@query"},
+                }},
+      config);
+
+  const double eps_prime = params.epsilon / 2.0;
+  const mpc::Stage<UlamBatchTask> candidates_stage{
+      "batch:ulam:candidates", [&](mpc::StageContext<UlamBatchTask>& ctx) {
+        const QueryMeta& m = meta[ctx.in().query];
+        ulam_mpc::CandidateParams cp;
+        cp.eps_prime = eps_prime;
+        cp.theta_constant = params.theta_constant;
+        cp.n = m.n;
+        cp.n_bar = m.n_bar;
+        ulam_mpc::CandidateStats st;
+        const auto tuples = ulam_mpc::build_block_candidates(
+            ctx.in().begin, ctx.in().positions, cp, ctx.rng(), &st);
+        ctx.charge_work(st.work);
+        ctx.charge_scratch(ctx.in().positions.size() * 32);
+        ctx.send(mpc::Channel<std::vector<seq::Tuple>>(ctx.in().query), tuples);
+      }};
+  std::vector<mpc::MachineReport> reports1;
+  mpc::RoundOptions options1;
+  options1.machine_memory_limits = &task_limits;
+  options1.machine_reports = &reports1;
+  const auto mail =
+      driver.run(candidates_stage, mpc::Driver::shard(tasks), options1);
+
+  // One combine machine per live query.
+  std::vector<std::uint32_t> combine_query;
+  std::vector<ByteChain> combine_inputs;
+  std::vector<std::uint64_t> combine_limits;
+  for (std::uint32_t q = 0; q < meta.size(); ++q) {
+    if (meta[q].degenerate) continue;
+    combine_query.push_back(q);
+    combine_inputs.push_back(mpc::gather_view(mail, q));
+    combine_limits.push_back(meta[q].cap);
+  }
+
+  using TupleInbox = mpc::Inbox<std::vector<seq::Tuple>>;
+  std::vector<std::int64_t> answers(meta.size(), 0);
+  const mpc::Stage<TupleInbox> combine_stage{
+      "batch:ulam:combine", [&](mpc::StageContext<TupleInbox>& ctx) {
+        const std::uint32_t q = combine_query[ctx.machine_id()];
+        const QueryMeta& m = meta[q];
+        std::uint64_t work = 0;
+        std::vector<seq::Tuple> tuples;
+        for (auto& batch : ctx.in().messages) {
+          tuples.insert(tuples.end(), batch.begin(), batch.end());
+        }
+        const std::size_t tuple_count = tuples.size();
+        seq::CombineOptions copts;
+        copts.gap = params.combine_gap;
+        answers[q] =
+            seq::combine_tuples(std::move(tuples), m.n, m.n_bar, copts, &work);
+        ctx.charge_work(work);
+        ctx.charge_scratch(tuple_count * sizeof(seq::Tuple) * 2);
+        ctx.send(mpc::Channel<std::int64_t>(q), answers[q]);
+      }};
+  std::vector<mpc::MachineReport> reports2;
+  mpc::RoundOptions options2;
+  options2.machine_memory_limits = &combine_limits;
+  options2.machine_reports = &reports2;
+  driver.run_views(combine_stage, combine_inputs, options2);
+  driver.finish();
+
+  // Per-query trace attribution from the machine reports.
+  std::vector<std::uint32_t> combine_owner = combine_query;
+  for (std::uint32_t q = 0; q < meta.size(); ++q) {
+    if (meta[q].degenerate) continue;
+    result.queries[q].distance = answers[q];
+    result.queries[q].trace.add_round(attribute_round(
+        "batch:ulam:candidates", reports1, task_owner, q, meta[q].cap));
+    result.queries[q].trace.add_round(attribute_round(
+        "batch:ulam:combine", reports2, combine_owner, q, meta[q].cap));
+  }
+  result.trace = driver.take_trace();
+  MPCSD_ENSURES(result.trace.round_count() == 2);
+  return result;
+}
+
+// ---------------------------------------------------------------------
+// Edit batch: every (query, guess) cell of the small-distance regime runs
+// side by side — cell machines share round 1, cell combine machines share
+// round 2.  Mailbox = cell id.
+// ---------------------------------------------------------------------
+
+/// One (query, guess) pipeline instance.
+struct EditCell {
+  std::uint32_t query = 0;
+  std::int64_t guess = 0;
+  edit_mpc::SmallDistanceParams params;
+  edit_mpc::CandidateGeometry geo;
+};
+
+/// Round-1 machine input: one small-distance task of one cell.
+struct EditBatchTask {
+  std::uint32_t cell = 0;
+  edit_mpc::SmallTask task;
+
+  static constexpr auto fields() {
+    return std::make_tuple(&EditBatchTask::cell, &EditBatchTask::task);
+  }
+};
+
+BatchResult run_edit_batch(const BatchRequest& request) {
+  const auto& params = request.edit;
+  BatchResult result;
+  result.queries.resize(request.queries.size());
+
+  const double eps_prime = edit_mpc::edit_eps_prime(params);
+  std::vector<QueryMeta> meta(request.queries.size());
+  std::vector<EditCell> cells;
+  std::vector<std::vector<std::uint32_t>> query_cells(request.queries.size());
+  std::vector<EditBatchTask> tasks;
+  std::vector<std::uint64_t> task_limits;
+  std::vector<std::uint32_t> task_owner;
+
+  for (std::uint32_t q = 0; q < request.queries.size(); ++q) {
+    const BatchQuery& query = request.queries[q];
+    QueryMeta& m = meta[q];
+    m.n = static_cast<std::int64_t>(query.s.size());
+    m.n_bar = static_cast<std::int64_t>(query.t.size());
+    if (m.n == m.n_bar &&
+        std::equal(query.s.begin(), query.s.end(), query.t.begin())) {
+      m.degenerate = true;
+      continue;
+    }
+    if (m.n == 0 || m.n_bar == 0) {
+      m.degenerate = true;
+      result.queries[q].distance = std::max(m.n, m.n_bar);
+      continue;
+    }
+    m.cap = edit_mpc::edit_memory_cap_bytes(m.n, params);
+    result.queries[q].memory_cap_bytes = m.cap;
+
+    // The guess ladder, clipped to the small-distance regime.
+    const std::int64_t small_limit = edit_mpc::small_distance_limit(m.n, params.x);
+    std::uint64_t guess_seed = params.seed + q * 0x9e3779b97f4a7c15ULL;
+    for (const std::int64_t guess :
+         geometric_grid(std::max(m.n, m.n_bar), params.epsilon)) {
+      if (guess == 0 || guess > small_limit) continue;
+      guess_seed = splitmix64(guess_seed + static_cast<std::uint64_t>(guess));
+      EditCell cell;
+      cell.query = q;
+      cell.guess = guess;
+      cell.params.eps_prime = eps_prime;
+      cell.params.x = params.x;
+      cell.params.delta_guess = guess;
+      cell.params.unit = params.unit;
+      cell.params.approx = params.approx;
+      cell.params.seed = guess_seed;
+      cell.params.strict_memory = params.strict_memory;
+      cell.params.memory_cap_bytes = m.cap;
+      cell.geo = edit_mpc::small_geometry(m.n, m.n_bar, cell.params);
+
+      const auto cell_id = static_cast<std::uint32_t>(cells.size());
+      for (auto& task : edit_mpc::make_small_tasks(SymView(query.s),
+                                                   SymView(query.t),
+                                                   cell.params, cell.geo)) {
+        tasks.push_back(EditBatchTask{cell_id, std::move(task)});
+        task_limits.push_back(m.cap);
+        task_owner.push_back(q);
+      }
+      query_cells[q].push_back(cell_id);
+      cells.push_back(std::move(cell));
+    }
+  }
+
+  mpc::ClusterConfig config;
+  config.memory_limit_bytes = UINT64_MAX;  // per-machine limits carry the caps
+  config.strict_memory = params.strict_memory;
+  config.workers = params.workers;
+  config.seed = params.seed;
+  mpc::Driver driver(
+      mpc::Plan{"batch:edit",
+                {
+                    {"batch:edit:distances", "EditBatchTask (sharded input)",
+                     "tuples@cell"},
+                    {"batch:edit:combine", "Inbox<tuples>@cell", "answer@cell"},
+                }},
+      config);
+
+  const mpc::Stage<EditBatchTask> distances_stage{
+      "batch:edit:distances", [&](mpc::StageContext<EditBatchTask>& ctx) {
+        const EditCell& cell = cells[ctx.in().cell];
+        std::uint64_t work = 0;
+        const auto tuples = edit_mpc::small_task_tuples(ctx.in().task, cell.params,
+                                                        cell.geo, &work);
+        ctx.charge_work(work);
+        ctx.charge_scratch((ctx.in().task.block.size() + ctx.in().task.chunk.size()) *
+                           sizeof(Symbol));
+        ctx.send(mpc::Channel<std::vector<seq::Tuple>>(ctx.in().cell), tuples);
+      }};
+  std::vector<mpc::MachineReport> reports1;
+  mpc::RoundOptions options1;
+  options1.machine_memory_limits = &task_limits;
+  options1.machine_reports = &reports1;
+  const auto mail =
+      driver.run(distances_stage, mpc::Driver::shard(tasks), options1);
+
+  // One combine machine per cell.
+  std::vector<ByteChain> combine_inputs;
+  std::vector<std::uint64_t> combine_limits;
+  std::vector<std::uint32_t> combine_owner;
+  for (std::uint32_t c = 0; c < cells.size(); ++c) {
+    combine_inputs.push_back(mpc::gather_view(mail, c));
+    combine_limits.push_back(meta[cells[c].query].cap);
+    combine_owner.push_back(cells[c].query);
+  }
+
+  using TupleInbox = mpc::Inbox<std::vector<seq::Tuple>>;
+  std::vector<std::int64_t> cell_answers(cells.size(), 0);
+  const mpc::Stage<TupleInbox> combine_stage{
+      "batch:edit:combine", [&](mpc::StageContext<TupleInbox>& ctx) {
+        const auto c = static_cast<std::uint32_t>(ctx.machine_id());
+        const QueryMeta& m = meta[cells[c].query];
+        std::uint64_t work = 0;
+        std::vector<seq::Tuple> tuples;
+        for (auto& batch : ctx.in().messages) {
+          tuples.insert(tuples.end(), batch.begin(), batch.end());
+        }
+        const std::size_t tuple_count = tuples.size();
+        seq::CombineOptions copts;
+        copts.gap = seq::GapCost::kSum;
+        cell_answers[c] =
+            seq::combine_tuples(std::move(tuples), m.n, m.n_bar, copts, &work);
+        ctx.charge_work(work);
+        ctx.charge_scratch(tuple_count * sizeof(seq::Tuple) * 2);
+        ctx.send(mpc::Channel<std::int64_t>(c), cell_answers[c]);
+      }};
+  std::vector<mpc::MachineReport> reports2;
+  mpc::RoundOptions options2;
+  options2.machine_memory_limits = &combine_limits;
+  options2.machine_reports = &reports2;
+  driver.run_views(combine_stage, combine_inputs, options2);
+  driver.finish();
+
+  for (std::uint32_t q = 0; q < meta.size(); ++q) {
+    if (meta[q].degenerate) continue;
+    // The guesses ran side by side; pick the best answer and record the
+    // first self-certifying guess (the solver's accept condition).
+    std::int64_t best = meta[q].n + meta[q].n_bar;
+    std::int64_t accepted = 0;
+    for (const std::uint32_t c : query_cells[q]) {
+      best = std::min(best, cell_answers[c]);
+      if (accepted == 0) {
+        const auto accept = static_cast<std::int64_t>(std::ceil(
+                                (3.0 + params.epsilon) *
+                                static_cast<double>(cells[c].guess))) + 2;
+        if (cell_answers[c] <= accept) accepted = cells[c].guess;
+      }
+    }
+    result.queries[q].distance = best;
+    result.queries[q].accepted_guess = accepted;
+    result.queries[q].trace.add_round(attribute_round(
+        "batch:edit:distances", reports1, task_owner, q, meta[q].cap));
+    result.queries[q].trace.add_round(attribute_round(
+        "batch:edit:combine", reports2, combine_owner, q, meta[q].cap));
+  }
+  result.trace = driver.take_trace();
+  MPCSD_ENSURES(result.trace.round_count() == 2);
+  return result;
+}
+
+}  // namespace
+
+BatchResult distance_batch(const BatchRequest& request) {
+  if (request.queries.empty()) return BatchResult{};
+  switch (request.algorithm) {
+    case BatchAlgorithm::kUlam:
+      return run_ulam_batch(request);
+    case BatchAlgorithm::kEdit:
+      return run_edit_batch(request);
+  }
+  throw std::invalid_argument("distance_batch: unknown algorithm");
+}
+
+}  // namespace mpcsd::core

@@ -1,0 +1,70 @@
+// Batched multi-query execution on the round-plan layer.
+//
+// `distance_batch` runs B independent (s, t) queries through a SINGLE plan
+// execution: machines of different queries coexist in the same simulated
+// rounds, so a batch of 64 Ulam queries still costs 2 rounds, and a batch
+// of edit queries costs 2 rounds (every query's distance guesses run side
+// by side, the paper's parallel-guess semantics made literal).  Mailboxes
+// are partitioned per query, per-machine memory caps are enforced at each
+// query's own Õ_eps(n^{1-x}) budget (RoundOptions), and every query gets
+// its own attributed ExecutionTrace built from the machine-level reports.
+//
+// Edit batches run the guess ladder restricted to the small-distance regime
+// (n^delta <= n^{1-x/5}, Lemma 6).  The returned distance is always the
+// cost of a realizable transformation (an upper bound on ed); the 3+eps
+// guarantee holds whp when the true distance lies in that regime — the
+// serving-system sweet spot the batching exists for.  Queries needing the
+// large-distance pipeline should go through `edit_distance_mpc`.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "edit_mpc/solver.hpp"
+#include "mpc/stats.hpp"
+#include "seq/types.hpp"
+#include "ulam_mpc/solver.hpp"
+
+namespace mpcsd::core {
+
+enum class BatchAlgorithm : std::uint8_t {
+  kUlam,  ///< Theorem 4 (strings must be repeat-free)
+  kEdit,  ///< Theorem 9, small-distance regime
+};
+
+struct BatchQuery {
+  std::vector<Symbol> s;
+  std::vector<Symbol> t;
+};
+
+struct BatchRequest {
+  BatchAlgorithm algorithm = BatchAlgorithm::kUlam;
+  std::vector<BatchQuery> queries;
+  /// Solver settings for kUlam batches (x, epsilon, seed, workers,
+  /// strict_memory, memory_slack, combine_gap).
+  ulam_mpc::UlamMpcParams ulam;
+  /// Solver settings for kEdit batches (x, epsilon, unit, seed, ...).
+  edit_mpc::EditMpcParams edit;
+};
+
+struct QueryResult {
+  std::int64_t distance = 0;
+  /// First guess whose answer certified itself (kEdit; 0 for kUlam).
+  std::int64_t accepted_guess = 0;
+  /// This query's own per-machine cap, enforced on its machines only.
+  std::uint64_t memory_cap_bytes = 0;
+  /// This query's share of the shared rounds: labels, machine counts,
+  /// work, comm bytes, memory maxima — attributed from machine reports.
+  mpc::ExecutionTrace trace;
+};
+
+struct BatchResult {
+  std::vector<QueryResult> queries;
+  /// The shared physical execution: 2 rounds regardless of batch size.
+  mpc::ExecutionTrace trace;
+};
+
+/// Runs every query of `request` in one shared plan execution.
+BatchResult distance_batch(const BatchRequest& request);
+
+}  // namespace mpcsd::core

@@ -4,11 +4,12 @@
 #include <cmath>
 #include <unordered_map>
 #include <unordered_set>
+#include <variant>
 
 #include "common/contracts.hpp"
 #include "common/grid.hpp"
 #include "common/rng.hpp"
-#include "mpc/cluster.hpp"
+#include "mpc/plan.hpp"
 #include "seq/combine.hpp"
 #include "seq/edit_distance.hpp"
 #include "seq/edit_distance_fast.hpp"
@@ -18,6 +19,7 @@ namespace mpcsd::edit_mpc {
 namespace {
 
 /// A deduplicated extension request: evaluate ed(block, window) in round 3.
+/// Also the round-2 -> driver wire record (4 raw int64, no padding).
 struct ExtendRequest {
   std::int64_t block_begin = 0;
   std::int64_t block_end = 0;
@@ -38,6 +40,128 @@ struct BlockObservation {
 std::vector<Symbol> copy_syms(SymView v, Interval iv) {
   const SymView sub = subview(v, iv);
   return std::vector<Symbol>(sub.begin(), sub.end());
+}
+
+// ---- typed stage messages (wire layouts identical to the seed driver) ----
+
+/// One node shipped to a round-1 machine: global id + its symbols.
+struct IdSyms {
+  std::int32_t id = 0;
+  std::vector<Symbol> syms;
+
+  static constexpr auto fields() {
+    return std::make_tuple(&IdSyms::id, &IdSyms::syms);
+  }
+};
+
+/// Round-1 machine input: a batch of representatives vs a batch of nodes.
+struct RepVsNodes {
+  std::vector<IdSyms> reps;
+  std::vector<IdSyms> nodes;
+
+  static constexpr auto fields() {
+    return std::make_tuple(&RepVsNodes::reps, &RepVsNodes::nodes);
+  }
+};
+
+/// One block's representative observations, shipped to a pairing machine.
+struct BlockObsList {
+  std::int64_t begin = 0;
+  std::int64_t end = 0;
+  std::vector<BlockObservation> obs;
+
+  static constexpr auto fields() {
+    return std::make_tuple(&BlockObsList::begin, &BlockObsList::end,
+                           &BlockObsList::obs);
+  }
+};
+
+/// One candidate window a representative covers: interval + ed(z, window).
+struct CsWindow {
+  std::int64_t begin = 0;
+  std::int64_t end = 0;
+  std::int64_t distance = 0;
+};
+
+/// One representative's candidate-substring observations.
+struct RepCsList {
+  std::int32_t rep = 0;
+  std::vector<CsWindow> entries;
+
+  static constexpr auto fields() {
+    return std::make_tuple(&RepCsList::rep, &RepCsList::entries);
+  }
+};
+
+/// Round-2 pairing-machine input: join blocks with reps on the shared rep.
+struct PairingInput {
+  std::vector<BlockObsList> blocks;
+  std::vector<RepCsList> reps;
+
+  static constexpr auto fields() {
+    return std::make_tuple(&PairingInput::blocks, &PairingInput::reps);
+  }
+};
+
+/// Round-2 sampled low-degree machine input: one block + its chunk of s̄.
+struct SampledInput {
+  std::int64_t block_begin = 0;
+  std::vector<Symbol> block;
+  std::uint64_t jb = 0;  ///< block's coverage level in the tau grid
+  std::vector<std::int64_t> starts;
+  std::int64_t chunk_begin = 0;
+  std::vector<Symbol> chunk;
+
+  static constexpr auto fields() {
+    return std::make_tuple(&SampledInput::block_begin, &SampledInput::block,
+                           &SampledInput::jb, &SampledInput::starts,
+                           &SampledInput::chunk_begin, &SampledInput::chunk);
+  }
+};
+
+/// The two machine families of Algorithm 6, tagged on the wire by the
+/// variant index (0 = pairing, 1 = sampled — the seed driver's tag byte).
+using ClassifyInput = std::variant<PairingInput, SampledInput>;
+
+/// Round-3 machine input: a memory-capped batch of extension evaluations.
+struct ExtendJob {
+  std::int64_t block_begin = 0;
+  std::int64_t block_end = 0;
+  std::int64_t window_begin = 0;
+  std::int64_t window_end = 0;
+  std::vector<Symbol> block;
+  std::vector<Symbol> window;
+
+  static constexpr auto fields() {
+    return std::make_tuple(&ExtendJob::block_begin, &ExtendJob::block_end,
+                           &ExtendJob::window_begin, &ExtendJob::window_end,
+                           &ExtendJob::block, &ExtendJob::window);
+  }
+};
+
+struct ExtendBatch {
+  std::vector<ExtendJob> jobs;
+
+  static constexpr auto fields() {
+    return std::make_tuple(&ExtendBatch::jobs);
+  }
+};
+
+constexpr mpc::Channel<std::vector<RepTuple>> kRepTuples{0, "rep-tuples"};
+constexpr mpc::Channel<std::vector<seq::Tuple>> kTuples{0, "tuples"};
+constexpr mpc::Channel<std::vector<ExtendRequest>> kExtendRequests{1, "extend-requests"};
+constexpr mpc::Channel<std::int64_t> kAnswer{0, "answer"};
+
+mpc::Plan large_plan() {
+  return mpc::Plan{
+      "edit:large",
+      {
+          {"edit:large:representatives", "RepVsNodes (sharded input)", "rep-tuples"},
+          {"edit:large:classify", "PairingInput | SampledInput",
+           "tuples, extend-requests"},
+          {"edit:large:extend", "ExtendBatch", "tuples"},
+          {"edit:large:combine", "Inbox<tuples> (classify + extend)", "answer"},
+      }};
 }
 
 }  // namespace
@@ -87,10 +211,10 @@ LargeDistanceResult run_large_distance(SymView s, SymView t,
   config.strict_memory = params.strict_memory;
   config.workers = params.workers;
   config.seed = params.seed;
-  mpc::Cluster cluster(config);
+  mpc::Driver driver(large_plan(), config);
 
   // ------------------------------------------------------------------
-  // Round 1 (Algorithm 5): representatives vs all nodes.
+  // Stage 1 (Algorithm 5): representatives vs all nodes.
   // ------------------------------------------------------------------
   const double alpha_n = std::pow(static_cast<double>(n), params.alpha_scale * x);
   const double rho = std::min(
@@ -125,87 +249,68 @@ LargeDistanceResult run_large_distance(SymView s, SymView t,
   const std::size_t per_side = static_cast<std::size_t>(std::max<std::uint64_t>(
       1, params.memory_cap_bytes / (2 * bytes_per_node)));
 
-  std::vector<Bytes> round1_inputs;
+  std::vector<RepVsNodes> round1_tasks;
   for (std::size_t rb = 0; rb < reps.size(); rb += per_side) {
     const std::size_t rhi = std::min(reps.size(), rb + per_side);
     for (std::size_t vb = 0; vb < universe.node_count(); vb += per_side) {
       const std::size_t vhi = std::min(universe.node_count(), vb + per_side);
-      ByteWriter w;
-      w.put<std::uint64_t>(rhi - rb);
+      RepVsNodes task;
+      task.reps.reserve(rhi - rb);
       for (std::size_t i = rb; i < rhi; ++i) {
         const auto z = static_cast<std::size_t>(reps[i]);
-        w.put<std::int32_t>(reps[i]);
-        w.put_vector(copy_syms(universe.is_block(z) ? s : t, universe.node_interval(z)));
+        task.reps.push_back(IdSyms{
+            reps[i],
+            copy_syms(universe.is_block(z) ? s : t, universe.node_interval(z))});
       }
-      w.put<std::uint64_t>(vhi - vb);
+      task.nodes.reserve(vhi - vb);
       for (std::size_t v = vb; v < vhi; ++v) {
-        w.put<std::int32_t>(static_cast<std::int32_t>(v));
-        w.put_vector(copy_syms(universe.is_block(v) ? s : t, universe.node_interval(v)));
+        task.nodes.push_back(IdSyms{
+            static_cast<std::int32_t>(v),
+            copy_syms(universe.is_block(v) ? s : t, universe.node_interval(v))});
       }
-      round1_inputs.push_back(std::move(w).take());
+      round1_tasks.push_back(std::move(task));
     }
   }
 
-  const auto mail1 = cluster.run_round(
-      "edit:large:representatives", round1_inputs, [&](mpc::MachineContext& ctx) {
-        auto r = ctx.reader();
-        const auto rep_count = r.get<std::uint64_t>();
-        std::vector<std::pair<std::int32_t, std::vector<Symbol>>> zs(rep_count);
-        for (auto& [id, syms] : zs) {
-          id = r.get<std::int32_t>();
-          syms = r.get_vector<Symbol>();
-        }
-        const auto node_count = r.get<std::uint64_t>();
-        std::vector<std::pair<std::int32_t, std::vector<Symbol>>> vs(node_count);
-        for (auto& [id, syms] : vs) {
-          id = r.get<std::int32_t>();
-          syms = r.get_vector<Symbol>();
-        }
-
+  const mpc::Stage<RepVsNodes> representatives_stage{
+      "edit:large:representatives", [&](mpc::StageContext<RepVsNodes>& ctx) {
         std::uint64_t work = 0;
         std::vector<RepTuple> tuples;
-        for (const auto& [zid, zsyms] : zs) {
-          for (const auto& [vid, vsyms] : vs) {
+        for (const IdSyms& z : ctx.in().reps) {
+          for (const IdSyms& v : ctx.in().nodes) {
             const auto limit = std::min<std::int64_t>(
                 2 * taus.back(),
-                static_cast<std::int64_t>(zsyms.size() + vsyms.size()));
-            const auto d = seq::edit_distance_bounded_fast(SymView(zsyms), SymView(vsyms),
+                static_cast<std::int64_t>(z.syms.size() + v.syms.size()));
+            const auto d = seq::edit_distance_bounded_fast(SymView(z.syms), SymView(v.syms),
                                                       std::max<std::int64_t>(limit, 1),
                                                       &work);
             if (!d.has_value()) continue;
-            const bool v_is_block = static_cast<std::size_t>(vid) < nb;
+            const bool v_is_block = static_cast<std::size_t>(v.id) < nb;
             // Blocks need d <= tau; candidate substrings need d <= 2*tau.
             const std::int64_t needed = v_is_block ? *d : ceil_div(*d, 2);
             const std::size_t j = min_tau_index(taus, needed);
             if (j >= taus.size()) continue;
-            tuples.push_back(RepTuple{vid, zid, static_cast<std::int32_t>(j), *d});
+            tuples.push_back(RepTuple{v.id, z.id, static_cast<std::int32_t>(j), *d});
           }
         }
         ctx.charge_work(work);
-        ByteWriter w;
-        w.put<std::uint64_t>(tuples.size());
-        for (const RepTuple& tu : tuples) w.put(tu);
-        ctx.emit(0, std::move(w).take());
-      });
+        ctx.send(kRepTuples, tuples);
+      }};
+  const auto mail1 =
+      driver.run(representatives_stage, mpc::Driver::shard(round1_tasks));
 
   // Driver-side routing: index RepTuples by block and by representative.
   std::vector<std::vector<BlockObservation>> btups(nb);
   std::unordered_map<std::int32_t, std::vector<CsObservation>> cstups;
-  {
-    const ByteChain payload = mpc::gather_view(mail1, 0);
-    ChainReader r(payload);
-    while (!r.exhausted()) {
-      const auto count = r.get<std::uint64_t>();
-      for (std::uint64_t i = 0; i < count; ++i) {
-        const auto tu = r.get<RepTuple>();
-        if (static_cast<std::size_t>(tu.node) < nb) {
-          btups[static_cast<std::size_t>(tu.node)].push_back(
-              BlockObservation{tu.rep, tu.rep_distance});
-        } else {
-          cstups[tu.rep].push_back(CsObservation{
-              static_cast<std::int32_t>(static_cast<std::size_t>(tu.node) - nb),
-              tu.rep_distance});
-        }
+  for (const std::vector<RepTuple>& batch : driver.receive(mail1, kRepTuples)) {
+    for (const RepTuple& tu : batch) {
+      if (static_cast<std::size_t>(tu.node) < nb) {
+        btups[static_cast<std::size_t>(tu.node)].push_back(
+            BlockObservation{tu.rep, tu.rep_distance});
+      } else {
+        cstups[tu.rep].push_back(CsObservation{
+            static_cast<std::int32_t>(static_cast<std::size_t>(tu.node) - nb),
+            tu.rep_distance});
       }
     }
   }
@@ -220,7 +325,7 @@ LargeDistanceResult run_large_distance(SymView s, SymView t,
   }
 
   // ------------------------------------------------------------------
-  // Round 2 (Algorithm 6): pairing machines + sampled low-degree machines.
+  // Stage 2 (Algorithm 6): pairing machines + sampled low-degree machines.
   // ------------------------------------------------------------------
   // Common-seed sampling of low-degree blocks: p = C/eps'^2 * ln^2 n /
   // n^{(y-y') - (1-delta)}.
@@ -240,39 +345,33 @@ LargeDistanceResult run_large_distance(SymView s, SymView t,
   const std::size_t blocks_per_pairing_machine = static_cast<std::size_t>(
       std::max<std::int64_t>(1, ipow(n, (params.y_scale - 1.0) * x)));
 
-  std::vector<Bytes> round2_inputs;
+  std::vector<ClassifyInput> round2_tasks;
   // (a) pairing machines.
   for (std::size_t b0 = 0; b0 < nb; b0 += blocks_per_pairing_machine) {
     const std::size_t b1 = std::min(nb, b0 + blocks_per_pairing_machine);
-    ByteWriter w;
-    w.put<std::uint8_t>(0);  // tag: pairing
-    w.put<std::uint64_t>(b1 - b0);
+    PairingInput input;
+    input.blocks.reserve(b1 - b0);
     std::unordered_set<std::int32_t> reps_needed;
     for (std::size_t b = b0; b < b1; ++b) {
-      w.put<std::int64_t>(universe.blocks[b].begin);
-      w.put<std::int64_t>(universe.blocks[b].end);
-      w.put<std::uint64_t>(btups[b].size());
-      for (const BlockObservation& o : btups[b]) {
-        w.put(o);
-        reps_needed.insert(o.rep);
-      }
+      input.blocks.push_back(BlockObsList{universe.blocks[b].begin,
+                                          universe.blocks[b].end, btups[b]});
+      for (const BlockObservation& o : btups[b]) reps_needed.insert(o.rep);
     }
-    w.put<std::uint64_t>(reps_needed.size());
+    input.reps.reserve(reps_needed.size());
     for (const std::int32_t z : reps_needed) {
-      w.put<std::int32_t>(z);
+      RepCsList list;
+      list.rep = z;
       const auto it = cstups.find(z);
-      const std::size_t count = it == cstups.end() ? 0 : it->second.size();
-      w.put<std::uint64_t>(count);
       if (it != cstups.end()) {
+        list.entries.reserve(it->second.size());
         for (const CsObservation& o : it->second) {
           const Interval& win = universe.cs[static_cast<std::size_t>(o.cs)];
-          w.put<std::int64_t>(win.begin);
-          w.put<std::int64_t>(win.end);
-          w.put<std::int64_t>(o.distance);
+          list.entries.push_back(CsWindow{win.begin, win.end, o.distance});
         }
       }
+      input.reps.push_back(std::move(list));
     }
-    round2_inputs.push_back(std::move(w).take());
+    round2_tasks.emplace_back(std::move(input));
   }
 
   // (b) sampled low-degree blocks, one machine per (block, start batch).
@@ -292,67 +391,37 @@ LargeDistanceResult run_large_distance(SymView s, SymView t,
       while (j + 1 < starts.size() && starts[j + 1] - starts[i] <= block) ++j;
       const std::int64_t chunk_begin = starts[i];
       const std::int64_t chunk_end = std::min(n_bar, starts[j] + max_len);
-      ByteWriter w;
-      w.put<std::uint8_t>(1);  // tag: sampled block
-      w.put<std::int64_t>(blk.begin);
-      w.put_vector(copy_syms(s, blk));
-      w.put<std::uint64_t>(jb_min[b]);
-      std::vector<std::int64_t> batch(starts.begin() + static_cast<std::ptrdiff_t>(i),
-                                      starts.begin() + static_cast<std::ptrdiff_t>(j + 1));
-      w.put_vector(batch);
-      w.put<std::int64_t>(chunk_begin);
-      std::vector<Symbol> chunk_syms(t.begin() + chunk_begin, t.begin() + chunk_end);
-      w.put_vector(chunk_syms);
-      round2_inputs.push_back(std::move(w).take());
+      SampledInput input;
+      input.block_begin = blk.begin;
+      input.block = copy_syms(s, blk);
+      input.jb = jb_min[b];
+      input.starts.assign(starts.begin() + static_cast<std::ptrdiff_t>(i),
+                          starts.begin() + static_cast<std::ptrdiff_t>(j + 1));
+      input.chunk_begin = chunk_begin;
+      input.chunk.assign(t.begin() + chunk_begin, t.begin() + chunk_end);
+      round2_tasks.emplace_back(std::move(input));
       i = j + 1;
     }
   }
   result.sampled_blocks = sampled_blocks;
 
-  const auto mail2 = cluster.run_round(
-      "edit:large:classify", round2_inputs, [&](mpc::MachineContext& ctx) {
-        auto r = ctx.reader();
-        const auto tag = r.get<std::uint8_t>();
+  const mpc::Stage<ClassifyInput> classify_stage{
+      "edit:large:classify", [&](mpc::StageContext<ClassifyInput>& ctx) {
         std::uint64_t work = 0;
-        if (tag == 0) {
+        if (const auto* pairing = std::get_if<PairingInput>(&ctx.in())) {
           // Pairing machine: join b-tuples with cs-tuples on the rep.
-          const auto block_count = r.get<std::uint64_t>();
-          struct BlockInfo {
-            std::int64_t begin, end;
-            std::vector<BlockObservation> obs;
-          };
-          std::vector<BlockInfo> infos(block_count);
-          for (auto& info : infos) {
-            info.begin = r.get<std::int64_t>();
-            info.end = r.get<std::int64_t>();
-            const auto c = r.get<std::uint64_t>();
-            info.obs.resize(c);
-            for (auto& o : info.obs) o = r.get<BlockObservation>();
-          }
-          struct CsEntry {
-            std::int64_t begin, end, distance;
-          };
-          std::unordered_map<std::int32_t, std::vector<CsEntry>> cs_by_rep;
-          const auto rep_count = r.get<std::uint64_t>();
-          for (std::uint64_t i = 0; i < rep_count; ++i) {
-            const auto z = r.get<std::int32_t>();
-            const auto c = r.get<std::uint64_t>();
-            auto& list = cs_by_rep[z];
-            list.resize(c);
-            for (auto& e : list) {
-              e.begin = r.get<std::int64_t>();
-              e.end = r.get<std::int64_t>();
-              e.distance = r.get<std::int64_t>();
-            }
+          std::unordered_map<std::int32_t, const std::vector<CsWindow>*> cs_by_rep;
+          for (const RepCsList& list : pairing->reps) {
+            cs_by_rep.emplace(list.rep, &list.entries);
           }
           std::vector<seq::Tuple> tuples;
-          for (const BlockInfo& info : infos) {
+          for (const BlockObsList& info : pairing->blocks) {
             // Keep the best estimate per window.
             std::unordered_map<std::uint64_t, std::int64_t> best;
             for (const BlockObservation& o : info.obs) {
               const auto it = cs_by_rep.find(o.rep);
               if (it == cs_by_rep.end()) continue;
-              for (const CsEntry& e : it->second) {
+              for (const CsWindow& e : *it->second) {
                 ++work;
                 const std::int64_t bound = o.distance + e.distance;
                 const std::uint64_t key =
@@ -370,32 +439,25 @@ LargeDistanceResult run_large_distance(SymView s, SymView t,
             }
           }
           ctx.charge_work(work + 1);
-          ByteWriter w;
-          seq::write_tuples(w, tuples);
-          ctx.emit(0, std::move(w).take());
+          ctx.send(kTuples, tuples);
         } else {
           // Sampled low-degree block: exact distances + extension requests.
-          const auto block_begin = r.get<std::int64_t>();
-          const auto block_syms = r.get_vector<Symbol>();
-          const auto jb = r.get<std::uint64_t>();
-          const auto batch = r.get_vector<std::int64_t>();
-          const auto chunk_begin = r.get<std::int64_t>();
-          const auto chunk_syms = r.get_vector<Symbol>();
-          const SymView block_view(block_syms);
-          const SymView chunk_view(chunk_syms);
-          const auto block_len = static_cast<std::int64_t>(block_syms.size());
-          const std::int64_t block_end = block_begin + block_len;
+          const SampledInput& in = std::get<SampledInput>(ctx.in());
+          const SymView block_view(in.block);
+          const SymView chunk_view(in.chunk);
+          const auto block_len = static_cast<std::int64_t>(in.block.size());
+          const std::int64_t block_end = in.block_begin + block_len;
 
           // Largest threshold below the block's coverage level: candidates
           // this close get extended (the block is low degree there).
-          const std::int64_t extend_threshold = jb == 0 ? -1 : taus[jb - 1];
+          const std::int64_t extend_threshold = in.jb == 0 ? -1 : taus[in.jb - 1];
 
           std::vector<seq::Tuple> tuples;
           std::vector<std::pair<std::int64_t, Interval>> extendable;  // (e, window)
-          for (const std::int64_t sp : batch) {
+          for (const std::int64_t sp : in.starts) {
             for (const std::int64_t ep : candidate_ends(sp, block_len, geo)) {
               const SymView window =
-                  subview(chunk_view, {sp - chunk_begin, ep - chunk_begin});
+                  subview(chunk_view, {sp - in.chunk_begin, ep - in.chunk_begin});
               // Distances beyond the guess cap cannot enter an accepted
               // solution; censor them (keeps per-pair cost O(B·cap)).
               const auto limit = std::min<std::int64_t>(
@@ -405,7 +467,7 @@ LargeDistanceResult run_large_distance(SymView s, SymView t,
               const auto e =
                   seq::edit_distance_bounded_fast(block_view, window, limit, &work);
               if (!e.has_value()) continue;
-              tuples.push_back(seq::Tuple{block_begin, block_end, sp, ep, *e});
+              tuples.push_back(seq::Tuple{in.block_begin, block_end, sp, ep, *e});
               if (*e <= extend_threshold) extendable.emplace_back(*e, Interval{sp, ep});
             }
           }
@@ -416,53 +478,34 @@ LargeDistanceResult run_large_distance(SymView s, SymView t,
 
           // Extension requests for every sibling block in the same larger
           // block (the machine derives sibling intervals from n, B, B').
-          ByteWriter ext;
-          std::uint64_t ext_count = 0;
-          ByteWriter ext_body;
-          const std::int64_t lb = block_begin / larger_block;
+          std::vector<ExtendRequest> requests;
+          const std::int64_t lb = in.block_begin / larger_block;
           for (std::int64_t pos = 0; pos < n; pos += block) {
-            if (pos / larger_block != lb || pos == block_begin) continue;
+            if (pos / larger_block != lb || pos == in.block_begin) continue;
             const std::int64_t sib_end = std::min(n, pos + block);
             for (const auto& [e, win] : extendable) {
               const std::int64_t wb =
-                  std::clamp<std::int64_t>(win.begin + (pos - block_begin), 0, n_bar);
+                  std::clamp<std::int64_t>(win.begin + (pos - in.block_begin), 0, n_bar);
               const std::int64_t we = std::clamp<std::int64_t>(
                   win.end + (sib_end - block_end), wb, n_bar);
-              ext_body.put<std::int64_t>(pos);
-              ext_body.put<std::int64_t>(sib_end);
-              ext_body.put<std::int64_t>(wb);
-              ext_body.put<std::int64_t>(we);
-              ++ext_count;
+              requests.push_back(ExtendRequest{pos, sib_end, wb, we});
             }
           }
-          ext.put<std::uint64_t>(ext_count);
-          Bytes body = std::move(ext_body).take();
-          Bytes head = std::move(ext).take();
-          head.insert(head.end(), body.begin(), body.end());
 
           ctx.charge_work(work + 1);
-          ctx.charge_scratch((block_syms.size() + chunk_syms.size()) * sizeof(Symbol));
-          ByteWriter w;
-          seq::write_tuples(w, tuples);
-          ctx.emit(0, std::move(w).take());
-          ctx.emit(1, std::move(head));
+          ctx.charge_scratch((in.block.size() + in.chunk.size()) * sizeof(Symbol));
+          ctx.send(kTuples, tuples);
+          ctx.send(kExtendRequests, requests);
         }
-      });
+      }};
+  const auto mail2 = driver.run(classify_stage, mpc::Driver::shard(round2_tasks));
 
   // Driver: dedupe extension requests and pack round-3 machines.
   std::vector<ExtendRequest> requests;
   {
     std::unordered_set<std::uint64_t> seen;
-    const ByteChain payload = mpc::gather_view(mail2, 1);
-    ChainReader r(payload);
-    while (!r.exhausted()) {
-      const auto count = r.get<std::uint64_t>();
-      for (std::uint64_t i = 0; i < count; ++i) {
-        ExtendRequest req;
-        req.block_begin = r.get<std::int64_t>();
-        req.block_end = r.get<std::int64_t>();
-        req.window_begin = r.get<std::int64_t>();
-        req.window_end = r.get<std::int64_t>();
+    for (const auto& batch : driver.receive(mail2, kExtendRequests)) {
+      for (const ExtendRequest& req : batch) {
         const std::uint64_t key =
             splitmix64(static_cast<std::uint64_t>(req.block_begin) * 0x9e3779b9U +
                        static_cast<std::uint64_t>(req.window_begin)) ^
@@ -474,99 +517,83 @@ LargeDistanceResult run_large_distance(SymView s, SymView t,
   }
   result.extension_requests = requests.size();
 
-  std::vector<Bytes> round3_inputs;
+  std::vector<ExtendBatch> round3_tasks;
   {
     std::size_t i = 0;
     while (i < requests.size()) {
-      ByteWriter w;
+      ExtendBatch task;
       std::uint64_t bytes = 0;
-      std::uint64_t count = 0;
-      ByteWriter body;
       while (i < requests.size()) {
         const ExtendRequest& req = requests[i];
         const auto req_bytes = static_cast<std::uint64_t>(
             (req.block_end - req.block_begin) + (req.window_end - req.window_begin)) *
                 sizeof(Symbol) + 64;
-        if (count > 0 && bytes + req_bytes > params.memory_cap_bytes / 2) break;
-        body.put<std::int64_t>(req.block_begin);
-        body.put<std::int64_t>(req.block_end);
-        body.put<std::int64_t>(req.window_begin);
-        body.put<std::int64_t>(req.window_end);
-        body.put_vector(copy_syms(s, {req.block_begin, req.block_end}));
-        body.put_vector(copy_syms(t, {req.window_begin, req.window_end}));
+        if (!task.jobs.empty() && bytes + req_bytes > params.memory_cap_bytes / 2) break;
+        task.jobs.push_back(ExtendJob{
+            req.block_begin, req.block_end, req.window_begin, req.window_end,
+            copy_syms(s, {req.block_begin, req.block_end}),
+            copy_syms(t, {req.window_begin, req.window_end})});
         bytes += req_bytes;
-        ++count;
         ++i;
       }
-      w.put<std::uint64_t>(count);
-      Bytes head = std::move(w).take();
-      const Bytes body_bytes = std::move(body).take();
-      head.insert(head.end(), body_bytes.begin(), body_bytes.end());
-      round3_inputs.push_back(std::move(head));
+      round3_tasks.push_back(std::move(task));
     }
-    if (round3_inputs.empty()) {
-      ByteWriter w;
-      w.put<std::uint64_t>(0);
-      round3_inputs.push_back(std::move(w).take());
-    }
+    if (round3_tasks.empty()) round3_tasks.emplace_back();
   }
 
   // ------------------------------------------------------------------
-  // Round 3 (Algorithm 7): evaluate extension requests exactly.
+  // Stage 3 (Algorithm 7): evaluate extension requests exactly.
   // ------------------------------------------------------------------
-  const auto mail3 = cluster.run_round(
-      "edit:large:extend", round3_inputs, [&](mpc::MachineContext& ctx) {
-        auto r = ctx.reader();
-        const auto count = r.get<std::uint64_t>();
+  const mpc::Stage<ExtendBatch> extend_stage{
+      "edit:large:extend", [&](mpc::StageContext<ExtendBatch>& ctx) {
         std::uint64_t work = 0;
         std::vector<seq::Tuple> tuples;
-        for (std::uint64_t i = 0; i < count; ++i) {
-          const auto bb = r.get<std::int64_t>();
-          const auto be = r.get<std::int64_t>();
-          const auto wb = r.get<std::int64_t>();
-          const auto we = r.get<std::int64_t>();
-          const auto block_syms = r.get_vector<Symbol>();
-          const auto window_syms = r.get_vector<Symbol>();
+        for (const ExtendJob& job : ctx.in().jobs) {
           const auto limit = std::min<std::int64_t>(
               cap, std::max<std::int64_t>(
-                       1, static_cast<std::int64_t>(block_syms.size() +
-                                                    window_syms.size())));
-          const auto e = seq::edit_distance_bounded_fast(SymView(block_syms),
-                                                    SymView(window_syms), limit, &work);
+                       1, static_cast<std::int64_t>(job.block.size() +
+                                                    job.window.size())));
+          const auto e = seq::edit_distance_bounded_fast(SymView(job.block),
+                                                    SymView(job.window), limit, &work);
           if (!e.has_value()) continue;
-          tuples.push_back(seq::Tuple{bb, be, wb, we, *e});
+          tuples.push_back(seq::Tuple{job.block_begin, job.block_end,
+                                      job.window_begin, job.window_end, *e});
         }
         ctx.charge_work(work + 1);
-        ByteWriter w;
-        seq::write_tuples(w, tuples);
-        ctx.emit(0, std::move(w).take());
-      });
+        ctx.send(kTuples, tuples);
+      }};
+  const auto mail3 = driver.run(extend_stage, mpc::Driver::shard(round3_tasks));
 
   // ------------------------------------------------------------------
-  // Round 4: combine everything (round-2 and round-3 tuple payloads are
+  // Stage 4: combine everything (round-2 and round-3 tuple payloads are
   // chained in place; nothing is concatenated).
   // ------------------------------------------------------------------
-  ByteChain all_tuples = mpc::gather_view(mail2, 0);
-  all_tuples.add(mpc::gather_view(mail3, 0));
+  ByteChain all_tuples = mpc::gather_view(mail2, kTuples.mailbox);
+  all_tuples.add(mpc::gather_view(mail3, kTuples.mailbox));
+  using TupleInbox = mpc::Inbox<std::vector<seq::Tuple>>;
   std::int64_t answer = n + n_bar;
   std::size_t tuple_count = 0;
-  cluster.run_round_views("edit:large:combine", {all_tuples}, [&](mpc::MachineContext& ctx) {
-    std::uint64_t work = 0;
-    auto tuples = seq::read_all_tuples(ctx.input());
-    tuple_count = tuples.size();
-    seq::CombineOptions options;
-    options.gap = seq::GapCost::kSum;
-    answer = seq::combine_tuples(std::move(tuples), n, n_bar, options, &work);
-    ctx.charge_work(work);
-    ctx.charge_scratch(tuple_count * sizeof(seq::Tuple) * 2);
-    ByteWriter w;
-    w.put<std::int64_t>(answer);
-    ctx.emit(0, std::move(w).take());
-  });
+  const mpc::Stage<TupleInbox> combine_stage{
+      "edit:large:combine", [&](mpc::StageContext<TupleInbox>& ctx) {
+        std::uint64_t work = 0;
+        std::vector<seq::Tuple> tuples;
+        for (auto& batch : ctx.in().messages) {
+          tuples.insert(tuples.end(), batch.begin(), batch.end());
+        }
+        tuple_count = tuples.size();
+        seq::CombineOptions options;
+        options.gap = seq::GapCost::kSum;
+        answer = seq::combine_tuples(std::move(tuples), n, n_bar, options, &work);
+        ctx.charge_work(work);
+        ctx.charge_scratch(tuple_count * sizeof(seq::Tuple) * 2);
+        ctx.send(kAnswer, answer);
+      }};
+  driver.run_views(combine_stage, {all_tuples});
+  driver.finish();
 
   result.distance = answer;
   result.tuple_count = tuple_count;
-  result.trace = cluster.take_trace();
+  result.trace = driver.take_trace();
   MPCSD_ENSURES(result.trace.round_count() == 4);
   return result;
 }

@@ -6,12 +6,27 @@
 
 #include "common/contracts.hpp"
 #include "common/grid.hpp"
-#include "mpc/cluster.hpp"
-#include "seq/combine.hpp"
+#include "mpc/plan.hpp"
 #include "seq/edit_distance.hpp"
 #include "seq/edit_distance_fast.hpp"
 
 namespace mpcsd::edit_mpc {
+
+namespace {
+
+constexpr mpc::Channel<std::vector<seq::Tuple>> kTuples{0, "tuples"};
+constexpr mpc::Channel<std::int64_t> kAnswer{0, "answer"};
+
+mpc::Plan small_plan() {
+  return mpc::Plan{
+      "edit:small",
+      {
+          {"edit:small:distances", "SmallTask (sharded input)", "tuples"},
+          {"edit:small:combine", "Inbox<tuples>", "answer"},
+      }};
+}
+
+}  // namespace
 
 std::optional<std::int64_t> unit_distance(SymView a, SymView b, DistanceUnit unit,
                                           const seq::ApproxEditParams& approx,
@@ -40,6 +55,85 @@ std::optional<std::int64_t> unit_distance(SymView a, SymView b, DistanceUnit uni
   return result.distance;
 }
 
+CandidateGeometry small_geometry(std::int64_t n, std::int64_t n_bar,
+                                 const SmallDistanceParams& params) {
+  CandidateGeometry geo;
+  geo.eps_prime = params.eps_prime;
+  geo.n = n;
+  geo.n_bar = n_bar;
+  geo.block_size = std::max<std::int64_t>(1, ipow_ceil(n, 1.0 - params.x));
+  geo.delta_guess = params.delta_guess;
+  return geo;
+}
+
+std::vector<SmallTask> make_small_tasks(SymView s, SymView t,
+                                        const SmallDistanceParams& params,
+                                        const CandidateGeometry& geo) {
+  const auto n = geo.n;
+  const auto n_bar = geo.n_bar;
+  const std::int64_t block = geo.block_size;
+  const auto blocks = make_blocks(n, block);
+  const std::int64_t max_len = std::min(
+      static_cast<std::int64_t>(std::ceil(static_cast<double>(block) / params.eps_prime)),
+      block + params.delta_guess);
+
+  // One task per (block, start batch); a batch spans at most B so the s̄
+  // chunk stays within Õ(n^{1-x}).
+  std::vector<SmallTask> tasks;
+  for (const Interval& blk : blocks) {
+    const auto starts = candidate_starts(blk.begin, geo);
+    std::size_t i = 0;
+    while (i < starts.size()) {
+      std::size_t j = i;
+      while (params.batch_starts && j + 1 < starts.size() &&
+             starts[j + 1] - starts[i] <= block) {
+        ++j;
+      }
+      const std::int64_t chunk_begin = starts[i];
+      const std::int64_t chunk_end = std::min(n_bar, starts[j] + max_len);
+      SmallTask task;
+      task.block_begin = blk.begin;
+      task.block.assign(s.begin() + blk.begin, s.begin() + blk.end);
+      task.starts.assign(starts.begin() + static_cast<std::ptrdiff_t>(i),
+                         starts.begin() + static_cast<std::ptrdiff_t>(j + 1));
+      task.chunk_begin = chunk_begin;
+      task.chunk.assign(t.begin() + chunk_begin, t.begin() + chunk_end);
+      tasks.push_back(std::move(task));
+      i = j + 1;
+    }
+  }
+  return tasks;
+}
+
+std::vector<seq::Tuple> small_task_tuples(const SmallTask& task,
+                                          const SmallDistanceParams& params,
+                                          const CandidateGeometry& geo,
+                                          std::uint64_t* work) {
+  const SymView block_view(task.block);
+  const SymView chunk_view(task.chunk);
+  const auto block_len = static_cast<std::int64_t>(task.block.size());
+
+  // Censoring cap: a useful tuple's distance is at most the block's share
+  // of the optimum (<= (1+eps)*guess); the approx unit may overshoot by its
+  // 3x factor, so it gets more headroom.
+  const std::int64_t cap = params.unit == DistanceUnit::kExactBanded
+                               ? 2 * params.delta_guess + 2
+                               : 4 * params.delta_guess + 8;
+  std::vector<seq::Tuple> tuples;
+  for (const std::int64_t sp : task.starts) {
+    for (const std::int64_t ep : candidate_ends(sp, block_len, geo)) {
+      const SymView window = subview(
+          chunk_view, {sp - task.chunk_begin, ep - task.chunk_begin});
+      const auto e = unit_distance(block_view, window, params.unit,
+                                   params.approx, cap, work);
+      if (!e.has_value()) continue;
+      tuples.push_back(seq::Tuple{task.block_begin, task.block_begin + block_len,
+                                  sp, ep, *e});
+    }
+  }
+  return tuples;
+}
+
 PipelineResult run_small_distance(SymView s, SymView t,
                                   const SmallDistanceParams& params) {
   MPCSD_EXPECTS(params.x > 0.0 && params.x < 1.0);
@@ -54,47 +148,9 @@ PipelineResult run_small_distance(SymView s, SymView t,
     return result;
   }
 
-  const std::int64_t block = std::max<std::int64_t>(1, ipow_ceil(n, 1.0 - params.x));
-  CandidateGeometry geo;
-  geo.eps_prime = params.eps_prime;
-  geo.n = n;
-  geo.n_bar = n_bar;
-  geo.block_size = block;
-  geo.delta_guess = params.delta_guess;
-
-  const auto blocks = make_blocks(n, block);
-  const std::int64_t max_len = std::min(
-      static_cast<std::int64_t>(std::ceil(static_cast<double>(block) / params.eps_prime)),
-      block + params.delta_guess);
-
-  // Build round-1 machine inputs: one machine per (block, start batch); a
-  // batch spans at most B so the s̄ chunk stays within Õ(n^{1-x}).
-  std::vector<Bytes> inputs;
-  for (const Interval& blk : blocks) {
-    const auto starts = candidate_starts(blk.begin, geo);
-    std::size_t i = 0;
-    while (i < starts.size()) {
-      std::size_t j = i;
-      while (params.batch_starts && j + 1 < starts.size() &&
-             starts[j + 1] - starts[i] <= block) {
-        ++j;
-      }
-      const std::int64_t chunk_begin = starts[i];
-      const std::int64_t chunk_end = std::min(n_bar, starts[j] + max_len);
-      ByteWriter w;
-      w.put<std::int64_t>(blk.begin);
-      std::vector<Symbol> block_syms(s.begin() + blk.begin, s.begin() + blk.end);
-      w.put_vector(block_syms);
-      std::vector<std::int64_t> batch(starts.begin() + static_cast<std::ptrdiff_t>(i),
-                                      starts.begin() + static_cast<std::ptrdiff_t>(j + 1));
-      w.put_vector(batch);
-      w.put<std::int64_t>(chunk_begin);
-      std::vector<Symbol> chunk_syms(t.begin() + chunk_begin, t.begin() + chunk_end);
-      w.put_vector(chunk_syms);
-      inputs.push_back(std::move(w).take());
-      i = j + 1;
-    }
-  }
+  const CandidateGeometry geo = small_geometry(n, n_bar, params);
+  const std::vector<Bytes> inputs =
+      mpc::Driver::shard(make_small_tasks(s, t, params, geo));
   result.machines_round1 = inputs.size();
 
   mpc::ClusterConfig config;
@@ -102,68 +158,45 @@ PipelineResult run_small_distance(SymView s, SymView t,
   config.strict_memory = params.strict_memory;
   config.workers = params.workers;
   config.seed = params.seed;
-  mpc::Cluster cluster(config);
+  mpc::Driver driver(small_plan(), config);
 
-  // ---- Round 1 (Algorithm 3): block-vs-candidate distances. ----
-  const auto mail = cluster.run_round(
-      "edit:small:distances", inputs, [&](mpc::MachineContext& ctx) {
-        auto r = ctx.reader();
-        const auto block_begin = r.get<std::int64_t>();
-        const auto block_syms = r.get_vector<Symbol>();
-        const auto batch = r.get_vector<std::int64_t>();
-        const auto chunk_begin = r.get<std::int64_t>();
-        const auto chunk_syms = r.get_vector<Symbol>();
-        const SymView block_view(block_syms);
-        const SymView chunk_view(chunk_syms);
-        const auto block_len = static_cast<std::int64_t>(block_syms.size());
-
+  // ---- Stage 1 (Algorithm 3): block-vs-candidate distances. ----
+  const mpc::Stage<SmallTask> distances_stage{
+      "edit:small:distances", [&](mpc::StageContext<SmallTask>& ctx) {
         std::uint64_t work = 0;
-        // Censoring cap: a useful tuple's distance is at most the block's
-        // share of the optimum (<= (1+eps)*guess); the approx unit may
-        // overshoot by its 3x factor, so it gets more headroom.
-        const std::int64_t cap = params.unit == DistanceUnit::kExactBanded
-                                     ? 2 * params.delta_guess + 2
-                                     : 4 * params.delta_guess + 8;
-        std::vector<seq::Tuple> tuples;
-        for (const std::int64_t sp : batch) {
-          for (const std::int64_t ep : candidate_ends(sp, block_len, geo)) {
-            const SymView window = subview(
-                chunk_view, {sp - chunk_begin, ep - chunk_begin});
-            const auto e = unit_distance(block_view, window, params.unit,
-                                         params.approx, cap, &work);
-            if (!e.has_value()) continue;
-            tuples.push_back(seq::Tuple{block_begin, block_begin + block_len, sp,
-                                        ep, *e});
-          }
-        }
+        const auto tuples = small_task_tuples(ctx.in(), params, geo, &work);
         ctx.charge_work(work);
-        ctx.charge_scratch((block_syms.size() + chunk_syms.size()) * sizeof(Symbol));
-        ByteWriter w;
-        seq::write_tuples(w, tuples);
-        ctx.emit(0, std::move(w).take());
-      });
+        ctx.charge_scratch((ctx.in().block.size() + ctx.in().chunk.size()) *
+                           sizeof(Symbol));
+        ctx.send(kTuples, tuples);
+      }};
+  const auto mail = driver.run(distances_stage, inputs);
 
-  // ---- Round 2 (Algorithm 4): combine on one machine (zero-copy inbox). ----
-  const ByteChain all_tuples = mpc::gather_view(mail, 0);
+  // ---- Stage 2 (Algorithm 4): combine on one machine (zero-copy inbox). ----
+  using TupleInbox = mpc::Inbox<std::vector<seq::Tuple>>;
   std::int64_t answer = n + n_bar;
   std::size_t tuple_count = 0;
-  cluster.run_round_views("edit:small:combine", {all_tuples}, [&](mpc::MachineContext& ctx) {
-    std::uint64_t work = 0;
-    auto tuples = seq::read_all_tuples(ctx.input());
-    tuple_count = tuples.size();
-    seq::CombineOptions options;
-    options.gap = seq::GapCost::kSum;
-    answer = seq::combine_tuples(std::move(tuples), n, n_bar, options, &work);
-    ctx.charge_work(work);
-    ctx.charge_scratch(tuple_count * sizeof(seq::Tuple) * 2);
-    ByteWriter w;
-    w.put<std::int64_t>(answer);
-    ctx.emit(0, std::move(w).take());
-  });
+  const mpc::Stage<TupleInbox> combine_stage{
+      "edit:small:combine", [&](mpc::StageContext<TupleInbox>& ctx) {
+        std::uint64_t work = 0;
+        std::vector<seq::Tuple> tuples;
+        for (auto& batch : ctx.in().messages) {
+          tuples.insert(tuples.end(), batch.begin(), batch.end());
+        }
+        tuple_count = tuples.size();
+        seq::CombineOptions options;
+        options.gap = seq::GapCost::kSum;
+        answer = seq::combine_tuples(std::move(tuples), n, n_bar, options, &work);
+        ctx.charge_work(work);
+        ctx.charge_scratch(tuple_count * sizeof(seq::Tuple) * 2);
+        ctx.send(kAnswer, answer);
+      }};
+  driver.run_views(combine_stage, {mpc::gather_view(mail, kTuples.mailbox)});
+  driver.finish();
 
   result.distance = answer;
   result.tuple_count = tuple_count;
-  result.trace = cluster.take_trace();
+  result.trace = driver.take_trace();
   MPCSD_ENSURES(result.trace.round_count() == 2);
   return result;
 }

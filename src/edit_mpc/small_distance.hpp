@@ -16,10 +16,13 @@
 
 #include <cstdint>
 #include <optional>
+#include <tuple>
+#include <vector>
 
 #include "edit_mpc/candidates.hpp"
 #include "mpc/stats.hpp"
 #include "seq/approx_edit.hpp"
+#include "seq/combine.hpp"
 #include "seq/types.hpp"
 
 namespace mpcsd::edit_mpc {
@@ -50,6 +53,43 @@ struct PipelineResult {
   std::size_t machines_round1 = 0;
   mpc::ExecutionTrace trace;
 };
+
+/// Round-1 machine input of the plan-layer pipeline: one block of s plus
+/// the s̄ chunk covering a batch of candidate start points.  A wire struct
+/// (see mpc::Codec): members encode in declaration order, byte-identical to
+/// the hand-rolled seed layout.
+struct SmallTask {
+  std::int64_t block_begin = 0;
+  std::vector<Symbol> block;
+  std::vector<std::int64_t> starts;
+  std::int64_t chunk_begin = 0;
+  std::vector<Symbol> chunk;
+
+  static constexpr auto fields() {
+    return std::make_tuple(&SmallTask::block_begin, &SmallTask::block,
+                           &SmallTask::starts, &SmallTask::chunk_begin,
+                           &SmallTask::chunk);
+  }
+};
+
+/// Candidate geometry for one (s, s̄) pair under `params`.
+CandidateGeometry small_geometry(std::int64_t n, std::int64_t n_bar,
+                                 const SmallDistanceParams& params);
+
+/// Builds the round-1 tasks: one per (block, start batch), with the batch
+/// spanning at most B so the s̄ chunk stays within Õ(n^{1-x}).
+std::vector<SmallTask> make_small_tasks(SymView s, SymView t,
+                                        const SmallDistanceParams& params,
+                                        const CandidateGeometry& geo);
+
+/// The round-1 machine computation (Algorithm 3): block-vs-candidate
+/// distances for every (start, end) candidate of the task, censored at the
+/// guess-derived cap.  Shared by the single-query pipeline and the batch
+/// driver.
+std::vector<seq::Tuple> small_task_tuples(const SmallTask& task,
+                                          const SmallDistanceParams& params,
+                                          const CandidateGeometry& geo,
+                                          std::uint64_t* work);
 
 /// Runs the small-distance pipeline for one guess.  The result is a valid
 /// upper bound on ed(s, t) regardless of the guess; when the guess is

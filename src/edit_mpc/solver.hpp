@@ -72,6 +72,9 @@ EditMpcResult edit_distance_mpc(SymView s, SymView t,
 /// Per-machine memory budget: Õ_eps(n^{1-x}).
 std::uint64_t edit_memory_cap_bytes(std::int64_t n, const EditMpcParams& params);
 
+/// The implementation's eps' = max(eps/22, eps_prime_floor).
+double edit_eps_prime(const EditMpcParams& params);
+
 /// The small/large regime boundary n^{1-x/5}.
 std::int64_t small_distance_limit(std::int64_t n, double x);
 

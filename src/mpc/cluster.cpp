@@ -26,18 +26,28 @@ Cluster::Cluster(ClusterConfig config)
     : config_(config), pool_(std::make_shared<ThreadPool>(config.workers)) {}
 
 Mail Cluster::run_round(const std::string& label, const std::vector<Bytes>& inputs,
-                        const std::function<void(MachineContext&)>& body) {
+                        const std::function<void(MachineContext&)>& body,
+                        const RoundOptions& options) {
   // Wrap each contiguous input as a single-fragment chain (no copy).
   std::vector<ByteChain> chains(inputs.size());
   for (std::size_t i = 0; i < inputs.size(); ++i) chains[i].add(ByteSpan(inputs[i]));
-  return run_round_views(label, chains, body);
+  return run_round_views(label, chains, body, options);
 }
 
 Mail Cluster::run_round_views(const std::string& label,
                               const std::vector<ByteChain>& inputs,
-                              const std::function<void(MachineContext&)>& body) {
+                              const std::function<void(MachineContext&)>& body,
+                              const RoundOptions& options) {
   const std::size_t round = round_index_++;
   const std::size_t machines = inputs.size();
+  if (options.machine_memory_limits != nullptr &&
+      options.machine_memory_limits->size() != machines) {
+    throw std::invalid_argument(
+        "round '" + label + "': " +
+        std::to_string(options.machine_memory_limits->size()) +
+        " per-machine memory limits for " + std::to_string(machines) +
+        " machines");
+  }
 
   std::vector<MachineReport> reports(machines);
   std::vector<std::vector<Envelope>> outboxes(machines);
@@ -73,17 +83,23 @@ Mail Cluster::run_round_views(const std::string& label,
     rr.total_input_bytes += m.input_bytes;
     rr.total_work += m.work;
     rr.max_machine_work = std::max(rr.max_machine_work, m.work);
-    if (m.memory_footprint() > config_.memory_limit_bytes) {
+    const std::uint64_t limit = options.machine_memory_limits != nullptr
+                                    ? (*options.machine_memory_limits)[i]
+                                    : config_.memory_limit_bytes;
+    if (m.memory_footprint() > limit) {
       ++rr.memory_violations;
       if (config_.strict_memory) {
         throw MemoryLimitExceeded(
             "machine " + std::to_string(i) + " in round '" + label + "' used " +
             std::to_string(m.memory_footprint()) + "B > limit " +
-            std::to_string(config_.memory_limit_bytes) + "B");
+            std::to_string(limit) + "B");
       }
     }
   }
   trace_.add_round(rr);
+  if (options.machine_reports != nullptr) {
+    *options.machine_reports = std::move(reports);
+  }
 
   // Deterministic flat merge: move every envelope (payloads are never
   // copied), then stable-sort by destination — within a mailbox the order
@@ -99,10 +115,6 @@ Mail Cluster::run_round_views(const std::string& label,
   std::stable_sort(mail.msgs_.begin(), mail.msgs_.end(),
                    [](const Envelope& a, const Envelope& b) { return a.dest < b.dest; });
   return mail;
-}
-
-Bytes gather(const Mail& mail, std::uint32_t dest) {
-  return gather_view(mail, dest).to_bytes();
 }
 
 ByteChain gather_view(const Mail& mail, std::uint32_t dest) {

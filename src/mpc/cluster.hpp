@@ -122,6 +122,18 @@ class MachineContext {
   std::vector<Envelope> outbox_;
 };
 
+/// Per-round execution overrides, used by the batch driver: queries of
+/// different sizes co-scheduled in one round carry different Õ(n^{1-x})
+/// caps, and per-query trace attribution needs the machine-level reports.
+struct RoundOptions {
+  /// Per-machine memory caps (bytes), parallel to the round's inputs.
+  /// Overrides the cluster-wide `memory_limit_bytes` when non-null.
+  const std::vector<std::uint64_t>* machine_memory_limits = nullptr;
+  /// When non-null, receives every machine's report after the round (in
+  /// machine-id order), for per-query aggregation.
+  std::vector<MachineReport>* machine_reports = nullptr;
+};
+
 class Cluster {
  public:
   explicit Cluster(ClusterConfig config);
@@ -129,18 +141,26 @@ class Cluster {
   /// Executes one round with `inputs.size()` machines.  Returns the merged
   /// mail for the next round.  Round metrics are appended to the trace.
   Mail run_round(const std::string& label, const std::vector<Bytes>& inputs,
-                 const std::function<void(MachineContext&)>& body);
+                 const std::function<void(MachineContext&)>& body,
+                 const RoundOptions& options = {});
 
   /// Zero-copy variant: each machine's input is a chain of byte fragments
   /// (typically `gather_view` of the previous round's mail) read in place.
   /// The storage the chains reference must stay alive for the call.
   /// Metering is byte-identical to feeding the concatenated buffers.
   Mail run_round_views(const std::string& label, const std::vector<ByteChain>& inputs,
-                       const std::function<void(MachineContext&)>& body);
+                       const std::function<void(MachineContext&)>& body,
+                       const RoundOptions& options = {});
 
   [[nodiscard]] const ExecutionTrace& trace() const noexcept { return trace_; }
   [[nodiscard]] ExecutionTrace take_trace() { return std::move(trace_); }
   [[nodiscard]] const ClusterConfig& config() const noexcept { return config_; }
+
+  /// The report of the most recent round, for driver-side annotation
+  /// (per-stage glue timings); nullptr before the first round.
+  [[nodiscard]] RoundReport* mutable_last_round() noexcept {
+    return trace_.mutable_last();
+  }
 
  private:
   ClusterConfig config_;
@@ -149,12 +169,10 @@ class Cluster {
   std::size_t round_index_ = 0;
 };
 
-/// Concatenates all payloads of one mailbox into a fresh buffer (copying;
-/// kept for call sites that need owned bytes, e.g. driver-side parsing).
-Bytes gather(const Mail& mail, std::uint32_t dest);
-
 /// Zero-copy gather: a chain over the mailbox payloads in place.  The
-/// returned chain borrows from `mail`, which must outlive it.
+/// returned chain borrows from `mail`, which must outlive it.  (The old
+/// copying `gather` is retired from the library surface; every library
+/// call site reads mailboxes through views.)
 ByteChain gather_view(const Mail& mail, std::uint32_t dest);
 
 }  // namespace mpcsd::mpc

@@ -1,0 +1,50 @@
+#include "mpc/plan.hpp"
+
+#include <sstream>
+
+namespace mpcsd::mpc {
+
+std::string Plan::describe() const {
+  std::ostringstream os;
+  os << "plan " << name << " (" << stages.size() << " stages)\n";
+  for (std::size_t i = 0; i < stages.size(); ++i) {
+    const StageSpec& s = stages[i];
+    os << "  stage " << (i + 1) << " [" << s.label << "]: " << s.consumes
+       << " -> " << s.produces << '\n';
+  }
+  return os.str();
+}
+
+Driver::Driver(Plan plan, ClusterConfig config)
+    : plan_(std::move(plan)), cluster_(config) {}
+
+double Driver::begin_stage(const std::string& label) {
+  if (next_stage_ >= plan_.stages.size()) {
+    throw PlanError("plan '" + plan_.name + "': stage '" + label +
+                    "' executed past the end of the declared plan");
+  }
+  const StageSpec& spec = plan_.stages[next_stage_];
+  if (spec.label != label) {
+    throw PlanError("plan '" + plan_.name + "': expected stage '" + spec.label +
+                    "' but '" + label + "' was executed");
+  }
+  ++next_stage_;
+  return glue_clock_.seconds();
+}
+
+void Driver::end_stage(double glue_seconds) {
+  if (RoundReport* last = cluster_.mutable_last_round()) {
+    last->driver_seconds = glue_seconds;
+  }
+  glue_clock_.reset();
+}
+
+void Driver::finish() const {
+  if (next_stage_ != plan_.stages.size()) {
+    throw PlanError("plan '" + plan_.name + "': only " +
+                    std::to_string(next_stage_) + " of " +
+                    std::to_string(plan_.stages.size()) + " stages executed");
+  }
+}
+
+}  // namespace mpcsd::mpc

@@ -64,6 +64,7 @@ void ExecutionTrace::merge_parallel(const ExecutionTrace& other) {
     mine.total_work += theirs.total_work;
     mine.max_machine_work = std::max(mine.max_machine_work, theirs.max_machine_work);
     mine.wall_seconds = std::max(mine.wall_seconds, theirs.wall_seconds);
+    mine.driver_seconds = std::max(mine.driver_seconds, theirs.driver_seconds);
     mine.memory_violations += theirs.memory_violations;
   }
 }

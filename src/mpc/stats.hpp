@@ -36,6 +36,7 @@ struct RoundReport {
   std::uint64_t total_work = 0;
   std::uint64_t max_machine_work = 0;    ///< parallel-time proxy for the round
   double wall_seconds = 0.0;
+  double driver_seconds = 0.0;           ///< host-side glue time before the round
   std::size_t memory_violations = 0;     ///< machines exceeding the configured cap
 };
 
@@ -46,6 +47,12 @@ class ExecutionTrace {
 
   [[nodiscard]] const std::vector<RoundReport>& rounds() const noexcept {
     return rounds_;
+  }
+
+  /// The most recently added round, for driver-side annotation after the
+  /// simulator has recorded it; nullptr on an empty trace.
+  [[nodiscard]] RoundReport* mutable_last() noexcept {
+    return rounds_.empty() ? nullptr : &rounds_.back();
   }
 
   [[nodiscard]] std::size_t round_count() const noexcept { return rounds_.size(); }

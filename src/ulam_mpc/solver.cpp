@@ -6,12 +6,42 @@
 
 #include "common/contracts.hpp"
 #include "common/grid.hpp"
-#include "mpc/cluster.hpp"
+#include "mpc/plan.hpp"
 #include "mpc/primitives.hpp"
 #include "seq/lis.hpp"
 #include "ulam_mpc/combine.hpp"
 
 namespace mpcsd::ulam_mpc {
+
+namespace {
+
+/// Round-1 machine input: one block of s with the t-positions of its
+/// symbols (the "character position map" feed of Algorithm 1).
+struct BlockTask {
+  std::int64_t begin = 0;
+  std::vector<std::int64_t> positions;
+
+  static constexpr auto fields() {
+    return std::make_tuple(&BlockTask::begin, &BlockTask::positions);
+  }
+};
+
+/// Round-1 -> round-2 channel: each block machine sends one tuple batch
+/// (the wire layout of `seq::write_tuples`: u64 count + raw tuples).
+constexpr mpc::Channel<std::vector<seq::Tuple>> kTuples{0, "tuples"};
+/// Round-2 output: the combined distance.
+constexpr mpc::Channel<std::int64_t> kAnswer{0, "answer"};
+
+mpc::Plan ulam_plan() {
+  return mpc::Plan{
+      "ulam",
+      {
+          {"ulam:candidates", "BlockTask (sharded input)", "tuples"},
+          {"ulam:combine", "Inbox<tuples>", "answer"},
+      }};
+}
+
+}  // namespace
 
 std::uint64_t ulam_memory_cap_bytes(std::int64_t n, const UlamMpcParams& params) {
   const std::int64_t block = std::max<std::int64_t>(1, ipow_ceil(n, 1.0 - params.x));
@@ -55,15 +85,16 @@ UlamMpcResult ulam_distance_mpc(SymView s, SymView t, const UlamMpcParams& param
   config.strict_memory = params.strict_memory;
   config.workers = params.workers;
   config.seed = params.seed;
-  mpc::Cluster cluster(config);
+  mpc::Driver driver(ulam_plan(), config);
 
   // Character-position map: either an in-model MPC hash join (two extra
-  // rounds on this cluster) or the equivalent driver-side routing (the
-  // paper's "input is already distributed" assumption).
+  // rounds on this cluster, before the declared plan stages) or the
+  // equivalent driver-side routing (the paper's "input is already
+  // distributed" assumption).
   std::vector<std::int64_t> all_positions;
   if (params.in_model_position_map) {
     all_positions = mpc::position_map_round(
-        cluster, s, t, static_cast<std::size_t>(block_count));
+        driver.cluster(), s, t, static_cast<std::size_t>(block_count));
   } else {
     std::unordered_map<Symbol, std::int64_t> pos_in_t;
     pos_in_t.reserve(t.size() * 2);
@@ -77,39 +108,34 @@ UlamMpcResult ulam_distance_mpc(SymView s, SymView t, const UlamMpcParams& param
     }
   }
 
-  std::vector<Bytes> inputs;
-  inputs.reserve(static_cast<std::size_t>(block_count));
+  std::vector<BlockTask> tasks;
+  tasks.reserve(static_cast<std::size_t>(block_count));
   for (std::int64_t b = 0; b < block_count; ++b) {
     const std::int64_t begin = b * block;
     const std::int64_t end = std::min(n, begin + block);
-    ByteWriter w;
-    w.put<std::int64_t>(begin);
-    w.put_vector(std::vector<std::int64_t>(
-        all_positions.begin() + begin, all_positions.begin() + end));
-    inputs.push_back(std::move(w).take());
+    tasks.push_back(BlockTask{
+        begin, std::vector<std::int64_t>(all_positions.begin() + begin,
+                                         all_positions.begin() + end)});
   }
+  const std::vector<Bytes> inputs = mpc::Driver::shard(tasks);
 
-  // ---- Round 1: Algorithm 1 on every block. ----
+  // ---- Stage 1: Algorithm 1 on every block. ----
   std::vector<CandidateStats> stats(inputs.size());
-  const auto mail = cluster.run_round(
-      "ulam:candidates", inputs, [&](mpc::MachineContext& ctx) {
-        auto r = ctx.reader();
-        const auto begin = r.get<std::int64_t>();
-        const auto positions = r.get_vector<std::int64_t>();
+  const mpc::Stage<BlockTask> candidates_stage{
+      "ulam:candidates", [&](mpc::StageContext<BlockTask>& ctx) {
         CandidateParams cp;
         cp.eps_prime = eps_prime;
         cp.theta_constant = params.theta_constant;
         cp.n = n;
         cp.n_bar = n_bar;
         CandidateStats& st = stats[ctx.machine_id()];
-        const auto tuples =
-            build_block_candidates(begin, positions, cp, ctx.rng(), &st);
+        const auto tuples = build_block_candidates(
+            ctx.in().begin, ctx.in().positions, cp, ctx.rng(), &st);
         ctx.charge_work(st.work);
-        ctx.charge_scratch(positions.size() * 32);
-        ByteWriter w;
-        write_tuples(w, tuples);
-        ctx.emit(0, std::move(w).take());
-      });
+        ctx.charge_scratch(ctx.in().positions.size() * 32);
+        ctx.send(kTuples, tuples);
+      }};
+  const auto mail = driver.run(candidates_stage, inputs);
 
   for (const CandidateStats& st : stats) {
     result.stats.candidates_evaluated += st.candidates_evaluated;
@@ -119,17 +145,20 @@ UlamMpcResult ulam_distance_mpc(SymView s, SymView t, const UlamMpcParams& param
     result.stats.work += st.work;
   }
 
-  // ---- Round 2: Algorithm 2 on one machine. ----
-  // The combine machine reads the round-1 payloads in place (zero-copy);
-  // its metered input is still the full mailbox byte count.
-  const ByteChain all_tuples = mpc::gather_view(mail, 0);
+  // ---- Stage 2: Algorithm 2 on one machine. ----
+  // The combine machine reads the round-1 tuple batches in place
+  // (zero-copy); its metered input is still the full mailbox byte count.
+  using TupleInbox = mpc::Inbox<std::vector<seq::Tuple>>;
   std::int64_t answer = std::max(n, n_bar);
   std::size_t tuple_count = 0;
   std::vector<seq::Tuple> kept;
-  const auto mail2 = cluster.run_round_views(
-      "ulam:combine", {all_tuples}, [&](mpc::MachineContext& ctx) {
+  const mpc::Stage<TupleInbox> combine_stage{
+      "ulam:combine", [&](mpc::StageContext<TupleInbox>& ctx) {
         std::uint64_t work = 0;
-        auto tuples = read_all_tuples(ctx.input());
+        std::vector<seq::Tuple> tuples;
+        for (auto& batch : ctx.in().messages) {
+          tuples.insert(tuples.end(), batch.begin(), batch.end());
+        }
         tuple_count = tuples.size();
         if (params.keep_tuples) kept = tuples;
         seq::CombineOptions options;
@@ -137,16 +166,17 @@ UlamMpcResult ulam_distance_mpc(SymView s, SymView t, const UlamMpcParams& param
         answer = seq::combine_tuples(std::move(tuples), n, n_bar, options, &work);
         ctx.charge_work(work);
         ctx.charge_scratch(tuple_count * sizeof(seq::Tuple) * 2);
-        ByteWriter w;
-        w.put<std::int64_t>(answer);
-        ctx.emit(0, std::move(w).take());
-      });
+        ctx.send(kAnswer, answer);
+      }};
+  const auto mail2 =
+      driver.run_views(combine_stage, {mpc::gather_view(mail, kTuples.mailbox)});
   (void)mail2;
+  driver.finish();
 
   result.distance = answer;
   result.tuple_count = tuple_count;
   result.tuples = std::move(kept);
-  result.trace = cluster.take_trace();
+  result.trace = driver.take_trace();
   MPCSD_ENSURES(result.trace.round_count() ==
                 (params.in_model_position_map ? 4u : 2u));
   MPCSD_ENSURES(result.distance >= 0);

@@ -1,0 +1,183 @@
+// Batched multi-query execution: round-count parity with single queries,
+// strict per-query memory-cap enforcement, per-query trace attribution,
+// and distance guarantees.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "core/api.hpp"
+
+namespace {
+
+using namespace mpcsd;
+
+core::BatchRequest ulam_request(std::size_t batch, std::int64_t n,
+                                std::uint64_t seed) {
+  core::BatchRequest request;
+  request.algorithm = core::BatchAlgorithm::kUlam;
+  request.ulam.x = 1.0 / 3;
+  request.ulam.epsilon = 0.5;
+  request.ulam.seed = seed;
+  request.ulam.workers = 1;
+  for (std::size_t q = 0; q < batch; ++q) {
+    core::BatchQuery query;
+    query.s = core::random_permutation(n, seed + 10 * q);
+    query.t = core::plant_edits(query.s, n / 16, seed + 10 * q + 1, true).text;
+    request.queries.push_back(std::move(query));
+  }
+  return request;
+}
+
+core::BatchRequest edit_request(std::size_t batch, std::int64_t n,
+                                std::uint64_t seed) {
+  core::BatchRequest request;
+  request.algorithm = core::BatchAlgorithm::kEdit;
+  request.edit.x = 0.25;
+  request.edit.epsilon = 1.0;
+  request.edit.seed = seed;
+  request.edit.workers = 1;
+  for (std::size_t q = 0; q < batch; ++q) {
+    core::BatchQuery query;
+    query.s = core::random_string(n, 8, seed + 10 * q);
+    query.t = core::plant_edits(query.s, n / 16, seed + 10 * q + 1, false).text;
+    request.queries.push_back(std::move(query));
+  }
+  return request;
+}
+
+TEST(Batch, UlamBatchUsesSameRoundsAsSingleQuery) {
+  // The headline batching win: B queries share the two simulated rounds.
+  const auto single = core::distance_batch(ulam_request(1, 256, 7));
+  const auto batch = core::distance_batch(ulam_request(16, 256, 7));
+  EXPECT_EQ(single.trace.round_count(), 2u);
+  EXPECT_EQ(batch.trace.round_count(), 2u);
+  EXPECT_EQ(batch.queries.size(), 16u);
+}
+
+TEST(Batch, UlamDistancesWithinGuarantee) {
+  const auto request = ulam_request(8, 256, 21);
+  const auto result = core::distance_batch(request);
+  for (std::size_t q = 0; q < request.queries.size(); ++q) {
+    const auto exact = seq::ulam_distance(SymView(request.queries[q].s),
+                                          SymView(request.queries[q].t));
+    // Realizable-transformation lower bound, (1+eps) whp upper bound (the
+    // +2 absorbs grid rounding at toy sizes).
+    EXPECT_GE(result.queries[q].distance, exact) << "query " << q;
+    EXPECT_LE(result.queries[q].distance,
+              static_cast<std::int64_t>(std::ceil(1.5 * double(exact))) + 2)
+        << "query " << q;
+  }
+}
+
+TEST(Batch, UlamMixedSizesStrictPerQueryCaps) {
+  // Queries of different n carry different Õ(n^{1-x}) caps; strict mode
+  // proves each machine respects its own query's cap.
+  core::BatchRequest request;
+  request.algorithm = core::BatchAlgorithm::kUlam;
+  request.ulam.x = 1.0 / 3;
+  request.ulam.epsilon = 0.5;
+  request.ulam.seed = 3;
+  request.ulam.workers = 1;
+  request.ulam.strict_memory = true;
+  for (const std::int64_t n : {128, 384, 256, 512}) {
+    core::BatchQuery query;
+    query.s = core::random_permutation(n, 100 + n);
+    query.t = core::plant_edits(query.s, n / 20, 101 + n, true).text;
+    request.queries.push_back(std::move(query));
+  }
+  const auto result = core::distance_batch(request);  // must not throw
+  EXPECT_EQ(result.trace.round_count(), 2u);
+  for (const auto& qr : result.queries) {
+    EXPECT_EQ(qr.trace.memory_violations(), 0u);
+    EXPECT_LE(qr.trace.max_machine_memory(), qr.memory_cap_bytes);
+  }
+  // Caps really differ across the batch.
+  EXPECT_LT(result.queries[0].memory_cap_bytes,
+            result.queries[3].memory_cap_bytes);
+}
+
+TEST(Batch, UlamPerQueryAttributionSumsToSharedTrace) {
+  const auto result = core::distance_batch(ulam_request(6, 256, 11));
+  ASSERT_EQ(result.trace.round_count(), 2u);
+  for (std::size_t r = 0; r < 2; ++r) {
+    std::uint64_t work = 0;
+    std::uint64_t comm = 0;
+    std::size_t machines = 0;
+    for (const auto& qr : result.queries) {
+      ASSERT_EQ(qr.trace.round_count(), 2u);
+      work += qr.trace.rounds()[r].total_work;
+      comm += qr.trace.rounds()[r].total_comm_bytes;
+      machines += qr.trace.rounds()[r].machines;
+    }
+    EXPECT_EQ(work, result.trace.rounds()[r].total_work);
+    EXPECT_EQ(comm, result.trace.rounds()[r].total_comm_bytes);
+    EXPECT_EQ(machines, result.trace.rounds()[r].machines);
+  }
+}
+
+TEST(Batch, UlamDegenerateQueries) {
+  core::BatchRequest request;
+  request.algorithm = core::BatchAlgorithm::kUlam;
+  request.ulam.workers = 1;
+  request.queries.push_back(core::BatchQuery{});  // both empty
+  core::BatchQuery half;
+  half.t = core::random_permutation(32, 5);
+  request.queries.push_back(std::move(half));  // s empty
+  core::BatchQuery live;
+  live.s = core::random_permutation(64, 6);
+  live.t = core::plant_edits(live.s, 4, 7, true).text;
+  request.queries.push_back(std::move(live));
+  const auto result = core::distance_batch(request);
+  EXPECT_EQ(result.queries[0].distance, 0);
+  EXPECT_EQ(result.queries[1].distance, 32);
+  EXPECT_GT(result.queries[2].distance, 0);
+}
+
+TEST(Batch, EditBatchTwoRoundsAndGuarantee) {
+  const auto request = edit_request(6, 192, 19);
+  const auto result = core::distance_batch(request);
+  // All (query, guess) pipelines share the same two rounds; a single
+  // edit_distance_mpc run reports <= 4 (its guesses merged in parallel).
+  EXPECT_EQ(result.trace.round_count(), 2u);
+  for (std::size_t q = 0; q < request.queries.size(); ++q) {
+    const auto exact = seq::edit_distance(SymView(request.queries[q].s),
+                                          SymView(request.queries[q].t));
+    EXPECT_GE(result.queries[q].distance, exact) << "query " << q;
+    // kApprox3 unit: 3+eps with eps=1 -> factor 4 (+2 rounding slack).
+    EXPECT_LE(result.queries[q].distance, 4 * exact + 2) << "query " << q;
+    EXPECT_GT(result.queries[q].accepted_guess, 0) << "query " << q;
+    EXPECT_EQ(result.queries[q].trace.round_count(), 2u);
+  }
+}
+
+TEST(Batch, EditStrictPerQueryCaps) {
+  auto request = edit_request(4, 160, 23);
+  request.edit.strict_memory = true;
+  const auto result = core::distance_batch(request);  // must not throw
+  for (const auto& qr : result.queries) {
+    EXPECT_EQ(qr.trace.memory_violations(), 0u);
+    EXPECT_LE(qr.trace.max_machine_memory(), qr.memory_cap_bytes);
+  }
+}
+
+TEST(Batch, EditIdenticalStringsShortCircuit) {
+  core::BatchRequest request;
+  request.algorithm = core::BatchAlgorithm::kEdit;
+  request.edit.workers = 1;
+  core::BatchQuery query;
+  query.s = core::random_string(64, 8, 3);
+  query.t = query.s;
+  request.queries.push_back(std::move(query));
+  const auto result = core::distance_batch(request);
+  EXPECT_EQ(result.queries[0].distance, 0);
+}
+
+TEST(Batch, EmptyRequest) {
+  const auto result = core::distance_batch(core::BatchRequest{});
+  EXPECT_TRUE(result.queries.empty());
+  EXPECT_EQ(result.trace.round_count(), 0u);
+}
+
+}  // namespace

@@ -1,0 +1,211 @@
+// Golden-trace regression test: pins the full ExecutionTrace of every MPC
+// driver (round labels, machine counts, work, communication and memory
+// metering) on fixed seeds across a sweep of (n, x, eps).
+//
+// The table below was captured from the seed drivers BEFORE they were
+// ported onto the mpc::Plan/Driver layer; the ported drivers must reproduce
+// it field-for-field, which proves the refactor kept RoundReport metering
+// byte-identical.  It also catches any later metering drift (a changed
+// payload layout, a forgotten charge_work, a re-ordered round).
+//
+// Regenerating (only when a metering change is *intentional*):
+//   MPCSD_GOLDEN_DUMP=1 ./test_golden_trace | less
+// and paste the emitted table over kGolden.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "core/api.hpp"
+
+namespace {
+
+using namespace mpcsd;
+
+struct TraceRow {
+  std::string label;
+  std::size_t machines;
+  std::uint64_t total_work;
+  std::uint64_t total_comm_bytes;
+  std::uint64_t total_input_bytes;
+  std::uint64_t max_machine_memory;
+  std::uint64_t max_machine_work;
+  std::size_t memory_violations;
+};
+
+struct Scenario {
+  const char* name;
+  std::vector<TraceRow> rows;
+};
+
+std::vector<TraceRow> flatten(const mpc::ExecutionTrace& trace) {
+  std::vector<TraceRow> rows;
+  for (const mpc::RoundReport& r : trace.rounds()) {
+    rows.push_back(TraceRow{r.label, r.machines, r.total_work,
+                            r.total_comm_bytes, r.total_input_bytes,
+                            r.max_machine_memory, r.max_machine_work,
+                            r.memory_violations});
+  }
+  return rows;
+}
+
+// ---- scenario runners (fixed seeds; sweep of n, x, eps) ----
+
+mpc::ExecutionTrace run_ulam(std::int64_t n, double x, double eps,
+                             std::uint64_t seed, bool in_model) {
+  const auto s = core::random_permutation(n, seed);
+  const auto t = core::plant_edits(s, n / 16, seed + 1, true).text;
+  ulam_mpc::UlamMpcParams params;
+  params.x = x;
+  params.epsilon = eps;
+  params.seed = seed;
+  params.workers = 1;
+  params.in_model_position_map = in_model;
+  return ulam_mpc::ulam_distance_mpc(s, t, params).trace;
+}
+
+mpc::ExecutionTrace run_small(std::int64_t n, double x, double eps_prime,
+                              std::int64_t guess, edit_mpc::DistanceUnit unit,
+                              std::uint64_t seed) {
+  const auto s = core::random_string(n, 8, seed);
+  const auto t = core::plant_edits(s, guess / 2, seed + 1, false).text;
+  edit_mpc::SmallDistanceParams sp;
+  sp.x = x;
+  sp.eps_prime = eps_prime;
+  sp.delta_guess = guess;
+  sp.unit = unit;
+  sp.seed = seed;
+  sp.workers = 1;
+  edit_mpc::EditMpcParams cap;
+  cap.x = x;
+  sp.memory_cap_bytes = edit_mpc::edit_memory_cap_bytes(n, cap);
+  return edit_mpc::run_small_distance(s, t, sp).trace;
+}
+
+mpc::ExecutionTrace run_large(std::int64_t n, double x, std::int64_t guess,
+                              std::uint64_t seed) {
+  const auto s = core::random_string(n, 6, seed);
+  const auto t = core::plant_edits(s, guess / 2, seed + 1, false).text;
+  edit_mpc::LargeDistanceParams lp;
+  lp.x = x;
+  lp.eps_prime = 0.2;
+  lp.delta_guess = guess;
+  lp.seed = seed;
+  lp.workers = 1;
+  edit_mpc::EditMpcParams cap;
+  cap.x = x;
+  lp.memory_cap_bytes = edit_mpc::edit_memory_cap_bytes(n, cap);
+  return edit_mpc::run_large_distance(s, t, lp).trace;
+}
+
+mpc::ExecutionTrace run_edit(std::int64_t n, double x, double eps,
+                             edit_mpc::DistanceUnit unit, std::uint64_t seed) {
+  const auto s = core::random_string(n, 8, seed);
+  const auto t = core::plant_edits(s, n / 12, seed + 1, false).text;
+  edit_mpc::EditMpcParams params;
+  params.x = x;
+  params.epsilon = eps;
+  params.unit = unit;
+  params.seed = seed;
+  params.workers = 1;
+  return edit_mpc::edit_distance_mpc(s, t, params).trace;
+}
+
+mpc::ExecutionTrace run_hss(std::int64_t n, double x, double eps,
+                            std::uint64_t seed) {
+  const auto s = core::random_string(n, 8, seed);
+  const auto t = core::plant_edits(s, n / 10, seed + 1, false).text;
+  edit_mpc::HssBaselineParams params;
+  params.x = x;
+  params.epsilon = eps;
+  params.seed = seed;
+  params.workers = 1;
+  return edit_mpc::hss_edit_distance_mpc(s, t, params).trace;
+}
+
+struct Case {
+  const char* name;
+  mpc::ExecutionTrace (*run)();
+};
+
+// The sweep.  Each entry is deterministic: fixed seed, workers=1, and all
+// metered quantities are scheduling-independent by construction.
+const Case kCases[] = {
+    {"ulam_n256_x033_e05",
+     [] { return run_ulam(256, 1.0 / 3, 0.5, 7, false); }},
+    {"ulam_n512_x040_e08",
+     [] { return run_ulam(512, 0.40, 0.8, 21, false); }},
+    {"ulam_n384_x030_e025",
+     [] { return run_ulam(384, 0.30, 0.25, 9, false); }},
+    {"ulam_inmodel_n256",
+     [] { return run_ulam(256, 1.0 / 3, 0.5, 7, true); }},
+    {"small_exact_n320_g16",
+     [] { return run_small(320, 0.25, 0.2, 16, edit_mpc::DistanceUnit::kExactBanded, 11); }},
+    {"small_approx_n320_g16",
+     [] { return run_small(320, 0.25, 0.2, 16, edit_mpc::DistanceUnit::kApprox3, 11); }},
+    {"small_exact_n480_x030_g24",
+     [] { return run_small(480, 0.30, 0.15, 24, edit_mpc::DistanceUnit::kExactBanded, 29); }},
+    {"large_n400_x030_g48",
+     [] { return run_large(400, 0.30, 48, 13); }},
+    {"large_n560_x025_g96",
+     [] { return run_large(560, 0.25, 96, 17); }},
+    {"edit_n192_x025_e10",
+     [] { return run_edit(192, 0.25, 1.0, edit_mpc::DistanceUnit::kApprox3, 19); }},
+    {"edit_exact_n160_x025_e10",
+     [] { return run_edit(160, 0.25, 1.0, edit_mpc::DistanceUnit::kExactBanded, 19); }},
+    {"hss_n96_x025_e10", [] { return run_hss(96, 0.25, 1.0, 23); }},
+};
+
+// ---- golden table (generated with MPCSD_GOLDEN_DUMP=1; see header) ----
+#include "test_golden_trace.inc"
+
+void dump_all() {
+  std::printf("// Generated by MPCSD_GOLDEN_DUMP=1 ./test_golden_trace\n");
+  std::printf("const std::vector<Scenario> kGolden = {\n");
+  for (const Case& c : kCases) {
+    const auto rows = flatten(c.run());
+    std::printf("    {\"%s\",\n     {\n", c.name);
+    for (const TraceRow& r : rows) {
+      std::printf("         {\"%s\", %zuu, %lluu, %lluu, %lluu, %lluu, %lluu, %zuu},\n",
+                  r.label.c_str(), r.machines,
+                  static_cast<unsigned long long>(r.total_work),
+                  static_cast<unsigned long long>(r.total_comm_bytes),
+                  static_cast<unsigned long long>(r.total_input_bytes),
+                  static_cast<unsigned long long>(r.max_machine_memory),
+                  static_cast<unsigned long long>(r.max_machine_work),
+                  r.memory_violations);
+    }
+    std::printf("     }},\n");
+  }
+  std::printf("};\n");
+}
+
+TEST(GoldenTrace, MeteringIdentity) {
+  if (std::getenv("MPCSD_GOLDEN_DUMP") != nullptr) {
+    dump_all();
+    GTEST_SKIP() << "dump mode: golden table printed to stdout";
+  }
+  ASSERT_EQ(kGolden.size(), std::size(kCases));
+  for (std::size_t c = 0; c < std::size(kCases); ++c) {
+    SCOPED_TRACE(kCases[c].name);
+    const auto rows = flatten(kCases[c].run());
+    const Scenario& golden = kGolden[c];
+    ASSERT_EQ(rows.size(), golden.rows.size()) << "round count drifted";
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      SCOPED_TRACE("round " + std::to_string(i));
+      EXPECT_EQ(rows[i].label, golden.rows[i].label);
+      EXPECT_EQ(rows[i].machines, golden.rows[i].machines);
+      EXPECT_EQ(rows[i].total_work, golden.rows[i].total_work);
+      EXPECT_EQ(rows[i].total_comm_bytes, golden.rows[i].total_comm_bytes);
+      EXPECT_EQ(rows[i].total_input_bytes, golden.rows[i].total_input_bytes);
+      EXPECT_EQ(rows[i].max_machine_memory, golden.rows[i].max_machine_memory);
+      EXPECT_EQ(rows[i].max_machine_work, golden.rows[i].max_machine_work);
+      EXPECT_EQ(rows[i].memory_violations, golden.rows[i].memory_violations);
+    }
+  }
+}
+
+}  // namespace

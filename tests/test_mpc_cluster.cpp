@@ -18,6 +18,12 @@ Bytes payload_of(std::int64_t v) {
   return std::move(w).take();
 }
 
+// Copying gather, local to this test: the library routes mailboxes through
+// `gather_view`; tests still want owned bytes to compare payloads directly.
+Bytes gather(const Mail& mail, std::uint32_t dest) {
+  return gather_view(mail, dest).to_bytes();
+}
+
 TEST(Cluster, SingleRoundEcho) {
   Cluster cluster(ClusterConfig{});
   std::vector<Bytes> inputs{payload_of(1), payload_of(2), payload_of(3)};
