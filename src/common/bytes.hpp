@@ -136,6 +136,13 @@ class ByteChain {
     for (const ByteSpan p : other.parts_) add(p);
   }
 
+  /// Drops all fragments but keeps the part-list capacity, so chains held
+  /// in round-scoped arenas can be refilled without reallocating.
+  void clear() noexcept {
+    parts_.clear();
+    total_ = 0;
+  }
+
   [[nodiscard]] const std::vector<ByteSpan>& parts() const noexcept { return parts_; }
   [[nodiscard]] std::size_t total_bytes() const noexcept { return total_; }
   [[nodiscard]] bool empty() const noexcept { return total_ == 0; }

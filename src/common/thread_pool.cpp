@@ -86,9 +86,24 @@ void ThreadPool::parallel_for(std::size_t count,
                               const std::function<void(std::size_t)>& body,
                               std::size_t grain) {
   if (count == 0) return;
+  const std::size_t g = std::max<std::size_t>(grain, 1);
+  if (count <= g || threads_.size() <= 1) {
+    // One chunk (or one worker): run inline on the caller — same capture/
+    // rethrow semantics, no queue wakeup for single-machine rounds.
+    std::exception_ptr first_error;
+    for (std::size_t i = 0; i < count; ++i) {
+      try {
+        body(i);
+      } catch (...) {
+        if (!first_error) first_error = std::current_exception();
+      }
+    }
+    if (first_error) std::rethrow_exception(first_error);
+    return;
+  }
   auto state = std::make_shared<ForState>();
   state->count = count;
-  state->grain = std::max<std::size_t>(grain, 1);
+  state->grain = g;
   state->body = &body;
 
   // One queued task per worker; each drains indices from the shared

@@ -39,9 +39,17 @@ mpc::RoundReport attribute_round(const std::string& label,
   return rr;
 }
 
+struct QueryMeta {
+  std::int64_t n = 0;
+  std::int64_t n_bar = 0;
+  std::uint64_t cap = 0;
+  bool degenerate = false;  ///< answered driver-side, owns no machines
+};
+
 // ---------------------------------------------------------------------
 // Ulam batch: every query's block machines share round 1, every query's
-// combine machine shares round 2.  Mailbox = query id.
+// combine machine shares round 2.  Mailbox = query id.  There is no guess
+// ladder, so BatchMode does not change the execution.
 // ---------------------------------------------------------------------
 
 /// Round-1 machine input: one block of one query.
@@ -56,59 +64,10 @@ struct UlamBatchTask {
   }
 };
 
-struct QueryMeta {
-  std::int64_t n = 0;
-  std::int64_t n_bar = 0;
-  std::uint64_t cap = 0;
-  bool degenerate = false;  ///< answered driver-side, owns no machines
-};
-
 BatchResult run_ulam_batch(const BatchRequest& request) {
   const auto& params = request.ulam;
   BatchResult result;
   result.queries.resize(request.queries.size());
-
-  std::vector<QueryMeta> meta(request.queries.size());
-  std::vector<UlamBatchTask> tasks;
-  std::vector<std::uint64_t> task_limits;
-  std::vector<std::uint32_t> task_owner;
-  for (std::uint32_t q = 0; q < request.queries.size(); ++q) {
-    const BatchQuery& query = request.queries[q];
-    MPCSD_EXPECTS(seq::is_repeat_free(SymView(query.s)));
-    MPCSD_EXPECTS(seq::is_repeat_free(SymView(query.t)));
-    QueryMeta& m = meta[q];
-    m.n = static_cast<std::int64_t>(query.s.size());
-    m.n_bar = static_cast<std::int64_t>(query.t.size());
-    if (m.n == 0) {
-      m.degenerate = true;
-      result.queries[q].distance = m.n_bar;
-      continue;
-    }
-    m.cap = ulam_mpc::ulam_memory_cap_bytes(m.n, params);
-    result.queries[q].memory_cap_bytes = m.cap;
-
-    std::unordered_map<Symbol, std::int64_t> pos_in_t;
-    pos_in_t.reserve(query.t.size() * 2);
-    for (std::size_t j = 0; j < query.t.size(); ++j) {
-      pos_in_t.emplace(query.t[j], static_cast<std::int64_t>(j));
-    }
-    const std::int64_t block =
-        std::max<std::int64_t>(1, ipow_ceil(m.n, 1.0 - params.x));
-    for (std::int64_t begin = 0; begin < m.n; begin += block) {
-      const std::int64_t end = std::min(m.n, begin + block);
-      UlamBatchTask task;
-      task.query = q;
-      task.begin = begin;
-      task.positions.reserve(static_cast<std::size_t>(end - begin));
-      for (std::int64_t i = begin; i < end; ++i) {
-        const auto it = pos_in_t.find(query.s[static_cast<std::size_t>(i)]);
-        task.positions.push_back(it == pos_in_t.end() ? -1 : it->second);
-      }
-      tasks.push_back(std::move(task));
-      task_limits.push_back(m.cap);
-      task_owner.push_back(q);
-    }
-  }
 
   mpc::ClusterConfig config;
   config.memory_limit_bytes = UINT64_MAX;  // per-machine limits carry the caps
@@ -123,6 +82,62 @@ BatchResult run_ulam_batch(const BatchRequest& request) {
                     {"batch:ulam:combine", "Inbox<tuples>@query", "answer@query"},
                 }},
       config);
+
+  // Per-query input construction (position map + block tasks) runs on the
+  // round worker pool: queries are independent, and the serial flatten
+  // below keeps the machine order deterministic.
+  std::vector<QueryMeta> meta(request.queries.size());
+  std::vector<std::vector<UlamBatchTask>> builds(request.queries.size());
+  driver.cluster().pool().parallel_for(
+      request.queries.size(),
+      [&](std::size_t qi) {
+        const auto q = static_cast<std::uint32_t>(qi);
+        const BatchQuery& query = request.queries[q];
+        MPCSD_EXPECTS(seq::is_repeat_free(SymView(query.s)));
+        MPCSD_EXPECTS(seq::is_repeat_free(SymView(query.t)));
+        QueryMeta& m = meta[q];
+        m.n = static_cast<std::int64_t>(query.s.size());
+        m.n_bar = static_cast<std::int64_t>(query.t.size());
+        if (m.n == 0) {
+          m.degenerate = true;
+          result.queries[q].distance = m.n_bar;
+          return;
+        }
+        m.cap = ulam_mpc::ulam_memory_cap_bytes(m.n, params);
+        result.queries[q].memory_cap_bytes = m.cap;
+
+        std::unordered_map<Symbol, std::int64_t> pos_in_t;
+        pos_in_t.reserve(query.t.size() * 2);
+        for (std::size_t j = 0; j < query.t.size(); ++j) {
+          pos_in_t.emplace(query.t[j], static_cast<std::int64_t>(j));
+        }
+        const std::int64_t block =
+            std::max<std::int64_t>(1, ipow_ceil(m.n, 1.0 - params.x));
+        for (std::int64_t begin = 0; begin < m.n; begin += block) {
+          const std::int64_t end = std::min(m.n, begin + block);
+          UlamBatchTask task;
+          task.query = q;
+          task.begin = begin;
+          task.positions.reserve(static_cast<std::size_t>(end - begin));
+          for (std::int64_t i = begin; i < end; ++i) {
+            const auto it = pos_in_t.find(query.s[static_cast<std::size_t>(i)]);
+            task.positions.push_back(it == pos_in_t.end() ? -1 : it->second);
+          }
+          builds[q].push_back(std::move(task));
+        }
+      },
+      /*grain=*/1);
+
+  std::vector<UlamBatchTask> tasks;
+  std::vector<std::uint64_t> task_limits;
+  std::vector<std::uint32_t> task_owner;
+  for (std::uint32_t q = 0; q < builds.size(); ++q) {
+    for (UlamBatchTask& task : builds[q]) {
+      tasks.push_back(std::move(task));
+      task_limits.push_back(meta[q].cap);
+      task_owner.push_back(q);
+    }
+  }
 
   const double eps_prime = params.epsilon / 2.0;
   const mpc::Stage<UlamBatchTask> candidates_stage{
@@ -145,7 +160,7 @@ BatchResult run_ulam_batch(const BatchRequest& request) {
   options1.machine_memory_limits = &task_limits;
   options1.machine_reports = &reports1;
   const auto mail =
-      driver.run(candidates_stage, mpc::Driver::shard(tasks), options1);
+      driver.run(candidates_stage, driver.shard_parallel(tasks), options1);
 
   // One combine machine per live query.
   std::vector<std::uint32_t> combine_query;
@@ -196,14 +211,19 @@ BatchResult run_ulam_batch(const BatchRequest& request) {
         "batch:ulam:combine", reports2, combine_owner, q, meta[q].cap));
   }
   result.trace = driver.take_trace();
+  result.passes = driver.passes();
   MPCSD_ENSURES(result.trace.round_count() == 2);
   return result;
 }
 
 // ---------------------------------------------------------------------
-// Edit batch: every (query, guess) cell of the small-distance regime runs
-// side by side — cell machines share round 1, cell combine machines share
-// round 2.  Mailbox = cell id.
+// Edit batch.  A (query, guess) pipeline instance is a *cell*; cell
+// machines share a distances round, cell combine machines share a combine
+// round.  Mailbox = cell id (within the round-pair).
+//
+//   kParallelGuess: every cell of every query runs in one round-pair.
+//   kThroughput:    one round-pair per escalation pass; pass p runs the
+//                   p-th unaccepted rung of every unresolved query.
 // ---------------------------------------------------------------------
 
 /// One (query, guess) pipeline instance.
@@ -224,83 +244,70 @@ struct EditBatchTask {
   }
 };
 
-BatchResult run_edit_batch(const BatchRequest& request) {
-  const auto& params = request.edit;
-  BatchResult result;
-  result.queries.resize(request.queries.size());
+/// Per-query precomputation: the clipped guess ladder and the per-rung
+/// seeds.  Seeds chain along the ladder exactly as the parallel-guess mode
+/// (and the sequential solver) derive them, so a kThroughput run executes
+/// byte-identical cells for every rung it shares with kParallelGuess.
+struct EditQueryPlan {
+  std::vector<std::int64_t> guesses;
+  std::vector<std::uint64_t> seeds;
+};
 
-  const double eps_prime = edit_mpc::edit_eps_prime(params);
-  std::vector<QueryMeta> meta(request.queries.size());
-  std::vector<EditCell> cells;
-  std::vector<std::vector<std::uint32_t>> query_cells(request.queries.size());
+EditCell make_edit_cell(std::uint32_t q, const EditQueryPlan& plan,
+                        std::size_t rung, const QueryMeta& m,
+                        const edit_mpc::EditMpcParams& params,
+                        double eps_prime) {
+  EditCell cell;
+  cell.query = q;
+  cell.guess = plan.guesses[rung];
+  cell.params.eps_prime = eps_prime;
+  cell.params.x = params.x;
+  cell.params.delta_guess = cell.guess;
+  cell.params.unit = params.unit;
+  cell.params.approx = params.approx;
+  cell.params.seed = plan.seeds[rung];
+  cell.params.strict_memory = params.strict_memory;
+  cell.params.memory_cap_bytes = m.cap;
+  cell.geo = edit_mpc::small_geometry(m.n, m.n_bar, cell.params);
+  return cell;
+}
+
+/// One shared round-pair over `cells`: builds the tasks (parallel, on the
+/// round worker pool), runs the distances and combine stages with per-query
+/// caps, attributes both rounds to every query in `attribute_queries`
+/// (queries without a cell get zero-machine rounds), and returns one
+/// combined answer per cell.
+std::vector<std::int64_t> run_edit_round_pair(
+    mpc::Driver& driver, const BatchRequest& request,
+    const std::vector<QueryMeta>& meta, const std::vector<EditCell>& cells,
+    const std::vector<std::uint32_t>& attribute_queries,
+    std::vector<QueryResult>& queries) {
+  // Per-cell task construction is independent; flatten serially in cell
+  // order so machine ids stay deterministic.
+  std::vector<std::vector<EditBatchTask>> builds(cells.size());
+  driver.cluster().pool().parallel_for(
+      cells.size(),
+      [&](std::size_t c) {
+        const EditCell& cell = cells[c];
+        const BatchQuery& query = request.queries[cell.query];
+        for (auto& task : edit_mpc::make_small_tasks(
+                 SymView(query.s), SymView(query.t), cell.params, cell.geo)) {
+          builds[c].push_back(
+              EditBatchTask{static_cast<std::uint32_t>(c), std::move(task)});
+        }
+      },
+      /*grain=*/1);
+
   std::vector<EditBatchTask> tasks;
   std::vector<std::uint64_t> task_limits;
   std::vector<std::uint32_t> task_owner;
-
-  for (std::uint32_t q = 0; q < request.queries.size(); ++q) {
-    const BatchQuery& query = request.queries[q];
-    QueryMeta& m = meta[q];
-    m.n = static_cast<std::int64_t>(query.s.size());
-    m.n_bar = static_cast<std::int64_t>(query.t.size());
-    if (m.n == m.n_bar &&
-        std::equal(query.s.begin(), query.s.end(), query.t.begin())) {
-      m.degenerate = true;
-      continue;
-    }
-    if (m.n == 0 || m.n_bar == 0) {
-      m.degenerate = true;
-      result.queries[q].distance = std::max(m.n, m.n_bar);
-      continue;
-    }
-    m.cap = edit_mpc::edit_memory_cap_bytes(m.n, params);
-    result.queries[q].memory_cap_bytes = m.cap;
-
-    // The guess ladder, clipped to the small-distance regime.
-    const std::int64_t small_limit = edit_mpc::small_distance_limit(m.n, params.x);
-    std::uint64_t guess_seed = params.seed + q * 0x9e3779b97f4a7c15ULL;
-    for (const std::int64_t guess :
-         geometric_grid(std::max(m.n, m.n_bar), params.epsilon)) {
-      if (guess == 0 || guess > small_limit) continue;
-      guess_seed = splitmix64(guess_seed + static_cast<std::uint64_t>(guess));
-      EditCell cell;
-      cell.query = q;
-      cell.guess = guess;
-      cell.params.eps_prime = eps_prime;
-      cell.params.x = params.x;
-      cell.params.delta_guess = guess;
-      cell.params.unit = params.unit;
-      cell.params.approx = params.approx;
-      cell.params.seed = guess_seed;
-      cell.params.strict_memory = params.strict_memory;
-      cell.params.memory_cap_bytes = m.cap;
-      cell.geo = edit_mpc::small_geometry(m.n, m.n_bar, cell.params);
-
-      const auto cell_id = static_cast<std::uint32_t>(cells.size());
-      for (auto& task : edit_mpc::make_small_tasks(SymView(query.s),
-                                                   SymView(query.t),
-                                                   cell.params, cell.geo)) {
-        tasks.push_back(EditBatchTask{cell_id, std::move(task)});
-        task_limits.push_back(m.cap);
-        task_owner.push_back(q);
-      }
-      query_cells[q].push_back(cell_id);
-      cells.push_back(std::move(cell));
+  for (std::size_t c = 0; c < builds.size(); ++c) {
+    for (EditBatchTask& task : builds[c]) {
+      tasks.push_back(std::move(task));
+      task_limits.push_back(meta[cells[c].query].cap);
+      task_owner.push_back(cells[c].query);
     }
   }
-
-  mpc::ClusterConfig config;
-  config.memory_limit_bytes = UINT64_MAX;  // per-machine limits carry the caps
-  config.strict_memory = params.strict_memory;
-  config.workers = params.workers;
-  config.seed = params.seed;
-  mpc::Driver driver(
-      mpc::Plan{"batch:edit",
-                {
-                    {"batch:edit:distances", "EditBatchTask (sharded input)",
-                     "tuples@cell"},
-                    {"batch:edit:combine", "Inbox<tuples>@cell", "answer@cell"},
-                }},
-      config);
 
   const mpc::Stage<EditBatchTask> distances_stage{
       "batch:edit:distances", [&](mpc::StageContext<EditBatchTask>& ctx) {
@@ -318,7 +325,7 @@ BatchResult run_edit_batch(const BatchRequest& request) {
   options1.machine_memory_limits = &task_limits;
   options1.machine_reports = &reports1;
   const auto mail =
-      driver.run(distances_stage, mpc::Driver::shard(tasks), options1);
+      driver.run(distances_stage, driver.shard_parallel(tasks), options1);
 
   // One combine machine per cell.
   std::vector<ByteChain> combine_inputs;
@@ -355,32 +362,172 @@ BatchResult run_edit_batch(const BatchRequest& request) {
   options2.machine_memory_limits = &combine_limits;
   options2.machine_reports = &reports2;
   driver.run_views(combine_stage, combine_inputs, options2);
-  driver.finish();
 
+  for (const std::uint32_t q : attribute_queries) {
+    queries[q].trace.add_round(attribute_round("batch:edit:distances", reports1,
+                                               task_owner, q, meta[q].cap));
+    queries[q].trace.add_round(attribute_round("batch:edit:combine", reports2,
+                                               combine_owner, q, meta[q].cap));
+  }
+  return cell_answers;
+}
+
+BatchResult run_edit_batch(const BatchRequest& request) {
+  const auto& params = request.edit;
+  BatchResult result;
+  result.queries.resize(request.queries.size());
+
+  mpc::ClusterConfig config;
+  config.memory_limit_bytes = UINT64_MAX;  // per-machine limits carry the caps
+  config.strict_memory = params.strict_memory;
+  config.workers = params.workers;
+  config.seed = params.seed;
+  mpc::Driver driver(
+      mpc::Plan{"batch:edit",
+                {
+                    {"batch:edit:distances", "EditBatchTask (sharded input)",
+                     "tuples@cell"},
+                    {"batch:edit:combine", "Inbox<tuples>@cell", "answer@cell"},
+                },
+                /*repeating=*/request.mode == BatchMode::kThroughput},
+      config);
+
+  // Per-query prep: degenerate detection (the equality scan is O(n)) and
+  // the clipped guess ladder with chained per-rung seeds.
+  const double eps_prime = edit_mpc::edit_eps_prime(params);
+  std::vector<QueryMeta> meta(request.queries.size());
+  std::vector<EditQueryPlan> plans(request.queries.size());
+  driver.cluster().pool().parallel_for(
+      request.queries.size(),
+      [&](std::size_t qi) {
+        const auto q = static_cast<std::uint32_t>(qi);
+        const BatchQuery& query = request.queries[q];
+        QueryMeta& m = meta[q];
+        m.n = static_cast<std::int64_t>(query.s.size());
+        m.n_bar = static_cast<std::int64_t>(query.t.size());
+        if (m.n == m.n_bar &&
+            std::equal(query.s.begin(), query.s.end(), query.t.begin())) {
+          m.degenerate = true;
+          return;
+        }
+        if (m.n == 0 || m.n_bar == 0) {
+          m.degenerate = true;
+          result.queries[q].distance = std::max(m.n, m.n_bar);
+          return;
+        }
+        m.cap = edit_mpc::edit_memory_cap_bytes(m.n, params);
+        result.queries[q].memory_cap_bytes = m.cap;
+
+        // The guess ladder, clipped to the small-distance regime.
+        const std::int64_t small_limit =
+            edit_mpc::small_distance_limit(m.n, params.x);
+        std::uint64_t guess_seed = params.seed + q * 0x9e3779b97f4a7c15ULL;
+        for (const std::int64_t guess :
+             geometric_grid(std::max(m.n, m.n_bar), params.epsilon)) {
+          if (guess == 0 || guess > small_limit) continue;
+          guess_seed = splitmix64(guess_seed + static_cast<std::uint64_t>(guess));
+          plans[q].guesses.push_back(guess);
+          plans[q].seeds.push_back(guess_seed);
+        }
+      },
+      /*grain=*/1);
+
+  // Trivial delete-all/insert-all bound; also the answer for a live query
+  // whose clipped ladder is empty.
+  std::vector<std::int64_t> best(meta.size(), 0);
   for (std::uint32_t q = 0; q < meta.size(); ++q) {
-    if (meta[q].degenerate) continue;
-    // The guesses ran side by side; pick the best answer and record the
-    // first self-certifying guess (the solver's accept condition).
-    std::int64_t best = meta[q].n + meta[q].n_bar;
-    std::int64_t accepted = 0;
-    for (const std::uint32_t c : query_cells[q]) {
-      best = std::min(best, cell_answers[c]);
-      if (accepted == 0) {
-        const auto accept = static_cast<std::int64_t>(std::ceil(
-                                (3.0 + params.epsilon) *
-                                static_cast<double>(cells[c].guess))) + 2;
-        if (cell_answers[c] <= accept) accepted = cells[c].guess;
+    best[q] = meta[q].n + meta[q].n_bar;
+  }
+
+  if (request.mode == BatchMode::kParallelGuess) {
+    // Every cell of every query side by side in one round-pair.
+    std::vector<EditCell> cells;
+    std::vector<std::vector<std::uint32_t>> query_cells(meta.size());
+    std::vector<std::uint32_t> live;
+    for (std::uint32_t q = 0; q < meta.size(); ++q) {
+      if (meta[q].degenerate) continue;
+      live.push_back(q);
+      for (std::size_t rung = 0; rung < plans[q].guesses.size(); ++rung) {
+        query_cells[q].push_back(static_cast<std::uint32_t>(cells.size()));
+        cells.push_back(make_edit_cell(q, plans[q], rung, meta[q], params,
+                                       eps_prime));
       }
     }
-    result.queries[q].distance = best;
-    result.queries[q].accepted_guess = accepted;
-    result.queries[q].trace.add_round(attribute_round(
-        "batch:edit:distances", reports1, task_owner, q, meta[q].cap));
-    result.queries[q].trace.add_round(attribute_round(
-        "batch:edit:combine", reports2, combine_owner, q, meta[q].cap));
+    const auto cell_answers =
+        run_edit_round_pair(driver, request, meta, cells, live, result.queries);
+    driver.finish();
+
+    for (std::uint32_t q = 0; q < meta.size(); ++q) {
+      if (meta[q].degenerate) continue;
+      // The guesses ran side by side; pick the best answer and record the
+      // first self-certifying guess (the solver's accept condition).
+      std::int64_t accepted = 0;
+      for (const std::uint32_t c : query_cells[q]) {
+        best[q] = std::min(best[q], cell_answers[c]);
+        if (accepted == 0 &&
+            cell_answers[c] <=
+                edit_mpc::accept_threshold(cells[c].guess, params.epsilon)) {
+          accepted = cells[c].guess;
+        }
+      }
+      result.queries[q].distance = best[q];
+      result.queries[q].accepted_guess = accepted;
+      result.queries[q].rungs_run = query_cells[q].size();
+    }
+    result.trace = driver.take_trace();
+    result.passes = driver.passes();
+    MPCSD_ENSURES(result.trace.round_count() == 2);
+    return result;
   }
+
+  // ---- BatchMode::kThroughput: adaptive guess escalation. ----
+  std::vector<std::uint32_t> unresolved;
+  std::vector<std::size_t> rung(meta.size(), 0);
+  for (std::uint32_t q = 0; q < meta.size(); ++q) {
+    if (meta[q].degenerate) continue;
+    if (plans[q].guesses.empty()) {
+      result.queries[q].distance = best[q];  // no rung in regime: trivial bound
+      continue;
+    }
+    unresolved.push_back(q);
+  }
+
+  while (!unresolved.empty()) {
+    std::vector<EditCell> cells;
+    cells.reserve(unresolved.size());
+    for (const std::uint32_t q : unresolved) {
+      cells.push_back(
+          make_edit_cell(q, plans[q], rung[q], meta[q], params, eps_prime));
+    }
+    const auto cell_answers = run_edit_round_pair(driver, request, meta, cells,
+                                                  unresolved, result.queries);
+
+    std::vector<std::uint32_t> survivors;
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      const std::uint32_t q = cells[c].query;
+      best[q] = std::min(best[q], cell_answers[c]);
+      ++result.queries[q].rungs_run;
+      if (cell_answers[c] <=
+          edit_mpc::accept_threshold(cells[c].guess, params.epsilon)) {
+        // Self-certified: this rung is >= ed(s, t) whp, later rungs cannot
+        // improve the guarantee — retire the query.
+        result.queries[q].accepted_guess = cells[c].guess;
+        result.queries[q].distance = best[q];
+      } else if (++rung[q] == plans[q].guesses.size()) {
+        // Ladder exhausted inside the small-distance regime without
+        // certification (the large-distance territory): keep the best
+        // realizable bound, as the parallel mode does.
+        result.queries[q].distance = best[q];
+      } else {
+        survivors.push_back(q);
+      }
+    }
+    unresolved = std::move(survivors);
+  }
+  driver.finish();
   result.trace = driver.take_trace();
-  MPCSD_ENSURES(result.trace.round_count() == 2);
+  result.passes = driver.passes();
+  MPCSD_ENSURES(result.trace.round_count() == 2 * result.passes);
   return result;
 }
 

@@ -2,19 +2,40 @@
 //
 // `distance_batch` runs B independent (s, t) queries through a SINGLE plan
 // execution: machines of different queries coexist in the same simulated
-// rounds, so a batch of 64 Ulam queries still costs 2 rounds, and a batch
-// of edit queries costs 2 rounds (every query's distance guesses run side
-// by side, the paper's parallel-guess semantics made literal).  Mailboxes
-// are partitioned per query, per-machine memory caps are enforced at each
-// query's own Õ_eps(n^{1-x}) budget (RoundOptions), and every query gets
-// its own attributed ExecutionTrace built from the machine-level reports.
+// rounds.  Mailboxes are partitioned per query, per-machine memory caps are
+// enforced at each query's own Õ_eps(n^{1-x}) budget (RoundOptions), and
+// every query gets its own attributed ExecutionTrace built from the
+// machine-level reports.
 //
 // Edit batches run the guess ladder restricted to the small-distance regime
-// (n^delta <= n^{1-x/5}, Lemma 6).  The returned distance is always the
-// cost of a realizable transformation (an upper bound on ed); the 3+eps
-// guarantee holds whp when the true distance lies in that regime — the
-// serving-system sweet spot the batching exists for.  Queries needing the
-// large-distance pipeline should go through `edit_distance_mpc`.
+// (n^delta <= n^{1-x/5}, Lemma 6), in one of two modes:
+//
+//   * kParallelGuess — the paper's semantics made literal: every (query,
+//     guess) pipeline instance runs side by side in 2 shared rounds.  Total
+//     work is Σ over ALL rungs of every query — the right model quantity,
+//     but on a real host most of that work belongs to rungs the sequential
+//     early-exit solver never runs.
+//   * kThroughput   — adaptive guess escalation (the output-sensitivity
+//     idea of Ding et al. 2023 applied to the ladder): every live query
+//     starts at its cheapest rung; one shared round-pair runs the current
+//     rung of every unresolved query; queries whose answer certifies itself
+//     (answer <= (3+eps)·guess + 2, the same monotone accept condition the
+//     sequential solver uses) retire, and only the survivors re-enter the
+//     plan at their next rung.  Expected work drops from Σ(all rungs) to
+//     Σ(rungs up to the accepted one) per query, at the cost of extra —
+//     metered and reported — simulated rounds: the shared trace carries
+//     2 rounds per escalation pass instead of 2 total.  The 3+eps guarantee
+//     is unchanged whp: retirement only happens on the self-certifying
+//     condition, which fires no later than the first rung >= ed(s, t).
+//
+// Ulam has no guess ladder (Theorem 4 is a single two-round pipeline), so
+// both modes execute identically for kUlam.
+//
+// The returned edit distance is always the cost of a realizable
+// transformation (an upper bound on ed); the 3+eps guarantee holds whp when
+// the true distance lies in the small-distance regime — the serving-system
+// sweet spot the batching exists for.  Queries needing the large-distance
+// pipeline should go through `edit_distance_mpc`.
 #pragma once
 
 #include <cstdint>
@@ -32,6 +53,16 @@ enum class BatchAlgorithm : std::uint8_t {
   kEdit,  ///< Theorem 9, small-distance regime
 };
 
+enum class BatchMode : std::uint8_t {
+  /// All guess rungs of every query side by side in 2 shared rounds (the
+  /// paper-literal semantics; work is worst-case, rounds are minimal).
+  kParallelGuess,
+  /// Adaptive guess escalation: cheapest rung first, retire queries whose
+  /// answer certifies itself, re-enter the plan with the survivors.  Work
+  /// is output-sensitive; the shared trace has 2 rounds per pass.
+  kThroughput,
+};
+
 struct BatchQuery {
   std::vector<Symbol> s;
   std::vector<Symbol> t;
@@ -39,6 +70,7 @@ struct BatchQuery {
 
 struct BatchRequest {
   BatchAlgorithm algorithm = BatchAlgorithm::kUlam;
+  BatchMode mode = BatchMode::kParallelGuess;
   std::vector<BatchQuery> queries;
   /// Solver settings for kUlam batches (x, epsilon, seed, workers,
   /// strict_memory, memory_slack, combine_gap).
@@ -49,19 +81,28 @@ struct BatchRequest {
 
 struct QueryResult {
   std::int64_t distance = 0;
-  /// First guess whose answer certified itself (kEdit; 0 for kUlam).
+  /// First guess whose answer certified itself (kEdit; 0 for kUlam, and 0
+  /// when the clipped ladder was exhausted without certification).
   std::int64_t accepted_guess = 0;
+  /// Guess rungs this query executed: the full clipped ladder in
+  /// kParallelGuess, the escalation prefix in kThroughput (0 for kUlam).
+  std::size_t rungs_run = 0;
   /// This query's own per-machine cap, enforced on its machines only.
   std::uint64_t memory_cap_bytes = 0;
   /// This query's share of the shared rounds: labels, machine counts,
   /// work, comm bytes, memory maxima — attributed from machine reports.
+  /// kThroughput traces carry one round-pair per rung the query ran.
   mpc::ExecutionTrace trace;
 };
 
 struct BatchResult {
   std::vector<QueryResult> queries;
-  /// The shared physical execution: 2 rounds regardless of batch size.
+  /// The shared physical execution: 2 rounds in kParallelGuess (and for
+  /// kUlam), 2 rounds per escalation pass in kThroughput.
   mpc::ExecutionTrace trace;
+  /// Escalation passes executed (1 for kParallelGuess / kUlam batches with
+  /// live queries, 0 for an all-degenerate batch).
+  std::size_t passes = 0;
 };
 
 /// Runs every query of `request` in one shared plan execution.

@@ -149,9 +149,6 @@ PipelineResult run_small_distance(SymView s, SymView t,
   }
 
   const CandidateGeometry geo = small_geometry(n, n_bar, params);
-  const std::vector<Bytes> inputs =
-      mpc::Driver::shard(make_small_tasks(s, t, params, geo));
-  result.machines_round1 = inputs.size();
 
   mpc::ClusterConfig config;
   config.memory_limit_bytes = params.memory_cap_bytes;
@@ -159,6 +156,10 @@ PipelineResult run_small_distance(SymView s, SymView t,
   config.workers = params.workers;
   config.seed = params.seed;
   mpc::Driver driver(small_plan(), config);
+
+  const std::vector<Bytes> inputs =
+      driver.shard_parallel(make_small_tasks(s, t, params, geo));
+  result.machines_round1 = inputs.size();
 
   // ---- Stage 1 (Algorithm 3): block-vs-candidate distances. ----
   const mpc::Stage<SmallTask> distances_stage{

@@ -21,6 +21,12 @@ double edit_eps_prime(const EditMpcParams& params) {
   return std::max(params.epsilon / 22.0, params.eps_prime_floor);
 }
 
+std::int64_t accept_threshold(std::int64_t guess, double epsilon) {
+  return static_cast<std::int64_t>(
+             std::ceil((3.0 + epsilon) * static_cast<double>(guess))) +
+         2;
+}
+
 std::uint64_t edit_memory_cap_bytes(std::int64_t n, const EditMpcParams& params) {
   const std::int64_t block = std::max<std::int64_t>(1, ipow_ceil(n, 1.0 - params.x));
   const double eps_prime = edit_eps_prime(params);
@@ -112,9 +118,8 @@ EditMpcResult edit_distance_mpc(SymView s, SymView t, const EditMpcParams& param
     // Accept once the answer certifies itself against the guess: for a
     // guess >= ed(s, t) the pipeline output is <= (3+eps)·ed <= (3+eps)·
     // guess, so this fires no later than that guess.
-    const auto accept = static_cast<std::int64_t>(
-        std::ceil((3.0 + params.epsilon) * static_cast<double>(guess))) + 2;
-    if (params.guess_mode == GuessMode::kEarlyExit && outcome.distance <= accept) {
+    if (params.guess_mode == GuessMode::kEarlyExit &&
+        outcome.distance <= accept_threshold(guess, params.epsilon)) {
       break;
     }
   }

@@ -75,6 +75,13 @@ std::uint64_t edit_memory_cap_bytes(std::int64_t n, const EditMpcParams& params)
 /// The implementation's eps' = max(eps/22, eps_prime_floor).
 double edit_eps_prime(const EditMpcParams& params);
 
+/// The self-certification bound of one guess: for any guess >= ed(s, t) the
+/// small-distance pipeline answers <= (3+eps)·ed <= (3+eps)·guess, so an
+/// answer within this threshold proves the ladder has reached the true
+/// distance and later rungs cannot be needed (the monotone accept condition
+/// shared by the sequential early-exit and the batch escalation mode).
+std::int64_t accept_threshold(std::int64_t guess, double epsilon);
+
 /// The small/large regime boundary n^{1-x/5}.
 std::int64_t small_distance_limit(std::int64_t n, double x);
 

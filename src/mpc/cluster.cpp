@@ -1,14 +1,27 @@
 #include "mpc/cluster.hpp"
 
 #include <algorithm>
+#include <iterator>
 
 #include "common/timer.hpp"
 
 namespace mpcsd::mpc {
 
+namespace {
+
+/// Below this many envelopes a serial stable sort beats the fork/merge
+/// overhead of the parallel router.
+constexpr std::size_t kParallelRouteMin = 512;
+/// Minimum envelopes per router chunk, so tiny mails don't over-fork.
+constexpr std::size_t kRouteChunkMin = 256;
+
+bool by_dest(const Envelope& a, const Envelope& b) { return a.dest < b.dest; }
+
+}  // namespace
+
 void MachineContext::emit(std::uint32_t dest, Bytes payload) {
   report_.output_bytes += payload.size();
-  outbox_.push_back(Envelope{dest, std::move(payload)});
+  outbox_->push_back(Envelope{dest, std::move(payload)});
 }
 
 std::span<const Envelope> Mail::at(std::uint32_t dest) const noexcept {
@@ -28,10 +41,79 @@ Cluster::Cluster(ClusterConfig config)
 Mail Cluster::run_round(const std::string& label, const std::vector<Bytes>& inputs,
                         const std::function<void(MachineContext&)>& body,
                         const RoundOptions& options) {
-  // Wrap each contiguous input as a single-fragment chain (no copy).
-  std::vector<ByteChain> chains(inputs.size());
-  for (std::size_t i = 0; i < inputs.size(); ++i) chains[i].add(ByteSpan(inputs[i]));
-  return run_round_views(label, chains, body, options);
+  // Wrap each contiguous input as a single-fragment chain (no copy).  The
+  // chain vector is an arena: fragment lists keep their capacity across
+  // rounds.
+  input_chains_.resize(inputs.size());
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    input_chains_[i].clear();
+    input_chains_[i].add(ByteSpan(inputs[i]));
+  }
+  return run_round_views(label, input_chains_, body, options);
+}
+
+void Cluster::sort_mail(std::vector<Envelope>& msgs) {
+  const std::size_t n = msgs.size();
+  const std::size_t workers = pool_->worker_count();
+  if (workers <= 1 || n < kParallelRouteMin) {
+    std::stable_sort(msgs.begin(), msgs.end(), by_dest);
+    return;
+  }
+
+  // Per-worker buckets: each worker stable-sorts one contiguous range of
+  // the (machine id, emission index)-ordered envelopes by destination.
+  const std::size_t chunks =
+      std::max<std::size_t>(2, std::min(workers, n / kRouteChunkMin));
+  std::vector<std::size_t> bounds(chunks + 1);
+  for (std::size_t c = 0; c <= chunks; ++c) bounds[c] = c * n / chunks;
+  pool_->parallel_for(
+      chunks,
+      [&](std::size_t c) {
+        std::stable_sort(msgs.begin() + static_cast<std::ptrdiff_t>(bounds[c]),
+                         msgs.begin() + static_cast<std::ptrdiff_t>(bounds[c + 1]),
+                         by_dest);
+      },
+      1);
+
+  // Pairwise parallel merge of adjacent runs.  std::merge keeps left-run
+  // elements first on equal destinations, and runs are adjacent in machine
+  // order, so every level preserves the (machine id, emission index) order
+  // within a mailbox — the result is exactly the global stable sort.
+  route_scratch_.resize(n);
+  std::vector<Envelope>* src = &msgs;
+  std::vector<Envelope>* dst = &route_scratch_;
+  while (bounds.size() > 2) {
+    const std::size_t runs = bounds.size() - 1;
+    const std::size_t pairs = runs / 2;
+    pool_->parallel_for(
+        pairs + runs % 2,
+        [&](std::size_t p) {
+          const std::size_t lo = bounds[2 * p];
+          if (2 * p + 1 < runs) {
+            const std::size_t mid = bounds[2 * p + 1];
+            const std::size_t hi = bounds[2 * p + 2];
+            std::merge(std::make_move_iterator(src->begin() + static_cast<std::ptrdiff_t>(lo)),
+                       std::make_move_iterator(src->begin() + static_cast<std::ptrdiff_t>(mid)),
+                       std::make_move_iterator(src->begin() + static_cast<std::ptrdiff_t>(mid)),
+                       std::make_move_iterator(src->begin() + static_cast<std::ptrdiff_t>(hi)),
+                       dst->begin() + static_cast<std::ptrdiff_t>(lo), by_dest);
+          } else {
+            // Odd tail run: carry it to the next level unchanged.
+            std::move(src->begin() + static_cast<std::ptrdiff_t>(lo), src->end(),
+                      dst->begin() + static_cast<std::ptrdiff_t>(lo));
+          }
+        },
+        1);
+    std::vector<std::size_t> next_bounds;
+    next_bounds.reserve(pairs + runs % 2 + 1);
+    next_bounds.push_back(0);
+    for (std::size_t p = 0; p < pairs; ++p) next_bounds.push_back(bounds[2 * p + 2]);
+    if (runs % 2 != 0) next_bounds.push_back(bounds.back());
+    bounds = std::move(next_bounds);
+    std::swap(src, dst);
+  }
+  if (src != &msgs) msgs.swap(route_scratch_);
+  route_scratch_.clear();
 }
 
 Mail Cluster::run_round_views(const std::string& label,
@@ -49,8 +131,9 @@ Mail Cluster::run_round_views(const std::string& label,
         " machines");
   }
 
-  std::vector<MachineReport> reports(machines);
-  std::vector<std::vector<Envelope>> outboxes(machines);
+  // Arena slots: report entries reset, outbox slots keep their capacity.
+  reports_.assign(machines, MachineReport{});
+  if (outboxes_.size() < machines) outboxes_.resize(machines);
 
   // Auto grain: ~8 chunks per worker keeps balancing slack while tiny
   // machine bodies stop paying one contended RMW each.
@@ -64,11 +147,12 @@ Mail Cluster::run_round_views(const std::string& label,
   pool_->parallel_for(
       machines,
       [&](std::size_t i) {
-        MachineContext ctx(i, &inputs[i], derive_stream(config_.seed, round, i));
+        outboxes_[i].clear();
+        MachineContext ctx(i, &inputs[i], derive_stream(config_.seed, round, i),
+                           &outboxes_[i]);
         ctx.report_.input_bytes = inputs[i].total_bytes();
         body(ctx);
-        reports[i] = ctx.report_;
-        outboxes[i] = std::move(ctx.outbox_);
+        reports_[i] = ctx.report_;
       },
       grain);
 
@@ -77,7 +161,7 @@ Mail Cluster::run_round_views(const std::string& label,
   rr.machines = machines;
   rr.wall_seconds = wall.seconds();
   for (std::size_t i = 0; i < machines; ++i) {
-    const MachineReport& m = reports[i];
+    const MachineReport& m = reports_[i];
     rr.max_machine_memory = std::max(rr.max_machine_memory, m.memory_footprint());
     rr.total_comm_bytes += m.output_bytes;
     rr.total_input_bytes += m.input_bytes;
@@ -98,22 +182,21 @@ Mail Cluster::run_round_views(const std::string& label,
   }
   trace_.add_round(rr);
   if (options.machine_reports != nullptr) {
-    *options.machine_reports = std::move(reports);
+    *options.machine_reports = reports_;
   }
 
   // Deterministic flat merge: move every envelope (payloads are never
-  // copied), then stable-sort by destination — within a mailbox the order
-  // stays (machine id, emission index), exactly as the old per-mailbox
-  // vectors were filled.
+  // copied), then sort by destination — within a mailbox the order stays
+  // (machine id, emission index), exactly as the old per-mailbox vectors
+  // were filled.  The sort itself runs on the worker pool for large mails.
   Mail mail;
   std::size_t total = 0;
-  for (const auto& outbox : outboxes) total += outbox.size();
+  for (std::size_t i = 0; i < machines; ++i) total += outboxes_[i].size();
   mail.msgs_.reserve(total);
-  for (auto& outbox : outboxes) {
-    for (Envelope& env : outbox) mail.msgs_.push_back(std::move(env));
+  for (std::size_t i = 0; i < machines; ++i) {
+    for (Envelope& env : outboxes_[i]) mail.msgs_.push_back(std::move(env));
   }
-  std::stable_sort(mail.msgs_.begin(), mail.msgs_.end(),
-                   [](const Envelope& a, const Envelope& b) { return a.dest < b.dest; });
+  sort_mail(mail.msgs_);
   return mail;
 }
 

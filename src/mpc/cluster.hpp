@@ -112,14 +112,17 @@ class MachineContext {
 
  private:
   friend class Cluster;
-  MachineContext(std::size_t id, const ByteChain* input, Pcg32 rng)
-      : id_(id), input_(input), rng_(rng) {}
+  MachineContext(std::size_t id, const ByteChain* input, Pcg32 rng,
+                 std::vector<Envelope>* outbox)
+      : id_(id), input_(input), rng_(rng), outbox_(outbox) {}
 
   std::size_t id_;
   const ByteChain* input_;
   Pcg32 rng_;
   MachineReport report_;
-  std::vector<Envelope> outbox_;
+  /// Borrowed slot in the cluster's per-machine outbox arena; its capacity
+  /// survives across rounds so steady-state rounds emit without allocating.
+  std::vector<Envelope>* outbox_;
 };
 
 /// Per-round execution overrides, used by the batch driver: queries of
@@ -162,11 +165,29 @@ class Cluster {
     return trace_.mutable_last();
   }
 
+  /// The worker pool executing machine bodies.  Drivers reuse it for the
+  /// host-side plane between rounds (shard encode, input construction) so
+  /// driver glue scales with the same worker budget as the rounds.
+  [[nodiscard]] ThreadPool& pool() noexcept { return *pool_; }
+
  private:
+  /// Dest-stable sort of the merged outboxes: per-worker chunks sort
+  /// independently, then adjacent runs merge pairwise — byte-identical to
+  /// the global stable sort (pinned by test), without its serial wall time.
+  void sort_mail(std::vector<Envelope>& msgs);
+
   ClusterConfig config_;
   std::shared_ptr<ThreadPool> pool_;
   ExecutionTrace trace_;
   std::size_t round_index_ = 0;
+
+  // Round-scoped arenas, reused across rounds (escalation loops run many
+  // structurally similar rounds; reallocating these every round showed up
+  // in the batch-serving driver plane).
+  std::vector<std::vector<Envelope>> outboxes_;
+  std::vector<MachineReport> reports_;
+  std::vector<Envelope> route_scratch_;
+  std::vector<ByteChain> input_chains_;
 };
 
 /// Zero-copy gather: a chain over the mailbox payloads in place.  The

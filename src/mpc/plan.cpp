@@ -20,8 +20,11 @@ Driver::Driver(Plan plan, ClusterConfig config)
 
 double Driver::begin_stage(const std::string& label) {
   if (next_stage_ >= plan_.stages.size()) {
-    throw PlanError("plan '" + plan_.name + "': stage '" + label +
-                    "' executed past the end of the declared plan");
+    if (!plan_.repeating) {
+      throw PlanError("plan '" + plan_.name + "': stage '" + label +
+                      "' executed past the end of the declared plan");
+    }
+    next_stage_ = 0;  // re-enter the declared sequence for the next pass
   }
   const StageSpec& spec = plan_.stages[next_stage_];
   if (spec.label != label) {
@@ -29,6 +32,7 @@ double Driver::begin_stage(const std::string& label) {
                     "' but '" + label + "' was executed");
   }
   ++next_stage_;
+  if (next_stage_ == plan_.stages.size()) ++passes_;
   return glue_clock_.seconds();
 }
 
@@ -40,6 +44,16 @@ void Driver::end_stage(double glue_seconds) {
 }
 
 void Driver::finish() const {
+  if (plan_.repeating) {
+    // Any whole number of passes is complete; a pass stopped mid-way is not.
+    if (next_stage_ != 0 && next_stage_ != plan_.stages.size()) {
+      throw PlanError("plan '" + plan_.name + "': pass " +
+                      std::to_string(passes_ + 1) + " stopped after stage " +
+                      std::to_string(next_stage_) + " of " +
+                      std::to_string(plan_.stages.size()));
+    }
+    return;
+  }
   if (next_stage_ != plan_.stages.size()) {
     throw PlanError("plan '" + plan_.name + "': only " +
                     std::to_string(next_stage_) + " of " +

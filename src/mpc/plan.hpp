@@ -266,6 +266,11 @@ struct StageSpec {
 struct Plan {
   std::string name;
   std::vector<StageSpec> stages;
+  /// When true, the declared stage sequence may execute any whole number of
+  /// times (adaptive escalation re-enters the plan once per guess rung with
+  /// the unresolved survivors); `finish()` then accepts any number of
+  /// complete passes but still rejects a partially executed pass.
+  bool repeating = false;
 
   [[nodiscard]] std::string describe() const;
 };
@@ -300,15 +305,35 @@ class Driver {
     return inputs;
   }
 
+  /// Parallel sharding on the cluster's worker pool: records encode
+  /// independently into their slots, so the result is byte-identical to
+  /// `shard` while the encode plane scales with the round workers.
+  template <typename In>
+  [[nodiscard]] std::vector<Bytes> shard_parallel(const std::vector<In>& records) {
+    std::vector<Bytes> inputs(records.size());
+    cluster_.pool().parallel_for(
+        records.size(),
+        [&](std::size_t i) {
+          ByteWriter w;
+          Codec<In>::encode(w, records[i]);
+          inputs[i] = std::move(w).take();
+        },
+        /*grain=*/8);
+    return inputs;
+  }
+
   /// Runs the next declared stage with one machine per input buffer.
   template <typename In>
   Mail run(const Stage<In>& stage, const std::vector<Bytes>& inputs,
            const RoundOptions& options = {}) {
-    std::vector<ByteChain> chains(inputs.size());
+    // `chains_` is a driver arena: escalation loops run many rounds of
+    // similar shape, and the fragment lists keep their capacity across them.
+    chains_.resize(inputs.size());
     for (std::size_t i = 0; i < inputs.size(); ++i) {
-      chains[i].add(ByteSpan(inputs[i]));
+      chains_[i].clear();
+      chains_[i].add(ByteSpan(inputs[i]));
     }
-    return run_views(stage, chains, options);
+    return run_views(stage, chains_, options);
   }
 
   /// Zero-copy variant: inputs are chains over routed mail fragments.
@@ -339,8 +364,13 @@ class Driver {
     return out;
   }
 
-  /// Checks that every declared stage ran.  Throws PlanError otherwise.
+  /// Checks that every declared stage ran (for repeating plans: that the
+  /// execution stopped on a whole pass).  Throws PlanError otherwise.
   void finish() const;
+
+  /// Completed passes over a repeating plan (1 for a non-repeating plan
+  /// that ran to completion).
+  [[nodiscard]] std::size_t passes() const noexcept { return passes_; }
 
   [[nodiscard]] const Plan& plan() const noexcept { return plan_; }
   [[nodiscard]] Cluster& cluster() noexcept { return cluster_; }
@@ -358,7 +388,9 @@ class Driver {
   Plan plan_;
   Cluster cluster_;
   std::size_t next_stage_ = 0;
+  std::size_t passes_ = 0;
   Stopwatch glue_clock_;
+  std::vector<ByteChain> chains_;
 };
 
 }  // namespace mpcsd::mpc

@@ -117,7 +117,7 @@ UlamMpcResult ulam_distance_mpc(SymView s, SymView t, const UlamMpcParams& param
         begin, std::vector<std::int64_t>(all_positions.begin() + begin,
                                          all_positions.begin() + end)});
   }
-  const std::vector<Bytes> inputs = mpc::Driver::shard(tasks);
+  const std::vector<Bytes> inputs = driver.shard_parallel(tasks);
 
   // ---- Stage 1: Algorithm 1 on every block. ----
   std::vector<CandidateStats> stats(inputs.size());

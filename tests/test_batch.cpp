@@ -180,4 +180,127 @@ TEST(Batch, EmptyRequest) {
   EXPECT_EQ(result.trace.round_count(), 0u);
 }
 
+std::uint64_t trace_work(const mpc::ExecutionTrace& trace) {
+  std::uint64_t work = 0;
+  for (const auto& round : trace.rounds()) work += round.total_work;
+  return work;
+}
+
+TEST(BatchThroughput, GuaranteeAndRoundShape) {
+  auto request = edit_request(6, 192, 19);
+  request.mode = core::BatchMode::kThroughput;
+  const auto result = core::distance_batch(request);
+  // Escalation runs one round-pair per pass; every live query retires on
+  // the self-certifying accept, so rounds stay even and passes match.
+  EXPECT_EQ(result.trace.round_count(), 2 * result.passes);
+  EXPECT_GE(result.passes, 1u);
+  for (std::size_t q = 0; q < request.queries.size(); ++q) {
+    const auto exact = seq::edit_distance(SymView(request.queries[q].s),
+                                          SymView(request.queries[q].t));
+    EXPECT_GE(result.queries[q].distance, exact) << "query " << q;
+    EXPECT_LE(result.queries[q].distance, 4 * exact + 2) << "query " << q;
+    EXPECT_GT(result.queries[q].accepted_guess, 0) << "query " << q;
+    EXPECT_GE(result.queries[q].rungs_run, 1u) << "query " << q;
+    // The attributed trace carries one round-pair per rung the query ran.
+    EXPECT_EQ(result.queries[q].trace.round_count(),
+              2 * result.queries[q].rungs_run)
+        << "query " << q;
+  }
+}
+
+TEST(BatchThroughput, SameAnswersAsParallelGuessUpToAccept) {
+  // Escalation executes a prefix of the same cells with the same seeds, so
+  // the accepted guess and the distance at acceptance match the parallel
+  // mode whenever the parallel mode's best comes from the accept prefix.
+  auto parallel = edit_request(5, 160, 29);
+  auto escalated = parallel;
+  escalated.mode = core::BatchMode::kThroughput;
+  const auto pr = core::distance_batch(parallel);
+  const auto er = core::distance_batch(escalated);
+  for (std::size_t q = 0; q < pr.queries.size(); ++q) {
+    EXPECT_EQ(er.queries[q].accepted_guess, pr.queries[q].accepted_guess)
+        << "query " << q;
+    // The escalated answer comes from a subset of the parallel rungs.
+    EXPECT_GE(er.queries[q].distance, pr.queries[q].distance) << "query " << q;
+    EXPECT_LE(er.queries[q].rungs_run, pr.queries[q].rungs_run) << "query " << q;
+  }
+}
+
+TEST(BatchThroughput, StrictlyLessWorkThanParallelGuess) {
+  // The point of escalation: planted distances are small, so queries retire
+  // rungs before the expensive top of the ladder ever runs.
+  auto parallel = edit_request(6, 192, 31);
+  auto escalated = parallel;
+  escalated.mode = core::BatchMode::kThroughput;
+  const auto pr = core::distance_batch(parallel);
+  const auto er = core::distance_batch(escalated);
+  EXPECT_LT(trace_work(er.trace), trace_work(pr.trace));
+  for (std::size_t q = 0; q < pr.queries.size(); ++q) {
+    EXPECT_LT(er.queries[q].rungs_run, pr.queries[q].rungs_run)
+        << "query " << q;
+  }
+}
+
+TEST(BatchThroughput, AttributionSumsToSharedTrace) {
+  auto request = edit_request(6, 192, 37);
+  request.mode = core::BatchMode::kThroughput;
+  const auto result = core::distance_batch(request);
+  // Every machine of every pass is owned by exactly one query, so the
+  // per-query attributed totals add up to the shared physical trace.
+  std::uint64_t work = 0;
+  std::uint64_t comm = 0;
+  for (const auto& qr : result.queries) {
+    work += trace_work(qr.trace);
+    for (const auto& round : qr.trace.rounds()) comm += round.total_comm_bytes;
+  }
+  std::uint64_t shared_comm = 0;
+  for (const auto& round : result.trace.rounds()) {
+    shared_comm += round.total_comm_bytes;
+  }
+  EXPECT_EQ(work, trace_work(result.trace));
+  EXPECT_EQ(comm, shared_comm);
+}
+
+TEST(BatchThroughput, StrictPerQueryCaps) {
+  auto request = edit_request(4, 160, 23);
+  request.mode = core::BatchMode::kThroughput;
+  request.edit.strict_memory = true;
+  const auto result = core::distance_batch(request);  // must not throw
+  for (const auto& qr : result.queries) {
+    EXPECT_EQ(qr.trace.memory_violations(), 0u);
+    EXPECT_LE(qr.trace.max_machine_memory(), qr.memory_cap_bytes);
+  }
+}
+
+TEST(BatchThroughput, DegenerateQueriesRunZeroPasses) {
+  core::BatchRequest request;
+  request.algorithm = core::BatchAlgorithm::kEdit;
+  request.mode = core::BatchMode::kThroughput;
+  request.edit.workers = 1;
+  request.queries.push_back(core::BatchQuery{});  // both empty
+  core::BatchQuery same;
+  same.s = core::random_string(64, 8, 3);
+  same.t = same.s;
+  request.queries.push_back(std::move(same));
+  const auto result = core::distance_batch(request);
+  EXPECT_EQ(result.queries[0].distance, 0);
+  EXPECT_EQ(result.queries[1].distance, 0);
+  EXPECT_EQ(result.passes, 0u);
+  EXPECT_EQ(result.trace.round_count(), 0u);
+}
+
+TEST(BatchThroughput, UlamIgnoresMode) {
+  auto parallel = ulam_request(4, 256, 7);
+  auto escalated = parallel;
+  escalated.mode = core::BatchMode::kThroughput;
+  const auto pr = core::distance_batch(parallel);
+  const auto er = core::distance_batch(escalated);
+  ASSERT_EQ(pr.queries.size(), er.queries.size());
+  for (std::size_t q = 0; q < pr.queries.size(); ++q) {
+    EXPECT_EQ(pr.queries[q].distance, er.queries[q].distance);
+  }
+  EXPECT_EQ(trace_work(pr.trace), trace_work(er.trace));
+  EXPECT_EQ(pr.trace.round_count(), er.trace.round_count());
+}
+
 }  // namespace

@@ -7,6 +7,9 @@
 #include <cmath>
 #include <numeric>
 #include <set>
+#include <stdexcept>
+#include <string>
+#include <thread>
 #include <vector>
 
 #include "common/bytes.hpp"
@@ -231,6 +234,68 @@ TEST(ThreadPool, SingleWorkerStillCompletes) {
 TEST(ThreadPool, ZeroCountNoOp) {
   ThreadPool pool(2);
   pool.parallel_for(0, [](std::size_t) { FAIL(); });
+}
+
+TEST(ThreadPool, GrainLargerThanCountRunsInline) {
+  // count <= grain takes the serial fast path: every index still runs
+  // exactly once, in order, on the calling thread.
+  ThreadPool pool(4);
+  const auto caller = std::this_thread::get_id();
+  std::vector<std::size_t> order;
+  pool.parallel_for(
+      5,
+      [&](std::size_t i) {
+        EXPECT_EQ(std::this_thread::get_id(), caller);
+        order.push_back(i);
+      },
+      /*grain=*/64);
+  EXPECT_EQ(order, (std::vector<std::size_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(ThreadPool, InlinePathStillPropagatesException) {
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.parallel_for(
+                   3,
+                   [](std::size_t i) {
+                     if (i == 1) throw std::runtime_error("inline boom");
+                   },
+                   /*grain=*/64),
+               std::runtime_error);
+}
+
+TEST(ThreadPool, InlinePathRunsRemainingIndicesAfterThrow) {
+  // The serial path mirrors the pool path: a throwing body does not stop
+  // the remaining indices, and the FIRST exception is the one rethrown.
+  ThreadPool pool(1);
+  std::vector<std::size_t> ran;
+  try {
+    pool.parallel_for(4, [&](std::size_t i) {
+      ran.push_back(i);
+      throw std::out_of_range("index " + std::to_string(i));
+    });
+    FAIL() << "expected a rethrow";
+  } catch (const std::out_of_range& e) {
+    EXPECT_STREQ(e.what(), "index 0");
+  }
+  EXPECT_EQ(ran.size(), 4u);
+}
+
+TEST(ThreadPool, ResultsIndependentOfWorkerCount) {
+  // The same body over the same range must produce identical output for
+  // any pool size — the invariant that lets drivers parallelize encode /
+  // routing work without perturbing metered results.
+  auto run = [](std::size_t workers) {
+    ThreadPool pool(workers);
+    std::vector<std::uint64_t> out(257);
+    pool.parallel_for(
+        out.size(),
+        [&](std::size_t i) { out[i] = i * 2654435761u + (i << 7); },
+        /*grain=*/8);
+    return out;
+  };
+  const auto reference = run(1);
+  EXPECT_EQ(run(3), reference);
+  EXPECT_EQ(run(7), reference);
 }
 
 TEST(Contracts, ViolationThrows) {

@@ -6,6 +6,7 @@
 #include <map>
 #include <numeric>
 
+#include "common/rng.hpp"
 #include "mpc/cluster.hpp"
 #include "mpc/stats.hpp"
 
@@ -133,6 +134,61 @@ TEST(Cluster, MultipleMailboxes) {
   EXPECT_EQ(mail.at(0).size(), 2u);
   EXPECT_EQ(mail.at(1).size(), 2u);
   EXPECT_TRUE(gather(mail, 99).empty());
+}
+
+TEST(Cluster, ParallelRouterMatchesStableSortByteExact) {
+  // The parallel bucket router (chunked stable sort + pairwise stable
+  // merge) must keep `Mail` byte-identical to the serial global
+  // std::stable_sort a 1-worker cluster uses: same envelope order, same
+  // payload bytes, same per-dest spans — across skewed dest distributions
+  // and envelope counts straddling the parallel-route threshold (512).
+  for (const std::uint64_t seed : {1u, 2u, 3u, 4u}) {
+    for (const std::size_t machines : {40u, 200u, 700u}) {
+      ClusterConfig serial_cfg;
+      serial_cfg.workers = 1;
+      serial_cfg.seed = 99;
+      ClusterConfig parallel_cfg;
+      parallel_cfg.workers = 5;
+      parallel_cfg.seed = 99;
+      Cluster serial(serial_cfg);
+      Cluster parallel(parallel_cfg);
+
+      std::vector<Bytes> inputs;
+      for (std::size_t i = 0; i < machines; ++i) {
+        inputs.push_back(payload_of(static_cast<std::int64_t>(i)));
+      }
+      // Each machine emits a deterministic skewed burst: most messages
+      // pile onto a handful of hot mailboxes, the tail spreads out.
+      const auto body = [&](MachineContext& ctx) {
+        auto r = ctx.reader();
+        const auto id = r.get<std::int64_t>();
+        Pcg32 rng(seed * 1000003u + static_cast<std::uint64_t>(id), 54u);
+        const std::size_t burst = 1 + rng.next() % 7;
+        for (std::size_t m = 0; m < burst; ++m) {
+          const bool hot = rng.next() % 4 != 0;  // 3/4 of traffic to 3 dests
+          const auto dest = hot ? static_cast<std::uint32_t>(rng.next() % 3)
+                                : static_cast<std::uint32_t>(rng.next() % 64);
+          ByteWriter w;
+          w.put(id);
+          w.put(static_cast<std::int64_t>(m));
+          ctx.emit(dest, std::move(w).take());
+        }
+      };
+      const auto want = serial.run_round("route", inputs, body);
+      const auto got = parallel.run_round("route", inputs, body);
+
+      ASSERT_EQ(got.message_count(), want.message_count())
+          << "seed " << seed << " machines " << machines;
+      for (std::size_t i = 0; i < want.all().size(); ++i) {
+        ASSERT_EQ(got.all()[i].dest, want.all()[i].dest) << "envelope " << i;
+        ASSERT_EQ(got.all()[i].payload, want.all()[i].payload)
+            << "envelope " << i;
+      }
+      for (std::uint32_t dest = 0; dest < 64; ++dest) {
+        ASSERT_EQ(gather(got, dest), gather(want, dest)) << "dest " << dest;
+      }
+    }
+  }
 }
 
 TEST(Trace, SequentialAppend) {
