@@ -22,31 +22,13 @@
 #include <string>
 
 #include "core/api.hpp"
+#include "core/tsv.hpp"
 
 namespace {
 
 using namespace mpcsd;
 
-SymString parse_symbols(const std::string& content) {
-  // Numeric mode: every whitespace-separated token is an integer.
-  std::istringstream tokens(content);
-  SymString numeric;
-  std::string tok;
-  bool all_numeric = true;
-  while (tokens >> tok) {
-    char* end = nullptr;
-    const long v = std::strtol(tok.c_str(), &end, 10);
-    if (end == nullptr || *end != '\0') {
-      all_numeric = false;
-      break;
-    }
-    numeric.push_back(static_cast<Symbol>(v));
-  }
-  if (all_numeric && !numeric.empty()) return numeric;
-  return to_symbols(content);
-}
-
-SymString load_symbols(const std::string& path) {
+std::string load_file(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   if (!in) {
     std::fprintf(stderr, "error: cannot open '%s'\n", path.c_str());
@@ -54,7 +36,11 @@ SymString load_symbols(const std::string& path) {
   }
   std::stringstream buffer;
   buffer << in.rdbuf();
-  return parse_symbols(buffer.str());
+  return std::move(buffer).str();
+}
+
+SymString load_symbols(const std::string& path) {
+  return core::parse_symbols(load_file(path));
 }
 
 double flag_value(int argc, char** argv, const char* name, double fallback) {
@@ -104,37 +90,20 @@ int run_batch(int argc, char** argv) {
   }
 
   const std::string path = argv[3];
-  std::ifstream in(path, std::ios::binary);
-  if (!in) {
-    std::fprintf(stderr, "error: cannot open '%s'\n", path.c_str());
+  core::TsvError parse_error;
+  auto queries =
+      core::parse_batch_tsv(load_file(path), request.algorithm, &parse_error);
+  if (!queries.has_value()) {
+    if (parse_error.line == 0) {
+      std::fprintf(stderr, "error: '%s': %s\n", path.c_str(),
+                   parse_error.message.c_str());
+    } else {
+      std::fprintf(stderr, "error: %s:%zu: %s\n", path.c_str(),
+                   parse_error.line, parse_error.message.c_str());
+    }
     return 2;
   }
-  std::string line;
-  std::size_t line_no = 0;
-  while (std::getline(in, line)) {
-    ++line_no;
-    if (line.empty()) continue;
-    const auto tab = line.find('\t');
-    if (tab == std::string::npos) {
-      std::fprintf(stderr, "error: %s:%zu: expected TAB-separated pair\n",
-                   path.c_str(), line_no);
-      return 2;
-    }
-    core::BatchQuery query;
-    query.s = parse_symbols(line.substr(0, tab));
-    query.t = parse_symbols(line.substr(tab + 1));
-    if (request.algorithm == core::BatchAlgorithm::kUlam &&
-        (!seq::is_repeat_free(query.s) || !seq::is_repeat_free(query.t))) {
-      std::fprintf(stderr, "error: %s:%zu: ulam requires repeat-free inputs\n",
-                   path.c_str(), line_no);
-      return 2;
-    }
-    request.queries.push_back(std::move(query));
-  }
-  if (request.queries.empty()) {
-    std::fprintf(stderr, "error: '%s' contains no (s, t) pairs\n", path.c_str());
-    return 2;
-  }
+  request.queries = std::move(*queries);
 
   const auto result = core::distance_batch(request);
   for (std::size_t q = 0; q < result.queries.size(); ++q) {

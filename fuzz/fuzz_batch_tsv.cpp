@@ -1,0 +1,48 @@
+// Fuzz harness for the CLI batch input surface: `core::parse_batch_tsv`
+// and the `core::parse_symbols` token rule (core/tsv.*).  These functions
+// consume operator-supplied files byte-for-byte, so they must never crash,
+// throw, or report nonsense positions on arbitrary input.
+//
+// Invariants:
+//   * no exception escapes for any input, under either algorithm;
+//   * success yields at least one query, and for kUlam every side is
+//     repeat-free (the parser owns that validation rule);
+//   * failure reports a line number no greater than the number of input
+//     lines (0 is the whole-input sentinel).
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <string_view>
+
+#include "core/tsv.hpp"
+#include "seq/lis.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::string_view text(reinterpret_cast<const char*>(data), size);
+
+  std::size_t lines = 1;
+  for (const char c : text) lines += c == '\n' ? 1 : 0;
+
+  for (const auto algorithm : {mpcsd::core::BatchAlgorithm::kEdit,
+                               mpcsd::core::BatchAlgorithm::kUlam}) {
+    mpcsd::core::TsvError error;
+    const auto queries = mpcsd::core::parse_batch_tsv(text, algorithm, &error);
+    if (queries.has_value()) {
+      if (queries->empty()) std::abort();
+      if (algorithm == mpcsd::core::BatchAlgorithm::kUlam) {
+        for (const auto& q : *queries) {
+          if (!mpcsd::seq::is_repeat_free(q.s) ||
+              !mpcsd::seq::is_repeat_free(q.t)) {
+            std::abort();
+          }
+        }
+      }
+    } else if (error.line > lines) {
+      std::abort();
+    }
+  }
+
+  (void)mpcsd::core::parse_symbols(text);
+  return 0;
+}

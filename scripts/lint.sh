@@ -1,0 +1,86 @@
+#!/usr/bin/env bash
+# Invariant lint for mpcsd.  Two layers:
+#
+#   1. grep-based repository invariants (always run, zero dependencies) —
+#      rules the MPC simulation's correctness argument relies on and a
+#      compiler cannot enforce;
+#   2. clang-tidy over src/ with the committed .clang-tidy profile (run
+#      only when a clang-tidy binary exists; CI installs one, minimal
+#      containers may not have it).
+#
+# Zero suppressions: a rule that needs an exception is a wrong rule.
+# Usage: scripts/lint.sh [build_dir]   (build dir must hold
+#        compile_commands.json for the clang-tidy layer; default: build)
+set -uo pipefail
+cd "$(dirname "$0")/.."
+
+build_dir="${1:-build}"
+status=0
+
+fail() {
+  echo "lint: FAIL: $1" >&2
+  echo "$2" | sed 's/^/    /' >&2
+  status=1
+}
+
+# Every rule scans the library and harness sources.  Tests deliberately
+# violate some invariants (e.g. the auditor negative tests mutate inbox
+# views), so they are out of scope.
+sources=(src fuzz examples)
+
+# --- Rule 1: no C rand()/srand() — all randomness must flow through the
+# seeded Pcg32 streams, or machine results depend on global hidden state.
+hits=$(grep -rnE '\b(s?rand)\s*\(' "${sources[@]}" --include='*.hpp' --include='*.cpp' || true)
+[ -n "$hits" ] && fail "rand()/srand() forbidden; use common/rng.hpp streams" "$hits"
+
+# --- Rule 2: no raw new/delete — ownership goes through containers and
+# smart pointers, so round arenas cannot leak across rounds.  Line comments
+# are stripped before matching (prose talks about "deleting" edits).
+pat='(^|[^_[:alnum:]])(new|delete(\[\])?)[[:space:]]+[A-Za-z_:<(]'
+hits=$(grep -rnE "$pat" "${sources[@]}" --include='*.hpp' --include='*.cpp' \
+  | sed 's#//.*##' | grep -E "$pat" || true)
+[ -n "$hits" ] && fail "raw new/delete forbidden; use containers or make_unique" "$hits"
+
+# --- Rule 3: no mutable lambdas in the simulator and drivers — a machine
+# body with `mutable` captured state is exactly the cross-machine sharing
+# the conformance auditor exists to catch; keep it out statically too.
+hits=$(grep -rnE '\)[[:space:]]*mutable\b' \
+  src/mpc src/ulam_mpc src/edit_mpc src/core --include='*.hpp' --include='*.cpp' || true)
+[ -n "$hits" ] && fail "mutable lambda captures forbidden in simulator/driver code" "$hits"
+
+# --- Rule 4: reinterpret_cast is confined to the serialization layer
+# (common/bytes.hpp) — every cross-machine byte must go through
+# ByteWriter/ByteReader so communication accounting stays exact.
+hits=$(grep -rn 'reinterpret_cast' "${sources[@]}" --include='*.hpp' --include='*.cpp' \
+  | grep -v '^src/common/bytes.hpp:' \
+  | grep -v '^fuzz/' || true)
+[ -n "$hits" ] && fail "reinterpret_cast outside common/bytes.hpp; route bytes through ByteWriter/ByteReader" "$hits"
+
+# --- Rule 5: no wall-clock or nondeterministic seeds in library code —
+# time only through common/timer.hpp Stopwatch, which metering excludes.
+hits=$(grep -rnE 'std::random_device|time\(NULL\)|time\(nullptr\)' \
+  src --include='*.hpp' --include='*.cpp' || true)
+[ -n "$hits" ] && fail "nondeterministic seed source in src/; seeds must be explicit" "$hits"
+
+if [ $status -ne 0 ]; then
+  echo "lint: invariant rules failed" >&2
+  exit 1
+fi
+echo "lint: invariant rules OK"
+
+# --- Layer 2: clang-tidy (optional tool, mandatory pass when present).
+if command -v clang-tidy >/dev/null 2>&1; then
+  if [ ! -f "$build_dir/compile_commands.json" ]; then
+    echo "lint: no $build_dir/compile_commands.json; configure first (cmake --preset default)" >&2
+    exit 1
+  fi
+  mapfile -t files < <(find src fuzz -name '*.cpp' | sort)
+  echo "lint: clang-tidy over ${#files[@]} files"
+  clang-tidy -p "$build_dir" --quiet "${files[@]}" || {
+    echo "lint: clang-tidy failed" >&2
+    exit 1
+  }
+  echo "lint: clang-tidy OK"
+else
+  echo "lint: clang-tidy not found; skipped (grep invariants still enforced)"
+fi

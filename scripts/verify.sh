@@ -1,6 +1,8 @@
 #!/usr/bin/env bash
-# Tier-1 verification: build + ctest under the release and asan presets.
+# Tier-1 verification: build + ctest under one or more CMake presets.
 # Usage: scripts/verify.sh [preset ...]   (default: release asan)
+# Supported presets: default, release, asan, tsan (tsan's test preset
+# excludes the perf label — wall-clock gates are meaningless under TSan).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 

@@ -7,9 +7,13 @@ namespace mpcsd {
 Bytes concat(const std::vector<Bytes>& parts) {
   std::size_t total = 0;
   for (const auto& p : parts) total += p.size();
-  Bytes out;
-  out.reserve(total);
-  for (const auto& p : parts) out.insert(out.end(), p.begin(), p.end());
+  Bytes out(total);
+  std::size_t off = 0;
+  for (const auto& p : parts) {
+    if (p.empty()) continue;  // empty vectors may have a null data()
+    std::memcpy(out.data() + off, p.data(), p.size());
+    off += p.size();
+  }
   return out;
 }
 

@@ -40,8 +40,7 @@ class ByteWriter {
   void put(const T& value) {
     static_assert(std::is_trivially_copyable_v<T>,
                   "ByteWriter::put requires a trivially copyable type");
-    const auto* p = reinterpret_cast<const std::byte*>(&value);
-    buf_.insert(buf_.end(), p, p + sizeof(T));
+    append(reinterpret_cast<const std::byte*>(&value), sizeof(T));
   }
 
   /// Length-prefixed vector of trivially copyable elements.
@@ -50,15 +49,15 @@ class ByteWriter {
     static_assert(std::is_trivially_copyable_v<T>);
     put<std::uint64_t>(v.size());
     if (!v.empty()) {
-      const auto* p = reinterpret_cast<const std::byte*>(v.data());
-      buf_.insert(buf_.end(), p, p + v.size() * sizeof(T));
+      append(reinterpret_cast<const std::byte*>(v.data()), v.size() * sizeof(T));
     }
   }
 
   void put_string(const std::string& s) {
     put<std::uint64_t>(s.size());
-    const auto* p = reinterpret_cast<const std::byte*>(s.data());
-    buf_.insert(buf_.end(), p, p + s.size());
+    if (!s.empty()) {
+      append(reinterpret_cast<const std::byte*>(s.data()), s.size());
+    }
   }
 
   [[nodiscard]] std::size_t size() const noexcept { return buf_.size(); }
@@ -67,6 +66,15 @@ class ByteWriter {
   [[nodiscard]] const Bytes& bytes() const noexcept { return buf_; }
 
  private:
+  // resize + memcpy instead of range insert: same growth behaviour, no
+  // iterator plumbing on the hot path, and no GCC -O3 `-Wnonnull` false
+  // positives from the libstdc++ range-insert internals.
+  void append(const std::byte* data, std::size_t n) {
+    const std::size_t old = buf_.size();
+    buf_.resize(old + n);
+    std::memcpy(buf_.data() + old, data, n);
+  }
+
   Bytes buf_;
 };
 
@@ -149,9 +157,12 @@ class ByteChain {
 
   /// Copies the fragments into one contiguous buffer (compat / tests).
   [[nodiscard]] Bytes to_bytes() const {
-    Bytes out;
-    out.reserve(total_);
-    for (const ByteSpan p : parts_) out.insert(out.end(), p.begin(), p.end());
+    Bytes out(total_);
+    std::size_t off = 0;
+    for (const ByteSpan p : parts_) {
+      std::memcpy(out.data() + off, p.data(), p.size());
+      off += p.size();
+    }
     return out;
   }
 

@@ -1,0 +1,34 @@
+// Deterministic non-cryptographic hashing shared by the conformance auditor
+// (machine outbox fingerprints) and the trace structural hash (determinism
+// regression gates).  FNV-1a over bytes, with a splitmix finisher so short
+// inputs still diffuse; stable across platforms with the same endianness,
+// which is all the in-process comparisons need.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/rng.hpp"
+
+namespace mpcsd {
+
+inline constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
+inline constexpr std::uint64_t kFnvPrime = 0x100000001b3ULL;
+
+/// FNV-1a over a byte range, continuing from `state`.
+inline std::uint64_t hash_bytes(const void* data, std::size_t size,
+                                std::uint64_t state = kFnvOffset) noexcept {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < size; ++i) {
+    state ^= p[i];
+    state *= kFnvPrime;
+  }
+  return state;
+}
+
+/// Mixes one integer value into a running hash.
+inline std::uint64_t hash_mix(std::uint64_t state, std::uint64_t value) noexcept {
+  return splitmix64(state ^ splitmix64(value));
+}
+
+}  // namespace mpcsd

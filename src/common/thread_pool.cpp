@@ -16,6 +16,7 @@ namespace {
 struct ForState {
   std::atomic<std::size_t> next{0};
   std::atomic<std::size_t> done{0};
+  std::atomic<bool> cancelled{false};
   std::size_t count = 0;
   std::size_t grain = 1;
   const std::function<void(std::size_t)>* body = nullptr;  // valid while done < count
@@ -30,12 +31,20 @@ void drain(const std::shared_ptr<ForState>& state) {
     const std::size_t begin = state->next.fetch_add(state->grain, std::memory_order_relaxed);
     if (begin >= state->count) return;
     const std::size_t end = std::min(state->count, begin + state->grain);
-    for (std::size_t i = begin; i < end; ++i) {
-      try {
-        (*state->body)(i);
-      } catch (...) {
-        std::lock_guard<std::mutex> lock(state->error_mu);
-        if (!state->first_error) state->first_error = std::current_exception();
+    // A thrown body cancels the call: later chunks are still claimed and
+    // counted (so the caller's completion wait stays exact) but their
+    // bodies no longer run — the first exception reaches the caller without
+    // paying for the rest of the iteration space.
+    if (!state->cancelled.load(std::memory_order_acquire)) {
+      for (std::size_t i = begin; i < end; ++i) {
+        try {
+          (*state->body)(i);
+        } catch (...) {
+          std::lock_guard<std::mutex> lock(state->error_mu);
+          if (!state->first_error) state->first_error = std::current_exception();
+          state->cancelled.store(true, std::memory_order_release);
+          break;
+        }
       }
     }
     const std::size_t chunk = end - begin;
@@ -78,7 +87,15 @@ void ThreadPool::worker_loop() {
       task = std::move(tasks_.front());
       tasks_.pop();
     }
-    task();
+    // A task must never unwind into the thread entry point — that calls
+    // std::terminate and takes the whole process down.  parallel_for's
+    // drain captures body exceptions itself; this guard covers the
+    // remaining theoretical throws (e.g. mutex failure) so a worker thread
+    // survives any task.
+    try {
+      task();
+    } catch (...) {
+    }
   }
 }
 
@@ -88,17 +105,10 @@ void ThreadPool::parallel_for(std::size_t count,
   if (count == 0) return;
   const std::size_t g = std::max<std::size_t>(grain, 1);
   if (count <= g || threads_.size() <= 1) {
-    // One chunk (or one worker): run inline on the caller — same capture/
-    // rethrow semantics, no queue wakeup for single-machine rounds.
-    std::exception_ptr first_error;
-    for (std::size_t i = 0; i < count; ++i) {
-      try {
-        body(i);
-      } catch (...) {
-        if (!first_error) first_error = std::current_exception();
-      }
-    }
-    if (first_error) std::rethrow_exception(first_error);
+    // One chunk (or one worker): run inline on the caller — same
+    // cancel-on-first-error semantics as the pooled path, no queue wakeup
+    // for single-machine rounds.
+    for (std::size_t i = 0; i < count; ++i) body(i);
     return;
   }
   auto state = std::make_shared<ForState>();

@@ -30,7 +30,13 @@ class ThreadPool {
   [[nodiscard]] std::size_t worker_count() const noexcept { return threads_.size(); }
 
   /// Runs body(i) for every i in [0, count), blocking until all complete.
-  /// Exceptions thrown by `body` are captured and the first one rethrown.
+  ///
+  /// Exceptions thrown by `body` propagate to the caller: the first one is
+  /// captured, the remaining iteration space is cancelled (chunks already
+  /// running finish their current index; unclaimed indices never execute),
+  /// and the exception is rethrown once every worker has quiesced.  A
+  /// throwing body can never terminate the process or wedge the pool — the
+  /// pool stays fully usable for subsequent calls.
   ///
   /// `grain` is the number of consecutive indices a worker claims per
   /// atomic fetch: grain 1 (the default) load-balances perfectly but pays

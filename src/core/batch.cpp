@@ -74,6 +74,7 @@ BatchResult run_ulam_batch(const BatchRequest& request) {
   config.strict_memory = params.strict_memory;
   config.workers = params.workers;
   config.seed = params.seed;
+  config.audit = params.audit;
   mpc::Driver driver(
       mpc::Plan{"batch:ulam",
                 {
@@ -382,6 +383,7 @@ BatchResult run_edit_batch(const BatchRequest& request) {
   config.strict_memory = params.strict_memory;
   config.workers = params.workers;
   config.seed = params.seed;
+  config.audit = params.audit;
   mpc::Driver driver(
       mpc::Plan{"batch:edit",
                 {

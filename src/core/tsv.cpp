@@ -1,0 +1,67 @@
+#include "core/tsv.hpp"
+
+#include <cstdlib>
+#include <sstream>
+
+#include "seq/lis.hpp"
+
+namespace mpcsd::core {
+
+SymString parse_symbols(std::string_view text) {
+  // Numeric mode: every whitespace-separated token is an integer.
+  std::istringstream tokens{std::string(text)};
+  SymString numeric;
+  std::string tok;
+  bool all_numeric = true;
+  while (tokens >> tok) {
+    char* end = nullptr;
+    const long v = std::strtol(tok.c_str(), &end, 10);
+    if (end == tok.c_str() || *end != '\0') {
+      all_numeric = false;
+      break;
+    }
+    numeric.push_back(static_cast<Symbol>(v));
+  }
+  if (all_numeric && !numeric.empty()) return numeric;
+  return to_symbols(text);
+}
+
+std::optional<std::vector<BatchQuery>> parse_batch_tsv(std::string_view text,
+                                                       BatchAlgorithm algorithm,
+                                                       TsvError* error) {
+  const auto fail = [&](std::size_t line, std::string message)
+      -> std::optional<std::vector<BatchQuery>> {
+    if (error != nullptr) *error = TsvError{line, std::move(message)};
+    return std::nullopt;
+  };
+
+  std::vector<BatchQuery> queries;
+  std::size_t line_no = 0;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const std::size_t nl = text.find('\n', pos);
+    const std::size_t end = nl == std::string_view::npos ? text.size() : nl;
+    std::string_view line = text.substr(pos, end - pos);
+    pos = end + 1;
+    ++line_no;
+    if (nl == std::string_view::npos && line.empty()) break;  // trailing EOF
+    if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+    if (line.empty()) continue;
+    const std::size_t tab = line.find('\t');
+    if (tab == std::string_view::npos) {
+      return fail(line_no, "expected TAB-separated pair");
+    }
+    BatchQuery query;
+    query.s = parse_symbols(line.substr(0, tab));
+    query.t = parse_symbols(line.substr(tab + 1));
+    if (algorithm == BatchAlgorithm::kUlam &&
+        (!seq::is_repeat_free(query.s) || !seq::is_repeat_free(query.t))) {
+      return fail(line_no, "ulam requires repeat-free inputs");
+    }
+    queries.push_back(std::move(query));
+  }
+  if (queries.empty()) return fail(0, "input contains no (s, t) pairs");
+  return queries;
+}
+
+}  // namespace mpcsd::core

@@ -1,0 +1,35 @@
+// The batch TSV wire format of the CLI (`mpcsd_cli batch`): one
+// TAB-separated (s, t) pair per line, blank lines skipped.  Each side is
+// parsed with the CLI symbol rule — numeric mode when every
+// whitespace-separated token is an integer, byte-wise text mode otherwise.
+//
+// The parser lives in the library (not the CLI) so it is a fuzzable attack
+// surface: `fuzz/fuzz_batch_tsv.cpp` drives it with arbitrary bytes, and
+// the CLI shares the exact code path the fuzzer certifies.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/batch.hpp"
+
+namespace mpcsd::core {
+
+/// The CLI symbol rule: integers if every token parses as one, else bytes.
+[[nodiscard]] SymString parse_symbols(std::string_view text);
+
+struct TsvError {
+  std::size_t line = 0;  ///< 1-based line number, 0 for whole-input errors
+  std::string message;
+};
+
+/// Parses batch TSV into queries.  Returns std::nullopt and fills `*error`
+/// (when non-null) on a malformed line — no TAB, or, for `kUlam`, a side
+/// that is not repeat-free.  An input with no pairs is an error: the CLI
+/// treats an empty batch as operator error, and the parser owns that rule.
+[[nodiscard]] std::optional<std::vector<BatchQuery>> parse_batch_tsv(
+    std::string_view text, BatchAlgorithm algorithm, TsvError* error = nullptr);
+
+}  // namespace mpcsd::core

@@ -211,6 +211,7 @@ LargeDistanceResult run_large_distance(SymView s, SymView t,
   config.strict_memory = params.strict_memory;
   config.workers = params.workers;
   config.seed = params.seed;
+  config.audit = params.audit;
   mpc::Driver driver(large_plan(), config);
 
   // ------------------------------------------------------------------

@@ -40,6 +40,7 @@ struct LargeDistanceParams {
   std::size_t workers = 0;
   bool strict_memory = false;
   std::uint64_t memory_cap_bytes = UINT64_MAX;
+  mpc::AuditOptions audit{};  ///< conformance auditing (see mpc/audit.hpp)
 };
 
 struct LargeDistanceResult {

@@ -155,6 +155,7 @@ PipelineResult run_small_distance(SymView s, SymView t,
   config.strict_memory = params.strict_memory;
   config.workers = params.workers;
   config.seed = params.seed;
+  config.audit = params.audit;
   mpc::Driver driver(small_plan(), config);
 
   const std::vector<Bytes> inputs =

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "edit_mpc/candidates.hpp"
+#include "mpc/audit.hpp"
 #include "mpc/stats.hpp"
 #include "seq/approx_edit.hpp"
 #include "seq/combine.hpp"
@@ -45,6 +46,7 @@ struct SmallDistanceParams {
   std::size_t workers = 0;
   bool strict_memory = false;
   std::uint64_t memory_cap_bytes = UINT64_MAX;
+  mpc::AuditOptions audit{};  ///< conformance auditing (see mpc/audit.hpp)
 };
 
 struct PipelineResult {

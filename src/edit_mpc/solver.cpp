@@ -86,6 +86,7 @@ EditMpcResult edit_distance_mpc(SymView s, SymView t, const EditMpcParams& param
       sp.workers = params.workers;
       sp.strict_memory = params.strict_memory;
       sp.memory_cap_bytes = result.memory_cap_bytes;
+      sp.audit = params.audit;
       auto pipeline = run_small_distance(s, t, sp);
       outcome.distance = pipeline.distance;
       guess_trace = std::move(pipeline.trace);
@@ -102,6 +103,7 @@ EditMpcResult edit_distance_mpc(SymView s, SymView t, const EditMpcParams& param
       lp.workers = params.workers;
       lp.strict_memory = params.strict_memory;
       lp.memory_cap_bytes = result.memory_cap_bytes;
+      lp.audit = params.audit;
       auto pipeline = run_large_distance(s, t, lp);
       outcome.distance = pipeline.distance;
       outcome.large_pipeline = true;

@@ -20,6 +20,7 @@
 
 #include "edit_mpc/large_distance.hpp"
 #include "edit_mpc/small_distance.hpp"
+#include "mpc/audit.hpp"
 #include "mpc/stats.hpp"
 #include "seq/types.hpp"
 
@@ -47,6 +48,8 @@ struct EditMpcParams {
   std::size_t workers = 0;
   bool strict_memory = false;
   double memory_slack = 8.0;       ///< constant inside the Õ_eps(n^{1-x}) cap
+  /// Model-conformance auditing of every guess pipeline (see mpc/audit.hpp).
+  mpc::AuditOptions audit{};
 };
 
 struct GuessOutcome {

@@ -135,6 +135,18 @@ Mail Cluster::run_round_views(const std::string& label,
   reports_.assign(machines, MachineReport{});
   if (outboxes_.size() < machines) outboxes_.resize(machines);
 
+  // Audited execution swaps the zero-copy inputs for canary-padded private
+  // copies.  The previous round's poisoned buffers stay alive through this
+  // round (audit_poison retires them at round end), so a view a machine
+  // retained across one round boundary reads 0xA5 instead of dangling.
+  const AuditOptions& audit = config_.audit;
+  AuditGuards guards;
+  const std::vector<ByteChain>* exec_inputs = &inputs;
+  if (audit.enabled && audit.guard_inputs) {
+    guards = audit_guard_inputs(inputs);
+    exec_inputs = &guards.chains;
+  }
+
   // Auto grain: ~8 chunks per worker keeps balancing slack while tiny
   // machine bodies stop paying one contended RMW each.
   std::size_t grain = config_.grain;
@@ -148,18 +160,27 @@ Mail Cluster::run_round_views(const std::string& label,
       machines,
       [&](std::size_t i) {
         outboxes_[i].clear();
-        MachineContext ctx(i, &inputs[i], derive_stream(config_.seed, round, i),
-                           &outboxes_[i]);
-        ctx.report_.input_bytes = inputs[i].total_bytes();
+        MachineContext ctx(i, &(*exec_inputs)[i],
+                           derive_stream(config_.seed, round, i), &outboxes_[i]);
+        ctx.report_.input_bytes = (*exec_inputs)[i].total_bytes();
         body(ctx);
         reports_[i] = ctx.report_;
       },
       grain);
+  const double wall_seconds = wall.seconds();
+
+  if (audit.enabled) {
+    ++audit_report_.rounds_audited;
+    if (audit.guard_inputs) audit_check_guards(label, round, guards);
+    if (audit.replay) audit_replay(label, round, *exec_inputs, body);
+    if (audit.inject_after_round) audit_inject(round);
+    if (audit.guard_inputs) audit_poison(std::move(guards));
+  }
 
   RoundReport rr;
   rr.label = label;
   rr.machines = machines;
-  rr.wall_seconds = wall.seconds();
+  rr.wall_seconds = wall_seconds;
   for (std::size_t i = 0; i < machines; ++i) {
     const MachineReport& m = reports_[i];
     rr.max_machine_memory = std::max(rr.max_machine_memory, m.memory_footprint());
@@ -197,6 +218,9 @@ Mail Cluster::run_round_views(const std::string& label,
     for (Envelope& env : outboxes_[i]) mail.msgs_.push_back(std::move(env));
   }
   sort_mail(mail.msgs_);
+  if (audit.enabled && audit.verify_comm_bytes) {
+    audit_verify_comm(label, round, mail, rr.total_comm_bytes);
+  }
   return mail;
 }
 

@@ -34,6 +34,7 @@
 #include "common/bytes.hpp"
 #include "common/rng.hpp"
 #include "common/thread_pool.hpp"
+#include "mpc/audit.hpp"
 #include "mpc/stats.hpp"
 
 namespace mpcsd::mpc {
@@ -52,6 +53,8 @@ struct ClusterConfig {
   /// rounds with thousands of tiny machine bodies don't pay one contended
   /// RMW per machine; rounds with few machines keep perfect balancing.
   std::size_t grain = 0;
+  /// Model-conformance auditing (opt-in, metering-neutral); see audit.hpp.
+  AuditOptions audit{};
 };
 
 class MemoryLimitExceeded : public std::runtime_error {
@@ -170,11 +173,39 @@ class Cluster {
   /// driver glue scales with the same worker budget as the rounds.
   [[nodiscard]] ThreadPool& pool() noexcept { return *pool_; }
 
+  /// Conformance findings of the audited rounds (empty unless
+  /// `config.audit.enabled`; always empty with `audit.fail_fast`, which
+  /// throws AuditError at the first violation instead).
+  [[nodiscard]] const AuditReport& audit_report() const noexcept {
+    return audit_report_;
+  }
+
  private:
   /// Dest-stable sort of the merged outboxes: per-worker chunks sort
   /// independently, then adjacent runs merge pairwise — byte-identical to
   /// the global stable sort (pinned by test), without its serial wall time.
   void sort_mail(std::vector<Envelope>& msgs);
+
+  // --- audited execution path (implemented in audit.cpp) ---------------
+
+  /// Canary-padded private copies of one round's machine inputs.
+  struct AuditGuards {
+    std::vector<Bytes> buffers;                ///< [canary][data][canary]
+    std::vector<ByteChain> chains;             ///< views over the data regions
+    std::vector<std::uint64_t> interior_hash;  ///< data-region fingerprints
+  };
+
+  [[nodiscard]] AuditGuards audit_guard_inputs(const std::vector<ByteChain>& inputs);
+  void audit_check_guards(const std::string& label, std::size_t round,
+                          const AuditGuards& guards);
+  void audit_replay(const std::string& label, std::size_t round,
+                    const std::vector<ByteChain>& exec_inputs,
+                    const std::function<void(MachineContext&)>& body);
+  void audit_inject(std::size_t round);
+  void audit_verify_comm(const std::string& label, std::size_t round,
+                         const Mail& mail, std::uint64_t reported_bytes);
+  void audit_poison(AuditGuards guards);
+  void audit_record(AuditViolation violation);
 
   ClusterConfig config_;
   std::shared_ptr<ThreadPool> pool_;
@@ -188,6 +219,13 @@ class Cluster {
   std::vector<MachineReport> reports_;
   std::vector<Envelope> route_scratch_;
   std::vector<ByteChain> input_chains_;
+
+  // Audit state: findings, the differently-sized replay pool (lazy), and
+  // the previous round's guard buffers — poisoned and kept alive one extra
+  // round so stale inbox views read 0xA5 garbage instead of dangling.
+  AuditReport audit_report_;
+  std::unique_ptr<ThreadPool> replay_pool_;
+  std::vector<Bytes> audit_poisoned_;
 };
 
 /// Zero-copy gather: a chain over the mailbox payloads in place.  The

@@ -374,6 +374,10 @@ class Driver {
 
   [[nodiscard]] const Plan& plan() const noexcept { return plan_; }
   [[nodiscard]] Cluster& cluster() noexcept { return cluster_; }
+  /// Conformance findings of the owned cluster (see mpc/audit.hpp).
+  [[nodiscard]] const AuditReport& audit_report() const noexcept {
+    return cluster_.audit_report();
+  }
   [[nodiscard]] const ExecutionTrace& trace() const noexcept {
     return cluster_.trace();
   }

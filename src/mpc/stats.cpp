@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <sstream>
 
+#include "common/hash.hpp"
+
 namespace mpcsd::mpc {
 
 std::size_t ExecutionTrace::max_machines() const noexcept {
@@ -39,6 +41,21 @@ std::size_t ExecutionTrace::memory_violations() const noexcept {
   std::size_t total = 0;
   for (const auto& r : rounds_) total += r.memory_violations;
   return total;
+}
+
+std::uint64_t ExecutionTrace::structural_hash() const noexcept {
+  std::uint64_t h = hash_mix(kFnvOffset, rounds_.size());
+  for (const RoundReport& r : rounds_) {
+    h = hash_bytes(r.label.data(), r.label.size(), h);
+    h = hash_mix(h, r.machines);
+    h = hash_mix(h, r.max_machine_memory);
+    h = hash_mix(h, r.total_comm_bytes);
+    h = hash_mix(h, r.total_input_bytes);
+    h = hash_mix(h, r.total_work);
+    h = hash_mix(h, r.max_machine_work);
+    h = hash_mix(h, r.memory_violations);
+  }
+  return h;
 }
 
 void ExecutionTrace::append_sequential(const ExecutionTrace& other) {

@@ -74,6 +74,15 @@ class ExecutionTrace {
 
   [[nodiscard]] std::size_t memory_violations() const noexcept;
 
+  /// Order-sensitive hash of the model-relevant content of every round:
+  /// labels, machine counts, byte and work accounting, violations.  The
+  /// wall-clock fields are excluded, so two executions of the same
+  /// algorithm hash identically iff they made the same model-level
+  /// decisions — regardless of worker count, schedule, or auditing.  This
+  /// is the quantity the determinism regression gate and the auditor's
+  /// transparency check compare.
+  [[nodiscard]] std::uint64_t structural_hash() const noexcept;
+
   /// Appends `other`'s rounds after this trace's rounds (sequential stages).
   void append_sequential(const ExecutionTrace& other);
 

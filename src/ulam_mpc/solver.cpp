@@ -85,6 +85,7 @@ UlamMpcResult ulam_distance_mpc(SymView s, SymView t, const UlamMpcParams& param
   config.strict_memory = params.strict_memory;
   config.workers = params.workers;
   config.seed = params.seed;
+  config.audit = params.audit;
   mpc::Driver driver(ulam_plan(), config);
 
   // Character-position map: either an in-model MPC hash join (two extra
@@ -129,6 +130,9 @@ UlamMpcResult ulam_distance_mpc(SymView s, SymView t, const UlamMpcParams& param
         cp.n = n;
         cp.n_bar = n_bar;
         CandidateStats& st = stats[ctx.machine_id()];
+        // The slot accumulates; reset it so the body is idempotent per
+        // machine (the conformance auditor re-executes bodies on replay).
+        st = CandidateStats{};
         const auto tuples = build_block_candidates(
             ctx.in().begin, ctx.in().positions, cp, ctx.rng(), &st);
         ctx.charge_work(st.work);

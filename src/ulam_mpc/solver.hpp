@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "mpc/audit.hpp"
 #include "mpc/stats.hpp"
 #include "seq/combine.hpp"
 #include "seq/types.hpp"
@@ -38,6 +39,8 @@ struct UlamMpcParams {
   /// paired stretch); kSum is the Algorithm 4 variant, exposed for the
   /// DESIGN.md ablation.
   seq::GapCost combine_gap = seq::GapCost::kMax;
+  /// Model-conformance auditing of the pipeline's rounds (see mpc/audit.hpp).
+  mpc::AuditOptions audit{};
 };
 
 struct UlamMpcResult {

@@ -263,9 +263,10 @@ TEST(ThreadPool, InlinePathStillPropagatesException) {
                std::runtime_error);
 }
 
-TEST(ThreadPool, InlinePathRunsRemainingIndicesAfterThrow) {
-  // The serial path mirrors the pool path: a throwing body does not stop
-  // the remaining indices, and the FIRST exception is the one rethrown.
+TEST(ThreadPool, InlinePathCancelsAfterFirstThrow) {
+  // The serial path mirrors the pool path's cancel-on-first-error
+  // semantics: the FIRST exception reaches the caller and the remaining
+  // iteration space is not charged for.
   ThreadPool pool(1);
   std::vector<std::size_t> ran;
   try {
@@ -277,7 +278,40 @@ TEST(ThreadPool, InlinePathRunsRemainingIndicesAfterThrow) {
   } catch (const std::out_of_range& e) {
     EXPECT_STREQ(e.what(), "index 0");
   }
-  EXPECT_EQ(ran.size(), 4u);
+  EXPECT_EQ(ran, (std::vector<std::size_t>{0}));
+}
+
+TEST(ThreadPool, PoolSurvivesThrowingBodiesAndStaysUsable) {
+  // A throwing body must never terminate the process or wedge a worker:
+  // after an exceptional call the same pool completes later work exactly.
+  ThreadPool pool(3);
+  for (int attempt = 0; attempt < 3; ++attempt) {
+    EXPECT_THROW(pool.parallel_for(64,
+                                   [&](std::size_t i) {
+                                     if (i % 7 == 3) {
+                                       throw std::runtime_error("worker boom");
+                                     }
+                                   }),
+                 std::runtime_error);
+    std::atomic<int> total{0};
+    pool.parallel_for(128, [&](std::size_t) { total.fetch_add(1); });
+    EXPECT_EQ(total.load(), 128);
+  }
+}
+
+TEST(ThreadPool, CancellationSkipsUnclaimedIndices) {
+  // With grain 1 and an immediate throw, the cancelled call must not run
+  // anywhere near the whole iteration space (already-claimed chunks may
+  // finish, so allow a small overshoot proportional to workers).
+  ThreadPool pool(4);
+  std::atomic<std::size_t> ran{0};
+  EXPECT_THROW(pool.parallel_for(100000,
+                                 [&](std::size_t) {
+                                   ran.fetch_add(1);
+                                   throw std::runtime_error("first");
+                                 }),
+               std::runtime_error);
+  EXPECT_LT(ran.load(), 100000u);
 }
 
 TEST(ThreadPool, ResultsIndependentOfWorkerCount) {

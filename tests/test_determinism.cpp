@@ -1,0 +1,96 @@
+// Worker-count independence: the simulator's metered results are a pure
+// function of (input, params, seed).  Running the same ulam/edit round
+// plan with 1 worker and with N workers must produce the same distance and
+// a byte-identical ExecutionTrace structural hash — any divergence means a
+// machine body leaked schedule order into its output or metering.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "core/batch.hpp"
+#include "core/workload.hpp"
+#include "edit_mpc/solver.hpp"
+#include "mpc/stats.hpp"
+#include "ulam_mpc/solver.hpp"
+
+namespace mpcsd {
+namespace {
+
+TEST(Determinism, UlamSolverTraceIndependentOfWorkerCount) {
+  const auto s = core::random_permutation(600, 11);
+  const auto t = core::plant_edits(s, 40, 12, true).text;
+  auto run = [&](std::size_t workers) {
+    ulam_mpc::UlamMpcParams params;
+    params.workers = workers;
+    return ulam_mpc::ulam_distance_mpc(s, t, params);
+  };
+  const auto serial = run(1);
+  for (const std::size_t workers : {2ul, 5ul}) {
+    const auto parallel = run(workers);
+    EXPECT_EQ(parallel.distance, serial.distance) << workers << " workers";
+    EXPECT_EQ(parallel.trace.structural_hash(), serial.trace.structural_hash())
+        << workers << " workers";
+  }
+}
+
+TEST(Determinism, EditSolverTraceIndependentOfWorkerCount) {
+  const auto s = core::random_string(500, 10, 13);
+  const auto t = core::plant_edits(s, 30, 14, false).text;
+  auto run = [&](std::size_t workers) {
+    edit_mpc::EditMpcParams params;
+    params.workers = workers;
+    return edit_mpc::edit_distance_mpc(s, t, params);
+  };
+  const auto serial = run(1);
+  for (const std::size_t workers : {2ul, 5ul}) {
+    const auto parallel = run(workers);
+    EXPECT_EQ(parallel.distance, serial.distance) << workers << " workers";
+    EXPECT_EQ(parallel.accepted_guess, serial.accepted_guess)
+        << workers << " workers";
+    EXPECT_EQ(parallel.trace.structural_hash(), serial.trace.structural_hash())
+        << workers << " workers";
+  }
+}
+
+TEST(Determinism, BatchThroughputTraceIndependentOfWorkerCount) {
+  core::BatchRequest request;
+  request.algorithm = core::BatchAlgorithm::kUlam;
+  request.mode = core::BatchMode::kThroughput;
+  for (std::uint64_t q = 0; q < 4; ++q) {
+    const auto s = core::random_permutation(250, 30 + q);
+    core::BatchQuery query;
+    query.s = s;
+    query.t = core::plant_edits(s, 15, 40 + q, true).text;
+    request.queries.push_back(std::move(query));
+  }
+  auto run = [&](std::size_t workers) {
+    core::BatchRequest r = request;
+    r.ulam.workers = workers;
+    return core::distance_batch(r);
+  };
+  const auto serial = run(1);
+  const auto parallel = run(4);
+  ASSERT_EQ(parallel.queries.size(), serial.queries.size());
+  for (std::size_t q = 0; q < serial.queries.size(); ++q) {
+    EXPECT_EQ(parallel.queries[q].distance, serial.queries[q].distance) << q;
+  }
+  EXPECT_EQ(parallel.trace.structural_hash(), serial.trace.structural_hash());
+}
+
+TEST(Determinism, StructuralHashIgnoresWallClockOnly) {
+  // Two identical runs hash identically even though wall-clock fields
+  // differ between them; a different input hashes differently.
+  const auto s = core::random_permutation(300, 50);
+  const auto t = core::plant_edits(s, 20, 51, true).text;
+  ulam_mpc::UlamMpcParams params;
+  params.workers = 2;
+  const auto a = ulam_mpc::ulam_distance_mpc(s, t, params);
+  const auto b = ulam_mpc::ulam_distance_mpc(s, t, params);
+  EXPECT_EQ(a.trace.structural_hash(), b.trace.structural_hash());
+  const auto t2 = core::plant_edits(s, 21, 52, true).text;
+  const auto c = ulam_mpc::ulam_distance_mpc(s, t2, params);
+  EXPECT_NE(a.trace.structural_hash(), c.trace.structural_hash());
+}
+
+}  // namespace
+}  // namespace mpcsd

@@ -149,7 +149,9 @@ TEST(GraphTau, TauGridAndMinIndex) {
     const auto j = min_tau_index(grid, v);
     ASSERT_LT(j, grid.size());
     EXPECT_GE(grid[j], v);
-    if (j > 0) EXPECT_LT(grid[j - 1], v);
+    if (j > 0) {
+      EXPECT_LT(grid[j - 1], v);
+    }
   }
   EXPECT_EQ(min_tau_index(grid, 101), grid.size());
 }

@@ -113,11 +113,15 @@ TEST(RepTupleSemantics, MinTauIndexEncodesAllThresholds) {
     const auto jb = min_tau_index(taus, d);
     ASSERT_LT(jb, taus.size());
     EXPECT_GE(taus[jb], d);
-    if (jb > 0) EXPECT_LT(taus[jb - 1], d);
+    if (jb > 0) {
+      EXPECT_LT(taus[jb - 1], d);
+    }
 
     const auto jc = min_tau_index(taus, (d + 1) / 2);
     EXPECT_GE(2 * taus[jc], d);
-    if (jc > 0) EXPECT_LT(2 * taus[jc - 1], d);
+    if (jc > 0) {
+      EXPECT_LT(2 * taus[jc - 1], d);
+    }
   }
 }
 

@@ -1,0 +1,82 @@
+// The batch TSV parser (core/tsv.*) — the CLI's fuzzable input surface.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/tsv.hpp"
+
+namespace mpcsd::core {
+namespace {
+
+TEST(Tsv, ParseSymbolsNumericMode) {
+  const SymString got = parse_symbols("3 1 4 1 5");
+  EXPECT_EQ(got, (SymString{3, 1, 4, 1, 5}));
+}
+
+TEST(Tsv, ParseSymbolsTextModeFallback) {
+  const SymString got = parse_symbols("ab1");
+  ASSERT_EQ(got.size(), 3u);
+  EXPECT_EQ(got[0], static_cast<Symbol>('a'));
+  EXPECT_EQ(got[2], static_cast<Symbol>('1'));
+}
+
+TEST(Tsv, ParsesValidPairs) {
+  const auto queries = parse_batch_tsv("abc\tabd\n1 2 3\t3 2 1\n",
+                                       BatchAlgorithm::kEdit);
+  ASSERT_TRUE(queries.has_value());
+  ASSERT_EQ(queries->size(), 2u);
+  EXPECT_EQ((*queries)[0].s, (SymString{'a', 'b', 'c'}));
+  EXPECT_EQ((*queries)[1].t, (SymString{3, 2, 1}));
+}
+
+TEST(Tsv, ToleratesCrlfBlankLinesAndMissingFinalNewline) {
+  const auto queries = parse_batch_tsv("ab\tba\r\n\n\ncd\tdc",
+                                       BatchAlgorithm::kEdit);
+  ASSERT_TRUE(queries.has_value());
+  EXPECT_EQ(queries->size(), 2u);
+  EXPECT_EQ((*queries)[0].t, (SymString{'b', 'a'}));  // \r stripped
+}
+
+TEST(Tsv, RejectsLineWithoutTab) {
+  TsvError error;
+  const auto queries =
+      parse_batch_tsv("ok\tok\nnotab\n", BatchAlgorithm::kEdit, &error);
+  EXPECT_FALSE(queries.has_value());
+  EXPECT_EQ(error.line, 2u);
+  EXPECT_NE(error.message.find("TAB"), std::string::npos);
+}
+
+TEST(Tsv, RejectsEmptyInput) {
+  TsvError error;
+  EXPECT_FALSE(parse_batch_tsv("", BatchAlgorithm::kEdit, &error).has_value());
+  EXPECT_EQ(error.line, 0u);
+  EXPECT_FALSE(parse_batch_tsv("\n\r\n\n", BatchAlgorithm::kEdit).has_value());
+}
+
+TEST(Tsv, UlamRequiresRepeatFreeSides) {
+  TsvError error;
+  const auto queries =
+      parse_batch_tsv("1 2 3\t3 2 1\n1 1 2\t2 1 3\n", BatchAlgorithm::kUlam,
+                      &error);
+  EXPECT_FALSE(queries.has_value());
+  EXPECT_EQ(error.line, 2u);
+  EXPECT_NE(error.message.find("repeat-free"), std::string::npos);
+  // The same pairs are fine under edit distance.
+  EXPECT_TRUE(parse_batch_tsv("1 2 3\t3 2 1\n1 1 2\t2 1 3\n",
+                              BatchAlgorithm::kEdit)
+                  .has_value());
+}
+
+TEST(Tsv, NullErrorPointerIsAccepted) {
+  EXPECT_FALSE(parse_batch_tsv("notab\n", BatchAlgorithm::kEdit).has_value());
+}
+
+TEST(Tsv, EmptySidesParseAsEmptyStrings) {
+  const auto queries = parse_batch_tsv("\tabc\n", BatchAlgorithm::kEdit);
+  ASSERT_TRUE(queries.has_value());
+  EXPECT_TRUE((*queries)[0].s.empty());
+  EXPECT_EQ((*queries)[0].t.size(), 3u);
+}
+
+}  // namespace
+}  // namespace mpcsd::core
