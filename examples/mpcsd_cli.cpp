@@ -14,15 +14,23 @@
 // a single shared plan execution (core::distance_batch), and prints one
 // JSON object per query with its distance, attributed rounds, work, and
 // communication bytes.  Malformed lines abort with a nonzero exit.
+// `--trace-out <file> [--trace-format {jsonl,chrome}]` (any solver mode)
+// attaches the observability recorder to every round, stage, solver, and
+// batch pass and writes the event stream to the file: `chrome` (the
+// default) produces a Chrome trace-event JSON openable in chrome://tracing
+// or https://ui.perfetto.dev, `jsonl` one JSON object per event per line.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <sstream>
 #include <string>
 
 #include "core/api.hpp"
 #include "core/tsv.hpp"
+#include "obs/recorder.hpp"
+#include "obs/sinks.hpp"
 
 namespace {
 
@@ -57,13 +65,78 @@ bool has_flag(int argc, char** argv, const char* name) {
   return false;
 }
 
+const char* flag_string(int argc, char** argv, const char* name,
+                        const char* fallback) {
+  for (int i = 0; i < argc - 1; ++i) {
+    if (std::strcmp(argv[i], name) == 0) return argv[i + 1];
+  }
+  return fallback;
+}
+
+/// The CLI's trace attachment: parses `--trace-out` / `--trace-format`,
+/// owns the recorder + sink for the run, and writes the file at the end.
+class TraceOutput {
+ public:
+  /// Returns false on an invalid --trace-format value.
+  bool init(int argc, char** argv) {
+    const char* path = flag_string(argc, argv, "--trace-out", nullptr);
+    if (path == nullptr) return true;
+    path_ = path;
+    const std::string format = flag_string(argc, argv, "--trace-format", "chrome");
+    if (format == "chrome") {
+      chrome_ = std::make_shared<obs::ChromeTraceSink>();
+      recorder_.add_sink(chrome_);
+    } else if (format == "jsonl") {
+      jsonl_ = std::make_shared<obs::JsonlSink>();
+      recorder_.add_sink(jsonl_);
+    } else {
+      std::fprintf(stderr,
+                   "error: --trace-format must be 'jsonl' or 'chrome', got '%s'\n",
+                   format.c_str());
+      return false;
+    }
+    return true;
+  }
+
+  /// The recorder to hand to solver/batch params (null when not tracing).
+  [[nodiscard]] obs::Recorder* recorder() noexcept {
+    return path_.empty() ? nullptr : &recorder_;
+  }
+
+  /// Writes the collected trace; returns false (with a message) on IO error.
+  bool write() {
+    if (path_.empty()) return true;
+    recorder_.flush();
+    const bool ok = chrome_ != nullptr ? chrome_->write_file(path_)
+                                       : jsonl_->write_file(path_);
+    if (!ok) {
+      std::fprintf(stderr, "error: cannot write trace to '%s'\n", path_.c_str());
+      return false;
+    }
+    const std::size_t events =
+        chrome_ != nullptr ? chrome_->event_count() : jsonl_->event_count();
+    std::fprintf(stderr, "trace: %zu events written to %s\n", events,
+                 path_.c_str());
+    return true;
+  }
+
+ private:
+  obs::Recorder recorder_;
+  std::shared_ptr<obs::ChromeTraceSink> chrome_;
+  std::shared_ptr<obs::JsonlSink> jsonl_;
+  std::string path_;
+};
+
 int usage() {
   std::fprintf(stderr,
                "usage:\n"
                "  mpcsd_cli ulam <file_a> <file_b> [--x X] [--eps E] [--seed S]\n"
                "  mpcsd_cli edit <file_a> <file_b> [--x X] [--eps E] [--exact-unit]\n"
                "  mpcsd_cli batch <ulam|edit> <pairs_file> [--x X] [--eps E] [--seed S]\n"
-               "  mpcsd_cli demo [--n N] [--edits K]\n");
+               "  mpcsd_cli demo [--n N] [--edits K]\n"
+               "common flags:\n"
+               "  --trace-out <file> [--trace-format {jsonl,chrome}]   write an\n"
+               "      observability trace (chrome format opens in ui.perfetto.dev)\n");
   return 2;
 }
 
@@ -105,6 +178,10 @@ int run_batch(int argc, char** argv) {
   }
   request.queries = std::move(*queries);
 
+  TraceOutput trace;
+  if (!trace.init(argc, argv)) return 2;
+  request.recorder = trace.recorder();
+
   const auto result = core::distance_batch(request);
   for (std::size_t q = 0; q < result.queries.size(); ++q) {
     const auto& qr = result.queries[q];
@@ -126,7 +203,7 @@ int run_batch(int argc, char** argv) {
   }
   std::fprintf(stderr, "batch: %zu queries in %zu shared rounds\n",
                result.queries.size(), result.trace.round_count());
-  return 0;
+  return trace.write() ? 0 : 1;
 }
 
 }  // namespace
@@ -165,11 +242,14 @@ int main(int argc, char** argv) {
     params.x = flag_value(argc, argv, "--x", params.x);
     params.epsilon = flag_value(argc, argv, "--eps", params.epsilon);
     params.seed = static_cast<std::uint64_t>(flag_value(argc, argv, "--seed", 7));
+    TraceOutput trace;
+    if (!trace.init(argc, argv)) return 2;
+    params.recorder = trace.recorder();
     const auto result = ulam_mpc::ulam_distance_mpc(a, b, params);
     std::printf("ulam distance (1+eps approx): %lld  [guarantee: within %.2fx whp]\n",
                 static_cast<long long>(result.distance), 1.0 + params.epsilon);
     std::printf("%s", result.trace.summary().c_str());
-    return 0;
+    return trace.write() ? 0 : 1;
   }
 
   if (mode == "edit") {
@@ -179,13 +259,16 @@ int main(int argc, char** argv) {
     if (has_flag(argc, argv, "--exact-unit")) {
       params.unit = edit_mpc::DistanceUnit::kExactBanded;
     }
+    TraceOutput trace;
+    if (!trace.init(argc, argv)) return 2;
+    params.recorder = trace.recorder();
     const auto result = edit_mpc::edit_distance_mpc(a, b, params);
     std::printf("edit distance (3+eps approx): %lld  [guarantee: within %.2fx]\n",
                 static_cast<long long>(result.distance), 3.0 + params.epsilon);
     std::printf("accepted guess %lld after %zu guesses\n",
                 static_cast<long long>(result.accepted_guess), result.guesses_run);
     std::printf("%s", result.trace.summary().c_str());
-    return 0;
+    return trace.write() ? 0 : 1;
   }
   return usage();
 }

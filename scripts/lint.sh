@@ -62,6 +62,21 @@ hits=$(grep -rnE 'std::random_device|time\(NULL\)|time\(nullptr\)' \
   src --include='*.hpp' --include='*.cpp' || true)
 [ -n "$hits" ] && fail "nondeterministic seed source in src/; seeds must be explicit" "$hits"
 
+# --- Rule 6: wall-clock accounting flows through the observability spine —
+# RoundReport::wall_seconds is stamped exactly once (cluster.cpp, where the
+# round ran) and merged in stats.cpp (merge_parallel takes the max of
+# side-by-side rounds).  Any other write in src/ is a layer bypassing the
+# spine; it would silently diverge from the spans/counters the obs layer
+# reports for the same interval.  src/obs/ is exempt by construction (it
+# renders the field, it may never fake it — but the rule keeps the door
+# open for sinks that reconstruct reports).
+hits=$(grep -rnE '[.>]wall_seconds[[:space:]]*=[^=]' \
+  src --include='*.hpp' --include='*.cpp' \
+  | grep -v '^src/obs/' \
+  | grep -v '^src/mpc/cluster.cpp:' \
+  | grep -v '^src/mpc/stats.cpp:' || true)
+[ -n "$hits" ] && fail "wall_seconds written outside src/obs/, src/mpc/cluster.cpp, src/mpc/stats.cpp; route timing through the obs spine" "$hits"
+
 if [ $status -ne 0 ]; then
   echo "lint: invariant rules failed" >&2
   exit 1

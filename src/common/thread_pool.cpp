@@ -104,13 +104,16 @@ void ThreadPool::parallel_for(std::size_t count,
                               std::size_t grain) {
   if (count == 0) return;
   const std::size_t g = std::max<std::size_t>(grain, 1);
+  indices_claimed_.fetch_add(count, std::memory_order_relaxed);
   if (count <= g || threads_.size() <= 1) {
     // One chunk (or one worker): run inline on the caller — same
     // cancel-on-first-error semantics as the pooled path, no queue wakeup
     // for single-machine rounds.
+    inline_calls_.fetch_add(1, std::memory_order_relaxed);
     for (std::size_t i = 0; i < count; ++i) body(i);
     return;
   }
+  parallel_for_calls_.fetch_add(1, std::memory_order_relaxed);
   auto state = std::make_shared<ForState>();
   state->count = count;
   state->grain = g;
@@ -124,6 +127,11 @@ void ThreadPool::parallel_for(std::size_t count,
     std::lock_guard<std::mutex> lock(mu_);
     for (std::size_t i = 0; i < fanout; ++i) {
       tasks_.push([state] { drain(state); });
+    }
+    tasks_enqueued_.fetch_add(fanout, std::memory_order_relaxed);
+    const auto depth = static_cast<std::uint64_t>(tasks_.size());
+    if (depth > peak_queue_depth_.load(std::memory_order_relaxed)) {
+      peak_queue_depth_.store(depth, std::memory_order_relaxed);
     }
   }
   cv_.notify_all();

@@ -8,8 +8,10 @@
 // usable on single-core hosts.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <mutex>
 #include <queue>
@@ -17,6 +19,17 @@
 #include <vector>
 
 namespace mpcsd {
+
+/// Cumulative utilisation counters of one pool, sampled by the
+/// observability spine (the cluster emits them as `pool.*` counter events
+/// after every round).  All fields are monotone over the pool's lifetime.
+struct PoolCounters {
+  std::uint64_t parallel_for_calls = 0;  ///< calls that fanned out to workers
+  std::uint64_t inline_calls = 0;        ///< serial fast-path calls
+  std::uint64_t tasks_enqueued = 0;      ///< worker wakeup tasks queued
+  std::uint64_t indices_claimed = 0;     ///< iteration indices dispatched
+  std::uint64_t peak_queue_depth = 0;    ///< max task-queue length observed
+};
 
 class ThreadPool {
  public:
@@ -28,6 +41,18 @@ class ThreadPool {
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   [[nodiscard]] std::size_t worker_count() const noexcept { return threads_.size(); }
+
+  /// Snapshot of the cumulative queue-depth/utilisation counters.  Cheap
+  /// (five relaxed loads); safe to call concurrently with parallel_for.
+  [[nodiscard]] PoolCounters counters() const noexcept {
+    PoolCounters c;
+    c.parallel_for_calls = parallel_for_calls_.load(std::memory_order_relaxed);
+    c.inline_calls = inline_calls_.load(std::memory_order_relaxed);
+    c.tasks_enqueued = tasks_enqueued_.load(std::memory_order_relaxed);
+    c.indices_claimed = indices_claimed_.load(std::memory_order_relaxed);
+    c.peak_queue_depth = peak_queue_depth_.load(std::memory_order_relaxed);
+    return c;
+  }
 
   /// Runs body(i) for every i in [0, count), blocking until all complete.
   ///
@@ -54,6 +79,15 @@ class ThreadPool {
   std::condition_variable cv_;
   std::queue<std::function<void()>> tasks_;
   bool stopping_ = false;
+
+  // Observability counters (see PoolCounters).  Relaxed atomics updated at
+  // call granularity — never per index — so metering stays off the inner
+  // loop.
+  std::atomic<std::uint64_t> parallel_for_calls_{0};
+  std::atomic<std::uint64_t> inline_calls_{0};
+  std::atomic<std::uint64_t> tasks_enqueued_{0};
+  std::atomic<std::uint64_t> indices_claimed_{0};
+  std::atomic<std::uint64_t> peak_queue_depth_{0};
 };
 
 }  // namespace mpcsd

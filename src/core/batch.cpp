@@ -46,6 +46,24 @@ struct QueryMeta {
   bool degenerate = false;  ///< answered driver-side, owns no machines
 };
 
+/// Emits one attributed span on the query's own track (query id + 1)
+/// covering [pass_ts, now]: the query's share of a shared round-pair.  The
+/// interval is shared with every co-scheduled query; the args (machines,
+/// work, comm) are the query's alone, aggregated from machine reports.
+void emit_query_span(obs::Recorder* rec, const char* name,
+                     std::uint64_t pass_ts, std::uint32_t query,
+                     std::vector<obs::Arg> args) {
+  obs::TraceEvent ev;
+  ev.kind = obs::EventKind::kSpan;
+  ev.name = name;
+  ev.category = "batch";
+  ev.ts_us = pass_ts;
+  ev.dur_us = rec->now_us() - pass_ts;
+  ev.track = query + 1;
+  ev.args = std::move(args);
+  rec->emit(std::move(ev));
+}
+
 // ---------------------------------------------------------------------
 // Ulam batch: every query's block machines share round 1, every query's
 // combine machine shares round 2.  Mailbox = query id.  There is no guess
@@ -75,6 +93,7 @@ BatchResult run_ulam_batch(const BatchRequest& request) {
   config.workers = params.workers;
   config.seed = params.seed;
   config.audit = params.audit;
+  config.recorder = request.recorder;
   mpc::Driver driver(
       mpc::Plan{"batch:ulam",
                 {
@@ -83,6 +102,12 @@ BatchResult run_ulam_batch(const BatchRequest& request) {
                     {"batch:ulam:combine", "Inbox<tuples>@query", "answer@query"},
                 }},
       config);
+  const std::uint64_t pass_ts =
+      (request.recorder != nullptr && request.recorder->enabled())
+          ? request.recorder->now_us()
+          : 0;
+  obs::Span pass_span(request.recorder, "batch:ulam:pass", "batch");
+  pass_span.arg("queries", static_cast<double>(request.queries.size()));
 
   // Per-query input construction (position map + block tasks) runs on the
   // round worker pool: queries are independent, and the serial flatten
@@ -202,14 +227,27 @@ BatchResult run_ulam_batch(const BatchRequest& request) {
   driver.finish();
 
   // Per-query trace attribution from the machine reports.
+  obs::Recorder* rec = request.recorder;
+  const bool tracing = rec != nullptr && rec->enabled();
   std::vector<std::uint32_t> combine_owner = combine_query;
   for (std::uint32_t q = 0; q < meta.size(); ++q) {
     if (meta[q].degenerate) continue;
     result.queries[q].distance = answers[q];
-    result.queries[q].trace.add_round(attribute_round(
-        "batch:ulam:candidates", reports1, task_owner, q, meta[q].cap));
-    result.queries[q].trace.add_round(attribute_round(
-        "batch:ulam:combine", reports2, combine_owner, q, meta[q].cap));
+    mpc::RoundReport r1 = attribute_round("batch:ulam:candidates", reports1,
+                                          task_owner, q, meta[q].cap);
+    mpc::RoundReport r2 = attribute_round("batch:ulam:combine", reports2,
+                                          combine_owner, q, meta[q].cap);
+    if (tracing) {
+      emit_query_span(
+          rec, "batch:ulam:query", pass_ts, q,
+          {{"query", static_cast<double>(q)},
+           {"machines", static_cast<double>(r1.machines + r2.machines)},
+           {"work", static_cast<double>(r1.total_work + r2.total_work)},
+           {"comm_bytes",
+            static_cast<double>(r1.total_comm_bytes + r2.total_comm_bytes)}});
+    }
+    result.queries[q].trace.add_round(std::move(r1));
+    result.queries[q].trace.add_round(std::move(r2));
   }
   result.trace = driver.take_trace();
   result.passes = driver.passes();
@@ -283,6 +321,12 @@ std::vector<std::int64_t> run_edit_round_pair(
     const std::vector<QueryMeta>& meta, const std::vector<EditCell>& cells,
     const std::vector<std::uint32_t>& attribute_queries,
     std::vector<QueryResult>& queries) {
+  obs::Recorder* rec = driver.cluster().recorder();
+  const bool tracing = rec != nullptr && rec->enabled();
+  const std::uint64_t pass_ts = tracing ? rec->now_us() : 0;
+  obs::Span pass_span(rec, "batch:edit:pass", "batch");
+  pass_span.arg("cells", static_cast<double>(cells.size()));
+
   // Per-cell task construction is independent; flatten serially in cell
   // order so machine ids stay deterministic.
   std::vector<std::vector<EditBatchTask>> builds(cells.size());
@@ -302,11 +346,13 @@ std::vector<std::int64_t> run_edit_round_pair(
   std::vector<EditBatchTask> tasks;
   std::vector<std::uint64_t> task_limits;
   std::vector<std::uint32_t> task_owner;
+  std::vector<std::uint32_t> task_cell;
   for (std::size_t c = 0; c < builds.size(); ++c) {
     for (EditBatchTask& task : builds[c]) {
       tasks.push_back(std::move(task));
       task_limits.push_back(meta[cells[c].query].cap);
       task_owner.push_back(cells[c].query);
+      task_cell.push_back(static_cast<std::uint32_t>(c));
     }
   }
 
@@ -370,6 +416,27 @@ std::vector<std::int64_t> run_edit_round_pair(
     queries[q].trace.add_round(attribute_round("batch:edit:combine", reports2,
                                                combine_owner, q, meta[q].cap));
   }
+  if (tracing) {
+    // One attributed span per (query, guess rung): the cell's share of this
+    // shared round-pair, on the owning query's track.
+    for (std::uint32_t c = 0; c < cells.size(); ++c) {
+      std::uint64_t work = reports2[c].work;
+      std::uint64_t comm = reports2[c].output_bytes;
+      std::size_t machines = 1;  // the cell's combine machine
+      for (std::size_t i = 0; i < task_cell.size(); ++i) {
+        if (task_cell[i] != c) continue;
+        work += reports1[i].work;
+        comm += reports1[i].output_bytes;
+        ++machines;
+      }
+      emit_query_span(rec, "batch:edit:rung", pass_ts, cells[c].query,
+                      {{"query", static_cast<double>(cells[c].query)},
+                       {"guess", static_cast<double>(cells[c].guess)},
+                       {"machines", static_cast<double>(machines)},
+                       {"work", static_cast<double>(work)},
+                       {"comm_bytes", static_cast<double>(comm)}});
+    }
+  }
   return cell_answers;
 }
 
@@ -384,6 +451,7 @@ BatchResult run_edit_batch(const BatchRequest& request) {
   config.workers = params.workers;
   config.seed = params.seed;
   config.audit = params.audit;
+  config.recorder = request.recorder;
   mpc::Driver driver(
       mpc::Plan{"batch:edit",
                 {

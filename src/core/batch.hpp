@@ -43,6 +43,7 @@
 
 #include "edit_mpc/solver.hpp"
 #include "mpc/stats.hpp"
+#include "obs/recorder.hpp"
 #include "seq/types.hpp"
 #include "ulam_mpc/solver.hpp"
 
@@ -77,6 +78,12 @@ struct BatchRequest {
   ulam_mpc::UlamMpcParams ulam;
   /// Solver settings for kEdit batches (x, epsilon, unit, seed, ...).
   edit_mpc::EditMpcParams edit;
+  /// Observability recorder (null = detached).  The shared rounds emit
+  /// round/stage spans through the cluster; the batch driver additionally
+  /// emits one span per escalation pass and, on track `query id + 1`, one
+  /// attributed span per (query, guess rung) built from the machine-level
+  /// reports of the shared round-pair.
+  obs::Recorder* recorder = nullptr;
 };
 
 struct QueryResult {

@@ -31,6 +31,8 @@ HssBaselineResult hss_edit_distance_mpc(SymView s, SymView t,
   const std::uint64_t cap = edit_memory_cap_bytes(n, cap_params);
 
   const double eps_prime = params.epsilon / 4.0;
+  obs::Span solve_span(params.recorder, "hss:solve", "solver");
+  solve_span.arg("n", static_cast<double>(n));
   std::int64_t best = n + n_bar;
   std::uint64_t guess_seed = params.seed;
   for (const std::int64_t guess : geometric_grid(std::max(n, n_bar), params.epsilon)) {
@@ -48,6 +50,7 @@ HssBaselineResult hss_edit_distance_mpc(SymView s, SymView t,
     sp.workers = params.workers;
     sp.strict_memory = params.strict_memory;
     sp.memory_cap_bytes = cap;
+    sp.recorder = params.recorder;
     auto pipeline = run_small_distance(s, t, sp);
     result.trace.merge_parallel(pipeline.trace);
 

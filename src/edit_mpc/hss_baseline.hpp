@@ -13,6 +13,7 @@
 
 #include "edit_mpc/small_distance.hpp"
 #include "mpc/stats.hpp"
+#include "obs/recorder.hpp"
 #include "seq/types.hpp"
 
 namespace mpcsd::edit_mpc {
@@ -25,6 +26,7 @@ struct HssBaselineParams {
   bool strict_memory = false;
   double memory_slack = 8.0;
   bool early_exit = true;        ///< stop at the first self-certifying guess
+  obs::Recorder* recorder = nullptr;  ///< observability (null = detached)
 };
 
 struct HssBaselineResult {

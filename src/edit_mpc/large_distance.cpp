@@ -212,7 +212,10 @@ LargeDistanceResult run_large_distance(SymView s, SymView t,
   config.workers = params.workers;
   config.seed = params.seed;
   config.audit = params.audit;
+  config.recorder = params.recorder;
   mpc::Driver driver(large_plan(), config);
+  obs::Span pipeline_span(params.recorder, "edit:large", "pipeline");
+  pipeline_span.arg("guess", static_cast<double>(params.delta_guess));
 
   // ------------------------------------------------------------------
   // Stage 1 (Algorithm 5): representatives vs all nodes.

@@ -41,6 +41,7 @@ struct LargeDistanceParams {
   bool strict_memory = false;
   std::uint64_t memory_cap_bytes = UINT64_MAX;
   mpc::AuditOptions audit{};  ///< conformance auditing (see mpc/audit.hpp)
+  obs::Recorder* recorder = nullptr;  ///< observability (null = detached)
 };
 
 struct LargeDistanceResult {

@@ -156,7 +156,10 @@ PipelineResult run_small_distance(SymView s, SymView t,
   config.workers = params.workers;
   config.seed = params.seed;
   config.audit = params.audit;
+  config.recorder = params.recorder;
   mpc::Driver driver(small_plan(), config);
+  obs::Span pipeline_span(params.recorder, "edit:small", "pipeline");
+  pipeline_span.arg("guess", static_cast<double>(params.delta_guess));
 
   const std::vector<Bytes> inputs =
       driver.shard_parallel(make_small_tasks(s, t, params, geo));

@@ -22,6 +22,7 @@
 #include "edit_mpc/candidates.hpp"
 #include "mpc/audit.hpp"
 #include "mpc/stats.hpp"
+#include "obs/recorder.hpp"
 #include "seq/approx_edit.hpp"
 #include "seq/combine.hpp"
 #include "seq/types.hpp"
@@ -47,6 +48,7 @@ struct SmallDistanceParams {
   bool strict_memory = false;
   std::uint64_t memory_cap_bytes = UINT64_MAX;
   mpc::AuditOptions audit{};  ///< conformance auditing (see mpc/audit.hpp)
+  obs::Recorder* recorder = nullptr;  ///< observability (null = detached)
 };
 
 struct PipelineResult {

@@ -65,12 +65,18 @@ EditMpcResult edit_distance_mpc(SymView s, SymView t, const EditMpcParams& param
   const std::int64_t small_limit = small_distance_limit(n, params.x);
   const auto guesses = geometric_grid(std::max(n, n_bar), params.epsilon);
 
+  obs::Span solve_span(params.recorder, "edit:solve", "solver");
+  solve_span.arg("n", static_cast<double>(n));
+
   std::int64_t best = n + n_bar;  // trivial delete-all/insert-all bound
   std::uint64_t guess_seed = params.seed;
   for (const std::int64_t guess : guesses) {
     if (guess == 0) continue;  // ed == 0 already handled
     ++result.guesses_run;
     guess_seed = splitmix64(guess_seed + static_cast<std::uint64_t>(guess));
+
+    obs::Span guess_span(params.recorder, "edit:guess", "solver");
+    guess_span.arg("guess", static_cast<double>(guess));
 
     GuessOutcome outcome;
     outcome.guess = guess;
@@ -87,6 +93,7 @@ EditMpcResult edit_distance_mpc(SymView s, SymView t, const EditMpcParams& param
       sp.strict_memory = params.strict_memory;
       sp.memory_cap_bytes = result.memory_cap_bytes;
       sp.audit = params.audit;
+      sp.recorder = params.recorder;
       auto pipeline = run_small_distance(s, t, sp);
       outcome.distance = pipeline.distance;
       guess_trace = std::move(pipeline.trace);
@@ -104,6 +111,7 @@ EditMpcResult edit_distance_mpc(SymView s, SymView t, const EditMpcParams& param
       lp.strict_memory = params.strict_memory;
       lp.memory_cap_bytes = result.memory_cap_bytes;
       lp.audit = params.audit;
+      lp.recorder = params.recorder;
       auto pipeline = run_large_distance(s, t, lp);
       outcome.distance = pipeline.distance;
       outcome.large_pipeline = true;

@@ -50,6 +50,8 @@ struct EditMpcParams {
   double memory_slack = 8.0;       ///< constant inside the Õ_eps(n^{1-x}) cap
   /// Model-conformance auditing of every guess pipeline (see mpc/audit.hpp).
   mpc::AuditOptions audit{};
+  /// Observability recorder passed to every guess pipeline (null = detached).
+  obs::Recorder* recorder = nullptr;
 };
 
 struct GuessOutcome {

@@ -122,6 +122,10 @@ Mail Cluster::run_round_views(const std::string& label,
                               const RoundOptions& options) {
   const std::size_t round = round_index_++;
   const std::size_t machines = inputs.size();
+  // Observability span covering the whole round (machine bodies + routing).
+  // Inert (no strings, no clock reads) unless a recorder with sinks is
+  // attached, so the metered path is unchanged when detached.
+  obs::Span round_span(config_.recorder, label, "round");
   if (options.machine_memory_limits != nullptr &&
       options.machine_memory_limits->size() != machines) {
     throw std::invalid_argument(
@@ -181,6 +185,7 @@ Mail Cluster::run_round_views(const std::string& label,
   rr.label = label;
   rr.machines = machines;
   rr.wall_seconds = wall_seconds;
+  rr.driver_seconds = options.driver_seconds;
   for (std::size_t i = 0; i < machines; ++i) {
     const MachineReport& m = reports_[i];
     rr.max_machine_memory = std::max(rr.max_machine_memory, m.memory_footprint());
@@ -220,6 +225,27 @@ Mail Cluster::run_round_views(const std::string& label,
   sort_mail(mail.msgs_);
   if (audit.enabled && audit.verify_comm_bytes) {
     audit_verify_comm(label, round, mail, rr.total_comm_bytes);
+  }
+  if (round_span) {
+    round_span.arg("machines", static_cast<double>(rr.machines))
+        .arg("total_work", static_cast<double>(rr.total_work))
+        .arg("total_comm_bytes", static_cast<double>(rr.total_comm_bytes))
+        .arg("max_machine_memory", static_cast<double>(rr.max_machine_memory))
+        .arg("memory_violations", static_cast<double>(rr.memory_violations));
+    round_span.finish();
+    obs::Recorder& rec = *config_.recorder;
+    rec.counter("mpc.comm_bytes", "mpc", static_cast<double>(rr.total_comm_bytes));
+    rec.counter("mpc.work", "mpc", static_cast<double>(rr.total_work));
+    const PoolCounters pc = pool_->counters();
+    rec.counter("pool.parallel_for_calls", "pool",
+                static_cast<double>(pc.parallel_for_calls));
+    rec.counter("pool.inline_calls", "pool", static_cast<double>(pc.inline_calls));
+    rec.counter("pool.tasks_enqueued", "pool",
+                static_cast<double>(pc.tasks_enqueued));
+    rec.counter("pool.indices_claimed", "pool",
+                static_cast<double>(pc.indices_claimed));
+    rec.counter("pool.peak_queue_depth", "pool",
+                static_cast<double>(pc.peak_queue_depth));
   }
   return mail;
 }

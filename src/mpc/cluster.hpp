@@ -36,6 +36,7 @@
 #include "common/thread_pool.hpp"
 #include "mpc/audit.hpp"
 #include "mpc/stats.hpp"
+#include "obs/recorder.hpp"
 
 namespace mpcsd::mpc {
 
@@ -55,6 +56,11 @@ struct ClusterConfig {
   std::size_t grain = 0;
   /// Model-conformance auditing (opt-in, metering-neutral); see audit.hpp.
   AuditOptions audit{};
+  /// Observability spine (opt-in, metering-neutral): when non-null, every
+  /// round emits a span plus comm/work/memory and pool counters through the
+  /// recorder's sinks.  Null or sink-less recorders cost one inlined check
+  /// on the round path (see obs/recorder.hpp).
+  obs::Recorder* recorder = nullptr;
 };
 
 class MemoryLimitExceeded : public std::runtime_error {
@@ -138,6 +144,11 @@ struct RoundOptions {
   /// When non-null, receives every machine's report after the round (in
   /// machine-id order), for per-query aggregation.
   std::vector<MachineReport>* machine_reports = nullptr;
+  /// Host-side glue seconds spent preparing this round (sharding, routing,
+  /// request packing); stamped into the RoundReport at creation.  The plan
+  /// Driver fills this from its glue clock — forward, at submission, not by
+  /// back-annotating the trace after the fact.
+  double driver_seconds = 0.0;
 };
 
 class Cluster {
@@ -162,10 +173,9 @@ class Cluster {
   [[nodiscard]] ExecutionTrace take_trace() { return std::move(trace_); }
   [[nodiscard]] const ClusterConfig& config() const noexcept { return config_; }
 
-  /// The report of the most recent round, for driver-side annotation
-  /// (per-stage glue timings); nullptr before the first round.
-  [[nodiscard]] RoundReport* mutable_last_round() noexcept {
-    return trace_.mutable_last();
+  /// The attached observability recorder (null when detached).
+  [[nodiscard]] obs::Recorder* recorder() const noexcept {
+    return config_.recorder;
   }
 
   /// The worker pool executing machine bodies.  Drivers reuse it for the

@@ -36,13 +36,6 @@ double Driver::begin_stage(const std::string& label) {
   return glue_clock_.seconds();
 }
 
-void Driver::end_stage(double glue_seconds) {
-  if (RoundReport* last = cluster_.mutable_last_round()) {
-    last->driver_seconds = glue_seconds;
-  }
-  glue_clock_.reset();
-}
-
 void Driver::finish() const {
   if (plan_.repeating) {
     // Any whole number of passes is complete; a pass stopped mid-way is not.

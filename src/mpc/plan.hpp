@@ -340,7 +340,12 @@ class Driver {
   template <typename In>
   Mail run_views(const Stage<In>& stage, const std::vector<ByteChain>& inputs,
                  const RoundOptions& options = {}) {
-    const double glue = begin_stage(stage.label);
+    // Stamp the driver-glue seconds forward into the round's report (via a
+    // copy of the caller's options) instead of back-annotating the trace
+    // after the round — the report is immutable once created.
+    RoundOptions staged = options;
+    staged.driver_seconds = begin_stage(stage.label);
+    obs::Span stage_span(cluster_.recorder(), stage.label, "stage");
     Mail mail = cluster_.run_round_views(
         stage.label, inputs,
         [&stage](MachineContext& machine) {
@@ -348,8 +353,13 @@ class Driver {
           StageContext<In> ctx(machine, Codec<In>::decode(r));
           stage.body(ctx);
         },
-        options);
-    end_stage(glue);
+        staged);
+    if (stage_span) {
+      stage_span.arg("glue_seconds", staged.driver_seconds)
+          .arg("machines", static_cast<double>(inputs.size()));
+      stage_span.finish();
+    }
+    glue_clock_.reset();
     return mail;
   }
 
@@ -387,7 +397,6 @@ class Driver {
   /// Validates stage order; returns the driver-glue seconds accumulated
   /// since the previous stage ended (sharding, routing, request packing).
   double begin_stage(const std::string& label);
-  void end_stage(double glue_seconds);
 
   Plan plan_;
   Cluster cluster_;

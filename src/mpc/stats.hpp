@@ -49,12 +49,6 @@ class ExecutionTrace {
     return rounds_;
   }
 
-  /// The most recently added round, for driver-side annotation after the
-  /// simulator has recorded it; nullptr on an empty trace.
-  [[nodiscard]] RoundReport* mutable_last() noexcept {
-    return rounds_.empty() ? nullptr : &rounds_.back();
-  }
-
   [[nodiscard]] std::size_t round_count() const noexcept { return rounds_.size(); }
 
   /// Max over rounds of the machine count (the "# machines" column).

@@ -1,0 +1,53 @@
+// The structured event model of the observability spine.
+//
+// Every layer of the simulator — cluster rounds, plan stages, batch
+// queries/rungs/passes, solver pipelines, the CLI and the perf suite —
+// emits the same three event shapes through an `obs::Recorder`:
+//
+//   * span    — a named interval (round, stage, solve, escalation pass,
+//               per-query share of a shared round) with a start timestamp,
+//               a duration, and numeric args (machines, work, bytes, ...);
+//   * counter — a named numeric series sample (comm bytes so far, pool
+//               queue depth, ...);
+//   * instant — a point event (a violation, a retirement decision).
+//
+// Events carry *wall-clock* observations only.  The model-level quantities
+// the paper is judged on (rounds, machines, memory, work, communication)
+// stay in `mpc::ExecutionTrace`; the spine is provably metering-neutral —
+// attaching or detaching a recorder cannot change `structural_hash()`
+// (pinned by tests/test_obs.cpp against the golden scenarios).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mpcsd::obs {
+
+enum class EventKind : std::uint8_t {
+  kSpan,     ///< interval: [ts_us, ts_us + dur_us]
+  kCounter,  ///< series sample: args[0].value at ts_us
+  kInstant,  ///< point event at ts_us
+};
+
+/// One named numeric argument.  Values are doubles (JSON numbers); the
+/// metered quantities attached here are diagnostics — the exact uint64
+/// accounting lives in ExecutionTrace.
+struct Arg {
+  std::string key;
+  double value = 0.0;
+};
+
+struct TraceEvent {
+  EventKind kind = EventKind::kInstant;
+  std::string name;
+  std::string category;
+  std::uint64_t ts_us = 0;   ///< microseconds since the recorder's epoch
+  std::uint64_t dur_us = 0;  ///< kSpan only
+  /// Rendering lane (the Chrome `tid`): 0 for the driver plane; batch
+  /// attribution uses `query + 1` so every query gets its own track.
+  std::uint64_t track = 0;
+  std::vector<Arg> args;
+};
+
+}  // namespace mpcsd::obs

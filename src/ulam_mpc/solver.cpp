@@ -86,7 +86,11 @@ UlamMpcResult ulam_distance_mpc(SymView s, SymView t, const UlamMpcParams& param
   config.workers = params.workers;
   config.seed = params.seed;
   config.audit = params.audit;
+  config.recorder = params.recorder;
   mpc::Driver driver(ulam_plan(), config);
+  obs::Span solve_span(params.recorder, "ulam:solve", "solver");
+  solve_span.arg("n", static_cast<double>(n))
+      .arg("blocks", static_cast<double>(block_count));
 
   // Character-position map: either an in-model MPC hash join (two extra
   // rounds on this cluster, before the declared plan stages) or the

@@ -15,6 +15,7 @@
 
 #include "mpc/audit.hpp"
 #include "mpc/stats.hpp"
+#include "obs/recorder.hpp"
 #include "seq/combine.hpp"
 #include "seq/types.hpp"
 #include "ulam_mpc/candidates.hpp"
@@ -41,6 +42,8 @@ struct UlamMpcParams {
   seq::GapCost combine_gap = seq::GapCost::kMax;
   /// Model-conformance auditing of the pipeline's rounds (see mpc/audit.hpp).
   mpc::AuditOptions audit{};
+  /// Observability recorder handed to the owned cluster (null = detached).
+  obs::Recorder* recorder = nullptr;
 };
 
 struct UlamMpcResult {
