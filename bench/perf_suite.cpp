@@ -1,5 +1,5 @@
 // Machine-readable performance regression suite (BENCH_PR1.json +
-// BENCH_PR3.json + BENCH_PR5.json).
+// BENCH_PR3.json + BENCH_PR5.json + BENCH_PR6.json).
 //
 // BENCH_PR1 — one JSON record per kernel/routing benchmark:
 //   { "bench": ..., "n": ..., "wall_seconds": ..., "work": ..., "bytes_moved": ... }
@@ -43,6 +43,15 @@
 // hot path — and `--trace-out <file>` additionally captures one traced
 // batch run as a Chrome trace-event artifact.
 //
+// BENCH_PR6 (--out4) — ISA kernel throughput and mail routing:
+//  * myers_{scalar,avx2,avx512} — the multi-word Myers kernel forced to
+//    each ISA level the host supports, same inputs, distances and work
+//    meters cross-checked identical.  Hard gate (non-smoke, AVX2 host):
+//    the AVX2 kernel must be >= 2x the scalar kernel at n = 2000.
+//  * mail_route_{stable,radix}  — the round-mail router: a flat move +
+//    global std::stable_sort baseline vs the cluster's counting/radix
+//    scatter, byte-identical output re-verified in-bench.
+//
 // `--smoke` runs tiny sizes once, checks the emitted JSON parses, and skips
 // the speedup gates — registered in ctest so the suite itself cannot rot.
 // `--full` adds the expensive points (ulam n=4096 with B up to 64, edit
@@ -57,6 +66,7 @@
 #include <string>
 #include <vector>
 
+#include "common/cpu.hpp"
 #include "common/thread_pool.hpp"
 #include "core/batch.hpp"
 #include "core/workload.hpp"
@@ -68,6 +78,7 @@
 #include "seq/combine.hpp"
 #include "seq/edit_distance.hpp"
 #include "seq/edit_distance_fast.hpp"
+#include "seq/myers.hpp"
 #include "ulam_mpc/solver.hpp"
 
 namespace {
@@ -303,6 +314,7 @@ int main(int argc, char** argv) {
   std::string out_path = "BENCH_PR1.json";
   std::string out2_path = "BENCH_PR3.json";
   std::string out3_path = "BENCH_PR5.json";
+  std::string out4_path = "BENCH_PR6.json";
   std::string trace_path;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
@@ -310,6 +322,7 @@ int main(int argc, char** argv) {
     if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) out_path = argv[++i];
     if (std::strcmp(argv[i], "--out2") == 0 && i + 1 < argc) out2_path = argv[++i];
     if (std::strcmp(argv[i], "--out3") == 0 && i + 1 < argc) out3_path = argv[++i];
+    if (std::strcmp(argv[i], "--out4") == 0 && i + 1 < argc) out4_path = argv[++i];
     if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc) {
       trace_path = argv[++i];
     }
@@ -446,6 +459,134 @@ int main(int argc, char** argv) {
     records.push_back(e2e);
   }
 
+  // ---- BENCH_PR6: Myers kernel throughput per ISA level. ----
+  // The same (pattern, text) pair runs through the blocked kernel forced to
+  // every level the host supports; distances and work meters must agree
+  // bit for bit (ISA dispatch is results- and metering-invisible), only
+  // wall time may differ.
+  std::vector<Record> isa_records;
+  {
+    const std::vector<std::int64_t> isa_sizes =
+        smoke ? std::vector<std::int64_t>{128}
+              : std::vector<std::int64_t>{512, 2000, 8192};
+    for (const std::int64_t n : isa_sizes) {
+      const auto a = core::random_string(n, 8, 71);
+      const auto b = core::plant_edits(a, n / 16, 72, false).text;
+      force_isa(Isa::kScalar);
+      const std::int64_t d_ref = seq::edit_distance_myers(a, b);
+      std::uint64_t work_ref = 0;
+      seq::edit_distance_myers(a, b, &work_ref);
+      for (const Isa level : {Isa::kScalar, Isa::kAvx2, Isa::kAvx512}) {
+        if (force_isa(level) != level) continue;  // host lacks this level
+        std::int64_t d = 0;
+        Record r{std::string("myers_") + isa_name(level), n};
+        r.wall_seconds =
+            time_best([&] { d = seq::edit_distance_myers(a, b); }, reps);
+        seq::edit_distance_myers(a, b, &r.work);
+        isa_records.push_back(r);
+        if (d != d_ref || r.work != work_ref) {
+          std::fprintf(stderr,
+                       "FATAL: %s kernel diverged at n=%lld: d=%lld/%lld "
+                       "work=%llu/%llu\n",
+                       isa_name(level), static_cast<long long>(n),
+                       static_cast<long long>(d), static_cast<long long>(d_ref),
+                       static_cast<unsigned long long>(r.work),
+                       static_cast<unsigned long long>(work_ref));
+          return 1;
+        }
+      }
+    }
+    force_isa(detected_isa());
+  }
+
+  // ---- BENCH_PR6: mail routing, stable_sort baseline vs radix scatter. ----
+  // One round whose machines emit a skewed burst of small envelopes; the
+  // baseline is what routing used to be (flat move + one global
+  // std::stable_sort of the merged mail), re-verified byte-identical to
+  // what the cluster's radix router produced.
+  {
+    const std::size_t machines = smoke ? 32 : 512;
+    const std::size_t per_machine = smoke ? 4 : 64;
+    const auto fill = [&](mpc::MachineContext& ctx) {
+      for (std::size_t m = 0; m < per_machine; ++m) {
+        const std::uint64_t r = ctx.rng().next();
+        const auto dest = r % 4 != 0
+                              ? static_cast<std::uint32_t>(r % 3)
+                              : static_cast<std::uint32_t>(r % (machines * 4));
+        ByteWriter w;
+        w.put<std::uint64_t>(ctx.machine_id());
+        w.put<std::uint64_t>(m);
+        ctx.emit(dest, std::move(w).take());
+      }
+    };
+    const std::vector<Bytes> inputs(machines);
+    const auto total =
+        static_cast<std::int64_t>(machines * per_machine);
+
+    mpc::ClusterConfig cfg;
+    cfg.seed = 31;
+    mpc::Cluster cluster(cfg);
+    mpc::Mail mail;
+    Record radix{"mail_route_radix", total};
+    radix.wall_seconds = time_best(
+        [&] { mail = cluster.run_round("bench:route", inputs, fill); }, reps);
+    radix.work = mail.message_count();
+    radix.bytes_moved = cluster.trace().rounds().back().total_comm_bytes;
+    isa_records.push_back(radix);
+
+    // Baseline: the envelopes in emission order, then one global sort.
+    // Emission order is reconstructed from the (machine id, emission index)
+    // header every payload carries, so the baseline sorts genuinely
+    // unsorted input like the retired router did.
+    std::vector<mpc::Envelope> flat;
+    for (const mpc::Envelope& env : mail.all()) {
+      flat.push_back(mpc::Envelope{env.dest, env.payload});
+    }
+    const auto emission_key = [](const mpc::Envelope& env) {
+      std::uint64_t machine = 0;
+      std::uint64_t index = 0;
+      std::memcpy(&machine, env.payload.data(), sizeof machine);
+      std::memcpy(&index, env.payload.data() + sizeof machine, sizeof index);
+      return std::pair<std::uint64_t, std::uint64_t>(machine, index);
+    };
+    std::sort(flat.begin(), flat.end(),
+              [&](const mpc::Envelope& x, const mpc::Envelope& y) {
+                return emission_key(x) < emission_key(y);
+              });
+    std::vector<mpc::Envelope> sorted;
+    Record stable{"mail_route_stable", total};
+    stable.wall_seconds = time_best(
+        [&] {
+          sorted.clear();
+          for (const mpc::Envelope& env : flat) {
+            sorted.push_back(mpc::Envelope{env.dest, env.payload});
+          }
+          std::stable_sort(sorted.begin(), sorted.end(),
+                           [](const mpc::Envelope& x, const mpc::Envelope& y) {
+                             return x.dest < y.dest;
+                           });
+        },
+        reps);
+    stable.work = sorted.size();
+    stable.bytes_moved = radix.bytes_moved;
+    isa_records.push_back(stable);
+
+    // Byte-identical check: the global stable sort of the emission-order
+    // envelopes must reproduce exactly what the radix router produced.
+    if (sorted.size() != mail.all().size()) {
+      std::fprintf(stderr, "FATAL: routing baseline lost envelopes\n");
+      return 1;
+    }
+    for (std::size_t i = 0; i < sorted.size(); ++i) {
+      if (sorted[i].dest != mail.all()[i].dest ||
+          sorted[i].payload != mail.all()[i].payload) {
+        std::fprintf(stderr,
+                     "FATAL: radix routing differs from stable sort at %zu\n", i);
+        return 1;
+      }
+    }
+  }
+
   // ---- Batch throughput (BENCH_PR3): distance_batch vs sequential. ----
   const std::size_t workers = ThreadPool().worker_count();
   std::vector<BatchRecord> batch_records;
@@ -497,8 +638,17 @@ int main(int argc, char** argv) {
 
   write_json(records, out_path);
   write_batch_json(batch_records, out2_path);
+  write_json(isa_records, out4_path);
   std::printf("perf_suite: %zu records -> %s\n", records.size(), out_path.c_str());
   for (const Record& r : records) {
+    std::printf("  %-22s n=%-8lld wall=%.6fs work=%llu bytes_moved=%llu\n",
+                r.bench.c_str(), static_cast<long long>(r.n), r.wall_seconds,
+                static_cast<unsigned long long>(r.work),
+                static_cast<unsigned long long>(r.bytes_moved));
+  }
+  std::printf("perf_suite: %zu ISA/routing records -> %s (detected: %s)\n",
+              isa_records.size(), out4_path.c_str(), isa_name(detected_isa()));
+  for (const Record& r : isa_records) {
     std::printf("  %-22s n=%-8lld wall=%.6fs work=%llu bytes_moved=%llu\n",
                 r.bench.c_str(), static_cast<long long>(r.n), r.wall_seconds,
                 static_cast<unsigned long long>(r.work),
@@ -596,6 +746,10 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "FAIL: %s is not well-formed JSON\n", out2_path.c_str());
       return 1;
     }
+    if (!json_well_formed(out4_path, isa_records.size())) {
+      std::fprintf(stderr, "FAIL: %s is not well-formed JSON\n", out4_path.c_str());
+      return 1;
+    }
     // The aggregate must have seen every re-emitted record plus the traced
     // batch run's round/stage/pass spans.
     if (aggregate->spans().size() < records.size() + batch_records.size()) {
@@ -616,6 +770,26 @@ int main(int argc, char** argv) {
   if (!(speedup >= 3.0)) {
     std::fprintf(stderr, "FAIL: unit-distance speedup %.2fx < 3x\n", speedup);
     return 1;
+  }
+
+  // ---- BENCH_PR6 kernel ISA gate: AVX2 must double scalar at n=2000. ----
+  if (detected_isa() >= Isa::kAvx2) {
+    const double myers_scalar = record_wall(isa_records, "myers_scalar", 2000);
+    const double myers_avx2 = record_wall(isa_records, "myers_avx2", 2000);
+    const double isa_speedup = myers_scalar / myers_avx2;
+    std::printf("myers AVX2 speedup at n=2000: %.2fx (gate: >= 2x)\n",
+                isa_speedup);
+    if (!(isa_speedup >= 2.0)) {
+      std::fprintf(stderr, "FAIL: AVX2 kernel speedup %.2fx < 2x\n", isa_speedup);
+      return 1;
+    }
+    if (detected_isa() >= Isa::kAvx512) {
+      const double myers_avx512 = record_wall(isa_records, "myers_avx512", 2000);
+      std::printf("myers AVX-512 speedup at n=2000: %.2fx (recorded)\n",
+                  myers_scalar / myers_avx512);
+    }
+  } else {
+    std::printf("scalar-only host: ISA kernel gate skipped\n");
   }
 
   // ---- Batch throughput ratio gates (largest default-tier B). ----

@@ -50,11 +50,15 @@ hits=$(grep -rnE '\)[[:space:]]*mutable\b' \
 
 # --- Rule 4: reinterpret_cast is confined to the serialization layer
 # (common/bytes.hpp) — every cross-machine byte must go through
-# ByteWriter/ByteReader so communication accounting stays exact.
+# ByteWriter/ByteReader so communication accounting stays exact.  The SIMD
+# kernel TUs are the one other legitimate user: vector load/store
+# intrinsics take __m256i* pointers over word buffers the TU itself owns
+# (no wire bytes involved).
 hits=$(grep -rn 'reinterpret_cast' "${sources[@]}" --include='*.hpp' --include='*.cpp' \
   | grep -v '^src/common/bytes.hpp:' \
+  | grep -v '^src/seq/myers_simd_' \
   | grep -v '^fuzz/' || true)
-[ -n "$hits" ] && fail "reinterpret_cast outside common/bytes.hpp; route bytes through ByteWriter/ByteReader" "$hits"
+[ -n "$hits" ] && fail "reinterpret_cast outside common/bytes.hpp or the SIMD kernel TUs; route bytes through ByteWriter/ByteReader" "$hits"
 
 # --- Rule 5: no wall-clock or nondeterministic seeds in library code —
 # time only through common/timer.hpp Stopwatch, which metering excludes.
@@ -76,6 +80,17 @@ hits=$(grep -rnE '[.>]wall_seconds[[:space:]]*=[^=]' \
   | grep -v '^src/mpc/cluster.cpp:' \
   | grep -v '^src/mpc/stats.cpp:' || true)
 [ -n "$hits" ] && fail "wall_seconds written outside src/obs/, src/mpc/cluster.cpp, src/mpc/stats.cpp; route timing through the obs spine" "$hits"
+
+# --- Rule 7: intrinsics headers are confined to the per-ISA kernel TUs
+# (src/seq/*_simd*.cpp) and the CPU probe (src/common/cpu.*).  Everything
+# else must stay portable C++ dispatching through myers_kernel.hpp — an
+# intrinsic leaking into a shared TU would tie the whole binary to one ISA
+# and break the runtime-dispatch release story.
+hits=$(grep -rnE '#include[[:space:]]*<(immintrin|x86intrin|emmintrin|smmintrin|avxintrin|avx2intrin|avx512[a-z]*intrin)\.h>' \
+  "${sources[@]}" --include='*.hpp' --include='*.cpp' \
+  | grep -v '^src/seq/[A-Za-z0-9_]*_simd[A-Za-z0-9_]*\.cpp:' \
+  | grep -v '^src/common/cpu\.' || true)
+[ -n "$hits" ] && fail "intrinsics header outside src/seq/*_simd*.cpp and src/common/cpu.*; keep ISA-specific code behind the dispatch boundary" "$hits"
 
 if [ $status -ne 0 ]; then
   echo "lint: invariant rules failed" >&2

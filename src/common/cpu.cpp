@@ -1,0 +1,83 @@
+#include "common/cpu.hpp"
+
+#include <atomic>
+#include <cstdlib>
+
+namespace mpcsd {
+
+namespace {
+
+Isa probe_isa() {
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+  __builtin_cpu_init();
+  // AVX-512 kernels use foundation + byte/word + doubleword/quadword +
+  // vector-length extensions; every mainstream AVX-512 server part
+  // (Skylake-SP onward) has all four.
+  if (__builtin_cpu_supports("avx512f") &&
+      __builtin_cpu_supports("avx512bw") &&
+      __builtin_cpu_supports("avx512dq") &&
+      __builtin_cpu_supports("avx512vl")) {
+    return Isa::kAvx512;
+  }
+  if (__builtin_cpu_supports("avx2")) return Isa::kAvx2;
+#endif
+  return Isa::kScalar;
+}
+
+Isa env_forced(Isa detected) {
+  const char* env = std::getenv("MPCSD_FORCE_ISA");
+  if (env == nullptr) return detected;
+  const auto parsed = isa_from_string(env);
+  if (!parsed.has_value()) return detected;  // unknown value: ignore
+  return *parsed < detected ? *parsed : detected;
+}
+
+/// The dispatch level, initialised lazily from (probe, env) on first read.
+/// kUnset sentinel keeps the hot-path read one relaxed load.
+constexpr int kUnset = -1;
+std::atomic<int> g_active{kUnset};
+
+}  // namespace
+
+Isa detected_isa() {
+  static const Isa detected = probe_isa();
+  return detected;
+}
+
+Isa active_isa() {
+  const int cur = g_active.load(std::memory_order_relaxed);
+  if (cur != kUnset) return static_cast<Isa>(cur);
+  const Isa initial = env_forced(detected_isa());
+  int expected = kUnset;
+  g_active.compare_exchange_strong(expected, static_cast<int>(initial),
+                                   std::memory_order_relaxed);
+  return static_cast<Isa>(g_active.load(std::memory_order_relaxed));
+}
+
+Isa force_isa(Isa level) {
+  const Isa detected = detected_isa();
+  const Isa clamped = level < detected ? level : detected;
+  g_active.store(static_cast<int>(clamped), std::memory_order_relaxed);
+  return clamped;
+}
+
+const char* isa_name(Isa level) {
+  switch (level) {
+    case Isa::kAvx512:
+      return "avx512";
+    case Isa::kAvx2:
+      return "avx2";
+    case Isa::kScalar:
+      break;
+  }
+  return "scalar";
+}
+
+std::optional<Isa> isa_from_string(std::string_view name) {
+  if (name == "scalar") return Isa::kScalar;
+  if (name == "avx2") return Isa::kAvx2;
+  if (name == "avx512") return Isa::kAvx512;
+  return std::nullopt;
+}
+
+}  // namespace mpcsd

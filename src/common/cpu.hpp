@@ -1,0 +1,58 @@
+// Runtime CPU-feature detection and ISA dispatch policy.
+//
+// The sequential kernels ship with up to three implementations per entry
+// point — portable scalar (always compiled), AVX2, and AVX-512 — built in
+// separate translation units with per-TU ISA flags (never a global
+// `-march`), so one release binary runs on any x86-64 host and still uses
+// the widest vector unit the machine actually has.
+//
+// Policy:
+//   * `detected_isa()` probes the hardware once (GCC/Clang builtin CPU
+//     feature tests); non-x86 targets and compilers without the probes
+//     report kScalar.
+//   * `active_isa()` is the level kernels dispatch on: the detected level,
+//     clamped by the `MPCSD_FORCE_ISA` environment variable
+//     ({scalar, avx2, avx512}, read once at first use) and by
+//     `force_isa()`.  Forcing a level the host cannot run clamps *down*
+//     to the detected level — the override selects among safe kernels,
+//     it can never select an illegal instruction.
+//   * Dispatch never affects results or metering: every kernel computes
+//     identical values and charges identical modelled work, pinned by the
+//     differential suite (tests/test_seq_simd.cpp) and the cross-ISA
+//     determinism tests.
+#pragma once
+
+#include <optional>
+#include <string_view>
+
+namespace mpcsd {
+
+/// Instruction-set levels the kernels dispatch across, in ascending order
+/// (comparisons are meaningful: wider ISA compares greater).
+enum class Isa : int {
+  kScalar = 0,  ///< portable C++, always available
+  kAvx2 = 1,    ///< 256-bit lanes (requires AVX2 + BMI-era x86-64)
+  kAvx512 = 2,  ///< 512-bit lanes (requires AVX-512 F/BW/DQ/VL)
+};
+
+/// Widest level the running CPU supports (probed once, then cached).
+[[nodiscard]] Isa detected_isa();
+
+/// The level kernels dispatch on right now: min(detected, forced), where
+/// forced starts from `MPCSD_FORCE_ISA` and can be moved by `force_isa`.
+/// One relaxed atomic load — cheap enough to consult per kernel call.
+[[nodiscard]] Isa active_isa();
+
+/// Re-points `active_isa()` at `level` (clamped to `detected_isa()`).
+/// For tests, benches, and the fuzz differential harness, which sweep every
+/// level the host can run inside one process.  Returns the level actually
+/// activated after clamping.
+Isa force_isa(Isa level);
+
+/// Lower-case level name ("scalar" | "avx2" | "avx512"), for logs/JSON.
+[[nodiscard]] const char* isa_name(Isa level);
+
+/// Parses an `MPCSD_FORCE_ISA` value; nullopt for anything unrecognised.
+[[nodiscard]] std::optional<Isa> isa_from_string(std::string_view name);
+
+}  // namespace mpcsd

@@ -1,6 +1,7 @@
 #include "mpc/cluster.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <iterator>
 
 #include "common/timer.hpp"
@@ -9,11 +10,21 @@ namespace mpcsd::mpc {
 
 namespace {
 
-/// Below this many envelopes a serial stable sort beats the fork/merge
-/// overhead of the parallel router.
-constexpr std::size_t kParallelRouteMin = 512;
+/// Below this many envelopes a serial stable sort beats the radix router's
+/// histogram setup.
+constexpr std::size_t kRadixRouteMin = 512;
 /// Minimum envelopes per router chunk, so tiny mails don't over-fork.
 constexpr std::size_t kRouteChunkMin = 256;
+/// Cap on per-pass router chunks: each chunk owns one histogram slice, and
+/// the serial prefix walk costs chunks x buckets.
+constexpr std::size_t kRouteChunkMax = 8;
+/// Payload bytes that weigh like one extra envelope when balancing router
+/// chunks.  Scatter moves are O(1) per envelope, but a machine that emitted
+/// megabytes clusters its envelopes (and the cache lines their payload
+/// headers own) into one chunk; weighting by bytes spreads that burst.
+constexpr std::uint64_t kRouteBytesPerEnvelope = 256;
+/// Destination bits resolved per radix pass (two passes cover uint32).
+constexpr unsigned kRadixBits = 16;
 
 bool by_dest(const Envelope& a, const Envelope& b) { return a.dest < b.dest; }
 
@@ -52,67 +63,138 @@ Mail Cluster::run_round(const std::string& label, const std::vector<Bytes>& inpu
   return run_round_views(label, input_chains_, body, options);
 }
 
-void Cluster::sort_mail(std::vector<Envelope>& msgs) {
-  const std::size_t n = msgs.size();
-  const std::size_t workers = pool_->worker_count();
-  if (workers <= 1 || n < kParallelRouteMin) {
-    std::stable_sort(msgs.begin(), msgs.end(), by_dest);
+void Cluster::route_mail(std::size_t machines, std::vector<Envelope>& out) {
+  std::size_t total = 0;
+  std::uint32_t dest_or = 0;
+  for (std::size_t i = 0; i < machines; ++i) {
+    total += outboxes_[i].size();
+    for (const Envelope& env : outboxes_[i]) dest_or |= env.dest;
+  }
+  out.clear();
+
+  // Tiny mails: one flat move + serial stable sort beats histogram setup.
+  if (total < kRadixRouteMin) {
+    out.reserve(total);
+    for (std::size_t i = 0; i < machines; ++i) {
+      for (Envelope& env : outboxes_[i]) out.push_back(std::move(env));
+    }
+    std::stable_sort(out.begin(), out.end(), by_dest);
     return;
   }
 
-  // Per-worker buckets: each worker stable-sorts one contiguous range of
-  // the (machine id, emission index)-ordered envelopes by destination.
-  const std::size_t chunks =
-      std::max<std::size_t>(2, std::min(workers, n / kRouteChunkMin));
-  std::vector<std::size_t> bounds(chunks + 1);
-  for (std::size_t c = 0; c <= chunks; ++c) bounds[c] = c * n / chunks;
+  // Counting/radix bucket-by-destination.  Histograms are sized to the
+  // bits destinations actually use, so a round with 64 mailboxes pays a
+  // 64-bucket prefix walk, not a 65536-bucket one; dests past 16 bits get
+  // a second (high-bits) pass — LSD radix, stable in both passes.
+  const unsigned dest_bits =
+      std::max(1U, static_cast<unsigned>(std::bit_width(dest_or)));
+  const unsigned low_bits = std::min(dest_bits, kRadixBits);
+  const std::size_t low_buckets = std::size_t{1} << low_bits;
+  const std::uint32_t low_mask = static_cast<std::uint32_t>(low_buckets - 1);
+
+  // Chunk machines by cost, not count: a machine's envelopes weigh their
+  // count plus their payload bytes (already aggregated in reports_), so a
+  // few machines with huge emissions no longer serialize onto one chunk.
+  const std::size_t workers = pool_->worker_count();
+  const std::size_t chunks = std::clamp<std::size_t>(
+      std::min(workers, total / kRouteChunkMin), 1, kRouteChunkMax);
+  std::vector<std::size_t> machine_bounds(chunks + 1, machines);
+  machine_bounds[0] = 0;
+  {
+    std::uint64_t total_weight = 0;
+    for (std::size_t i = 0; i < machines; ++i) {
+      total_weight += outboxes_[i].size() +
+                      reports_[i].output_bytes / kRouteBytesPerEnvelope;
+    }
+    std::uint64_t acc = 0;
+    std::size_t next = 1;
+    for (std::size_t i = 0; i < machines && next < chunks; ++i) {
+      acc += outboxes_[i].size() +
+             reports_[i].output_bytes / kRouteBytesPerEnvelope;
+      while (next < chunks && acc * chunks >= next * total_weight) {
+        machine_bounds[next++] = i + 1;
+      }
+    }
+  }
+
+  // Pass 1 histogram: per-chunk counts of the low destination bits.
+  radix_counts_.assign(chunks * low_buckets, 0);
   pool_->parallel_for(
       chunks,
       [&](std::size_t c) {
-        std::stable_sort(msgs.begin() + static_cast<std::ptrdiff_t>(bounds[c]),
-                         msgs.begin() + static_cast<std::ptrdiff_t>(bounds[c + 1]),
-                         by_dest);
+        std::uint32_t* counts = radix_counts_.data() + c * low_buckets;
+        for (std::size_t i = machine_bounds[c]; i < machine_bounds[c + 1]; ++i) {
+          for (const Envelope& env : outboxes_[i]) ++counts[env.dest & low_mask];
+        }
       },
       1);
 
-  // Pairwise parallel merge of adjacent runs.  std::merge keeps left-run
-  // elements first on equal destinations, and runs are adjacent in machine
-  // order, so every level preserves the (machine id, emission index) order
-  // within a mailbox — the result is exactly the global stable sort.
-  route_scratch_.resize(n);
-  std::vector<Envelope>* src = &msgs;
-  std::vector<Envelope>* dst = &route_scratch_;
-  while (bounds.size() > 2) {
-    const std::size_t runs = bounds.size() - 1;
-    const std::size_t pairs = runs / 2;
-    pool_->parallel_for(
-        pairs + runs % 2,
-        [&](std::size_t p) {
-          const std::size_t lo = bounds[2 * p];
-          if (2 * p + 1 < runs) {
-            const std::size_t mid = bounds[2 * p + 1];
-            const std::size_t hi = bounds[2 * p + 2];
-            std::merge(std::make_move_iterator(src->begin() + static_cast<std::ptrdiff_t>(lo)),
-                       std::make_move_iterator(src->begin() + static_cast<std::ptrdiff_t>(mid)),
-                       std::make_move_iterator(src->begin() + static_cast<std::ptrdiff_t>(mid)),
-                       std::make_move_iterator(src->begin() + static_cast<std::ptrdiff_t>(hi)),
-                       dst->begin() + static_cast<std::ptrdiff_t>(lo), by_dest);
-          } else {
-            // Odd tail run: carry it to the next level unchanged.
-            std::move(src->begin() + static_cast<std::ptrdiff_t>(lo), src->end(),
-                      dst->begin() + static_cast<std::ptrdiff_t>(lo));
-          }
-        },
-        1);
-    std::vector<std::size_t> next_bounds;
-    next_bounds.reserve(pairs + runs % 2 + 1);
-    next_bounds.push_back(0);
-    for (std::size_t p = 0; p < pairs; ++p) next_bounds.push_back(bounds[2 * p + 2]);
-    if (runs % 2 != 0) next_bounds.push_back(bounds.back());
-    bounds = std::move(next_bounds);
-    std::swap(src, dst);
+  // Exclusive prefix in (bucket, chunk) order: bucket b's region holds
+  // chunk 0's envelopes before chunk 1's, and each chunk scans its
+  // machines in (machine id, emission index) order — exactly the global
+  // stable order within every bucket.
+  std::uint32_t running = 0;
+  for (std::size_t b = 0; b < low_buckets; ++b) {
+    for (std::size_t c = 0; c < chunks; ++c) {
+      std::uint32_t& slot = radix_counts_[c * low_buckets + b];
+      const std::uint32_t count = slot;
+      slot = running;
+      running += count;
+    }
   }
-  if (src != &msgs) msgs.swap(route_scratch_);
+
+  const bool two_pass = dest_bits > kRadixBits;
+  std::vector<Envelope>& pass1_out = two_pass ? route_scratch_ : out;
+  pass1_out.resize(total);
+  pool_->parallel_for(
+      chunks,
+      [&](std::size_t c) {
+        std::uint32_t* offsets = radix_counts_.data() + c * low_buckets;
+        for (std::size_t i = machine_bounds[c]; i < machine_bounds[c + 1]; ++i) {
+          for (Envelope& env : outboxes_[i]) {
+            pass1_out[offsets[env.dest & low_mask]++] = std::move(env);
+          }
+        }
+      },
+      1);
+  if (!two_pass) return;
+
+  // Pass 2: scatter by the high bits; stability over the pass-1 order
+  // completes the LSD radix sort.  Chunks are equal envelope ranges of the
+  // flat intermediate — payload skew was dissolved by pass 1.
+  const std::size_t high_buckets = std::size_t{1} << (dest_bits - kRadixBits);
+  radix_counts_.assign(chunks * high_buckets, 0);
+  std::vector<std::size_t> bounds(chunks + 1);
+  for (std::size_t c = 0; c <= chunks; ++c) bounds[c] = c * total / chunks;
+  pool_->parallel_for(
+      chunks,
+      [&](std::size_t c) {
+        std::uint32_t* counts = radix_counts_.data() + c * high_buckets;
+        for (std::size_t i = bounds[c]; i < bounds[c + 1]; ++i) {
+          ++counts[route_scratch_[i].dest >> kRadixBits];
+        }
+      },
+      1);
+  running = 0;
+  for (std::size_t b = 0; b < high_buckets; ++b) {
+    for (std::size_t c = 0; c < chunks; ++c) {
+      std::uint32_t& slot = radix_counts_[c * high_buckets + b];
+      const std::uint32_t count = slot;
+      slot = running;
+      running += count;
+    }
+  }
+  out.resize(total);
+  pool_->parallel_for(
+      chunks,
+      [&](std::size_t c) {
+        std::uint32_t* offsets = radix_counts_.data() + c * high_buckets;
+        for (std::size_t i = bounds[c]; i < bounds[c + 1]; ++i) {
+          Envelope& env = route_scratch_[i];
+          out[offsets[env.dest >> kRadixBits]++] = std::move(env);
+        }
+      },
+      1);
   route_scratch_.clear();
 }
 
@@ -211,18 +293,13 @@ Mail Cluster::run_round_views(const std::string& label,
     *options.machine_reports = reports_;
   }
 
-  // Deterministic flat merge: move every envelope (payloads are never
-  // copied), then sort by destination — within a mailbox the order stays
-  // (machine id, emission index), exactly as the old per-mailbox vectors
-  // were filled.  The sort itself runs on the worker pool for large mails.
+  // Deterministic routing: envelopes move (payloads are never copied)
+  // straight from the outbox arenas into destination buckets — within a
+  // mailbox the order stays (machine id, emission index), exactly as the
+  // old per-mailbox vectors were filled.  Large mails scatter in parallel
+  // on the worker pool.
   Mail mail;
-  std::size_t total = 0;
-  for (std::size_t i = 0; i < machines; ++i) total += outboxes_[i].size();
-  mail.msgs_.reserve(total);
-  for (std::size_t i = 0; i < machines; ++i) {
-    for (Envelope& env : outboxes_[i]) mail.msgs_.push_back(std::move(env));
-  }
-  sort_mail(mail.msgs_);
+  route_mail(machines, mail.msgs_);
   if (audit.enabled && audit.verify_comm_bytes) {
     audit_verify_comm(label, round, mail, rr.total_comm_bytes);
   }

@@ -16,8 +16,9 @@
 //     is what the "total running time" column of Table 1 counts.
 //
 // Mail routing is zero-copy: emitted payloads are moved (never re-copied)
-// into a flat `Mail` sorted by destination, and `gather_view` hands the next
-// round's machines a `ByteChain` over the payloads in place — the old
+// from the outbox arenas into a flat `Mail` ordered by destination via a
+// stable counting/radix scatter, and `gather_view` hands the next round's
+// machines a `ByteChain` over the payloads in place — the old
 // map-of-vectors merge plus `gather`/`concat` copied every inter-machine
 // byte twice per round.  The routing order is unchanged: ascending mailbox
 // id, and within a mailbox ascending (machine id, emission index).
@@ -191,10 +192,14 @@ class Cluster {
   }
 
  private:
-  /// Dest-stable sort of the merged outboxes: per-worker chunks sort
-  /// independently, then adjacent runs merge pairwise — byte-identical to
-  /// the global stable sort (pinned by test), without its serial wall time.
-  void sort_mail(std::vector<Envelope>& msgs);
+  /// Routes the first `machines` outboxes into `out`, ordered by (dest,
+  /// machine id, emission index).  Large mails take a counting/LSD-radix
+  /// bucket-by-destination path — parallel per-chunk histograms, a serial
+  /// prefix walk, then contiguous parallel scatters — byte-identical to a
+  /// global stable sort by dest (pinned by test), without its serial wall
+  /// time or comparator overhead.  Chunks are balanced by envelope count
+  /// plus payload bytes so emission skew doesn't serialize one chunk.
+  void route_mail(std::size_t machines, std::vector<Envelope>& out);
 
   // --- audited execution path (implemented in audit.cpp) ---------------
 
@@ -228,6 +233,7 @@ class Cluster {
   std::vector<std::vector<Envelope>> outboxes_;
   std::vector<MachineReport> reports_;
   std::vector<Envelope> route_scratch_;
+  std::vector<std::uint32_t> radix_counts_;
   std::vector<ByteChain> input_chains_;
 
   // Audit state: findings, the differently-sized replay pool (lazy), and

@@ -1,50 +1,29 @@
 #include "seq/myers.hpp"
 
+#include <array>
 #include <cstdlib>
-#include <unordered_map>
+#include <memory>
 #include <vector>
+
+#include "common/hash.hpp"
+#include "seq/myers_kernel.hpp"
 
 namespace mpcsd::seq {
 
 namespace {
 
-/// Pattern preprocessing shared by the bounded and unbounded drivers: the
-/// pattern alphabet remapped to dense ids, with one flat row of `blocks`
-/// equality words per id.  Id `distinct` is an all-zero row for text
-/// symbols that do not occur in the pattern, so lookups never branch.
-struct PatternMasks {
-  std::size_t blocks = 0;
-  std::vector<std::uint64_t> eq;  ///< (distinct + 1) rows of `blocks` words
-  std::unordered_map<Symbol, std::uint32_t> ids;
+using detail::MyersMasks;
+using detail::MyersRunFn;
 
-  PatternMasks(SymView a, std::size_t blocks_) : blocks(blocks_) {
-    ids.reserve(a.size() * 2);
-    for (std::size_t i = 0; i < a.size(); ++i) {
-      const auto [it, inserted] =
-          ids.try_emplace(a[i], static_cast<std::uint32_t>(ids.size()));
-      if (inserted) eq.resize(eq.size() + blocks, 0);
-      eq[static_cast<std::size_t>(it->second) * blocks + (i >> 6)] |=
-          1ULL << (i & 63);
-    }
-    eq.resize(eq.size() + blocks, 0);  // the zero row
-  }
-
-  [[nodiscard]] const std::uint64_t* row(Symbol s) const {
-    const auto it = ids.find(s);
-    const std::size_t id = it == ids.end() ? ids.size() : it->second;
-    return eq.data() + id * blocks;
-  }
-};
-
-/// Core blocked Hyyrö recurrence.  Processes columns of `b` until done or
-/// (when `bound >= 0`) the score provably exceeds `bound`; returns the
-/// final score, or nullopt on early abort.  `work` counts words processed.
-std::optional<std::int64_t> myers_run(SymView a, SymView b, std::int64_t bound,
-                                      std::uint64_t* work) {
-  const auto m = static_cast<std::int64_t>(a.size());
+/// Scalar kernel: Hyyrö's blocked form of the recurrence, threading the
+/// per-block horizontal delta `hin` through each column.  Always compiled,
+/// always selectable; the SIMD kernels must match it bit for bit.
+std::optional<std::int64_t> scalar_run(const MyersMasks& masks, SymView b,
+                                       std::int64_t bound,
+                                       std::uint64_t* work) {
+  const std::int64_t m = masks.m;
   const auto n = static_cast<std::int64_t>(b.size());
-  const auto blocks = static_cast<std::size_t>((m + 63) / 64);
-  const PatternMasks masks(a, blocks);
+  const std::size_t blocks = masks.blocks;
 
   // Vertical delta encoding (Hyyrö 2003): Pv bit set = +1, Mv bit set = -1.
   // Bits above m-1 in the last block are garbage but harmless: all carries
@@ -100,7 +79,80 @@ std::optional<std::int64_t> myers_run(SymView a, SymView b, std::int64_t bound,
   return score;
 }
 
+/// Kernel selection: the widest compiled + host-supported + profitable
+/// level.  A pure function of (active_isa(), blocks); every kernel returns
+/// identical values and charges identical work, so the choice can never
+/// perturb results or metering.
+MyersRunFn pick_kernel(std::size_t blocks) {
+  static const MyersRunFn avx512 = detail::myers_run_avx512();
+  static const MyersRunFn avx2 = detail::myers_run_avx2();
+  const Isa isa = active_isa();
+  if (isa >= Isa::kAvx512 && avx512 != nullptr &&
+      blocks >= detail::kAvx512MinBlocks) {
+    return avx512;
+  }
+  if (isa >= Isa::kAvx2 && avx2 != nullptr &&
+      blocks >= detail::kAvx2MinBlocks) {
+    return avx2;
+  }
+  return &scalar_run;
+}
+
+/// Thread-local Peq table cache.  The guess ladder, the batch escalation
+/// loop, and the window oracles all re-run kernels against one pattern with
+/// varying texts/bounds; rebuilding the O(|a|) mask table per call showed
+/// up once kernel columns got cheap.  Keyed on full pattern content (hash
+/// prefilter, then exact compare — a collision can slow us down, never
+/// change a result).  Thread-local so simulator machine bodies on the pool
+/// never share it.
+struct CacheSlot {
+  std::uint64_t hash = 0;
+  SymString pattern;
+  std::shared_ptr<const MyersMasks> masks;
+  std::uint64_t stamp = 0;
+};
+
+constexpr std::size_t kCacheSlots = 4;
+
+std::shared_ptr<const MyersMasks> masks_for(SymView a) {
+  thread_local std::array<CacheSlot, kCacheSlots> cache;
+  thread_local std::uint64_t clock = 0;
+  const std::uint64_t h =
+      hash_bytes(a.data(), a.size_bytes(), hash_mix(kFnvOffset, a.size()));
+  CacheSlot* victim = &cache[0];
+  for (CacheSlot& slot : cache) {
+    if (slot.masks != nullptr && slot.hash == h &&
+        slot.pattern.size() == a.size() &&
+        std::equal(a.begin(), a.end(), slot.pattern.begin())) {
+      slot.stamp = ++clock;
+      return slot.masks;
+    }
+    if (slot.stamp < victim->stamp) victim = &slot;
+  }
+  victim->hash = h;
+  victim->pattern.assign(a.begin(), a.end());
+  victim->masks = std::make_shared<MyersMasks>(a);
+  victim->stamp = ++clock;
+  return victim->masks;
+}
+
+std::optional<std::int64_t> myers_run(SymView a, SymView b, std::int64_t bound,
+                                      std::uint64_t* work) {
+  // Keep the masks shared_ptr alive across the run: the kernel borrows the
+  // table, and a recursive/other use of the cache could otherwise evict it.
+  const std::shared_ptr<const MyersMasks> masks = masks_for(a);
+  return pick_kernel(masks->blocks)(*masks, b, bound, work);
+}
+
 }  // namespace
+
+Isa myers_dispatch_isa(std::size_t pattern_len) {
+  const std::size_t blocks = (pattern_len + 63) / 64;
+  const MyersRunFn fn = pick_kernel(blocks);
+  if (fn == detail::myers_run_avx512()) return Isa::kAvx512;
+  if (fn == detail::myers_run_avx2()) return Isa::kAvx2;
+  return Isa::kScalar;
+}
 
 std::int64_t edit_distance_myers(SymView a, SymView b, std::uint64_t* work) {
   const auto m = static_cast<std::int64_t>(a.size());

@@ -6,16 +6,27 @@
 // than the scalar row DP for moderate-to-large distances, independent of
 // the answer.  Symbols are arbitrary 32-bit values; the pattern's alphabet
 // is remapped to dense ids so the equality bitmasks live in one flat,
-// cache-friendly table regardless of alphabet size.
+// cache-friendly table regardless of alphabet size.  The table is cached
+// per pattern (thread-local LRU), so guess-ladder rungs and window oracles
+// that re-probe one pattern pay the O(|a|) build once.
+//
+// Multi-word patterns additionally dispatch to SIMD kernels (AVX2/AVX-512
+// lane-parallel stripes, see myers_kernel.hpp) picked at runtime from the
+// CPU's capabilities (common/cpu.hpp) — same values, same metering, wider
+// columns per cycle.  One binary runs everywhere; `MPCSD_FORCE_ISA` and
+// `force_isa()` clamp the choice for tests and benches.
 //
 // The `work` meter counts 64-bit words processed (columns × blocks), the
 // bit-parallel analogue of DP cells; `edit_distance_fast` converts this to
-// modelled DP cells so Table 1 metering stays cell-based.
+// modelled DP cells so Table 1 metering stays cell-based.  Every kernel
+// charges identically, so golden traces and `structural_hash()` are
+// ISA-independent.
 #pragma once
 
 #include <cstdint>
 #include <optional>
 
+#include "common/cpu.hpp"
 #include "seq/types.hpp"
 
 namespace mpcsd::seq {
@@ -33,5 +44,10 @@ std::int64_t edit_distance_myers(SymView a, SymView b, std::uint64_t* work = nul
 std::optional<std::int64_t> edit_distance_myers_bounded(SymView a, SymView b,
                                                         std::int64_t k,
                                                         std::uint64_t* work = nullptr);
+
+/// The ISA level the blocked engine dispatches to for a pattern of
+/// `pattern_len` symbols under the current `active_isa()`.  Introspection
+/// for tests and benches; a pure function of (active level, pattern size).
+[[nodiscard]] Isa myers_dispatch_isa(std::size_t pattern_len);
 
 }  // namespace mpcsd::seq

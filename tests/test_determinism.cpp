@@ -7,6 +7,7 @@
 
 #include <cstdint>
 
+#include "common/cpu.hpp"
 #include "core/batch.hpp"
 #include "core/workload.hpp"
 #include "edit_mpc/solver.hpp"
@@ -75,6 +76,62 @@ TEST(Determinism, BatchThroughputTraceIndependentOfWorkerCount) {
     EXPECT_EQ(parallel.queries[q].distance, serial.queries[q].distance) << q;
   }
   EXPECT_EQ(parallel.trace.structural_hash(), serial.trace.structural_hash());
+}
+
+TEST(Determinism, TraceHashIndependentOfIsaLevel) {
+  // Kernel ISA dispatch (scalar / AVX2 / AVX-512, whichever the host has)
+  // must be invisible to results and metering: every (ISA, worker-count)
+  // combination of the same solve returns the same distance and a
+  // byte-identical structural trace hash.  MPCSD_FORCE_ISA drives the same
+  // clamp from the environment; CI's forced-scalar leg covers that spelling
+  // of this invariant out-of-process.
+  struct IsaGuard {
+    Isa saved = active_isa();
+    ~IsaGuard() { force_isa(saved); }
+  } guard;
+
+  const auto s = core::random_string(700, 8, 21);
+  const auto t = core::plant_edits(s, 35, 22, false).text;
+  auto run = [&](Isa level, std::size_t workers) {
+    force_isa(level);
+    edit_mpc::EditMpcParams params;
+    params.workers = workers;
+    return edit_mpc::edit_distance_mpc(s, t, params);
+  };
+  const auto base = run(Isa::kScalar, 1);
+  for (const Isa level : {Isa::kScalar, Isa::kAvx2, Isa::kAvx512}) {
+    if (force_isa(level) != level) continue;  // host lacks the level
+    for (const std::size_t workers : {1ul, 2ul, 5ul}) {
+      const auto r = run(level, workers);
+      EXPECT_EQ(r.distance, base.distance)
+          << isa_name(level) << " x " << workers << " workers";
+      EXPECT_EQ(r.accepted_guess, base.accepted_guess)
+          << isa_name(level) << " x " << workers << " workers";
+      EXPECT_EQ(r.trace.structural_hash(), base.trace.structural_hash())
+          << isa_name(level) << " x " << workers << " workers";
+    }
+  }
+}
+
+TEST(Determinism, UlamTraceHashIndependentOfIsaLevel) {
+  struct IsaGuard {
+    Isa saved = active_isa();
+    ~IsaGuard() { force_isa(saved); }
+  } guard;
+
+  const auto s = core::random_permutation(600, 23);
+  const auto t = core::plant_edits(s, 40, 24, true).text;
+  force_isa(Isa::kScalar);
+  ulam_mpc::UlamMpcParams params;
+  params.workers = 3;
+  const auto base = ulam_mpc::ulam_distance_mpc(s, t, params);
+  for (const Isa level : {Isa::kAvx2, Isa::kAvx512}) {
+    if (force_isa(level) != level) continue;
+    const auto r = ulam_mpc::ulam_distance_mpc(s, t, params);
+    EXPECT_EQ(r.distance, base.distance) << isa_name(level);
+    EXPECT_EQ(r.trace.structural_hash(), base.trace.structural_hash())
+        << isa_name(level);
+  }
 }
 
 TEST(Determinism, StructuralHashIgnoresWallClockOnly) {

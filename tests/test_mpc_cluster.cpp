@@ -137,11 +137,13 @@ TEST(Cluster, MultipleMailboxes) {
 }
 
 TEST(Cluster, ParallelRouterMatchesStableSortByteExact) {
-  // The parallel bucket router (chunked stable sort + pairwise stable
-  // merge) must keep `Mail` byte-identical to the serial global
-  // std::stable_sort a 1-worker cluster uses: same envelope order, same
-  // payload bytes, same per-dest spans — across skewed dest distributions
-  // and envelope counts straddling the parallel-route threshold (512).
+  // The radix router (per-chunk counting histograms + stable scatter) must
+  // keep `Mail` byte-identical to a global std::stable_sort of the
+  // emissions: same envelope order, same payload bytes, same per-dest
+  // spans — across worker counts, skewed dest distributions, and envelope
+  // counts straddling the radix-route threshold (512).  The reference is
+  // rebuilt here from the deterministic emission schedule, independent of
+  // any Cluster code path.
   for (const std::uint64_t seed : {1u, 2u, 3u, 4u}) {
     for (const std::size_t machines : {40u, 200u, 700u}) {
       ClusterConfig serial_cfg;
@@ -174,19 +176,120 @@ TEST(Cluster, ParallelRouterMatchesStableSortByteExact) {
           ctx.emit(dest, std::move(w).take());
         }
       };
+      // Independent reference: replay the emission schedule in (machine,
+      // emission) order and globally stable-sort by destination.
+      std::vector<Envelope> ref;
+      for (std::size_t id = 0; id < machines; ++id) {
+        Pcg32 rng(seed * 1000003u + id, 54u);
+        const std::size_t burst = 1 + rng.next() % 7;
+        for (std::size_t m = 0; m < burst; ++m) {
+          const bool hot = rng.next() % 4 != 0;
+          const auto dest = hot ? static_cast<std::uint32_t>(rng.next() % 3)
+                                : static_cast<std::uint32_t>(rng.next() % 64);
+          ByteWriter w;
+          w.put(static_cast<std::int64_t>(id));
+          w.put(static_cast<std::int64_t>(m));
+          ref.push_back(Envelope{dest, std::move(w).take()});
+        }
+      }
+      std::stable_sort(ref.begin(), ref.end(),
+                       [](const Envelope& a, const Envelope& b) {
+                         return a.dest < b.dest;
+                       });
+
       const auto want = serial.run_round("route", inputs, body);
       const auto got = parallel.run_round("route", inputs, body);
 
-      ASSERT_EQ(got.message_count(), want.message_count())
+      ASSERT_EQ(want.message_count(), ref.size())
           << "seed " << seed << " machines " << machines;
-      for (std::size_t i = 0; i < want.all().size(); ++i) {
-        ASSERT_EQ(got.all()[i].dest, want.all()[i].dest) << "envelope " << i;
-        ASSERT_EQ(got.all()[i].payload, want.all()[i].payload)
-            << "envelope " << i;
+      ASSERT_EQ(got.message_count(), ref.size())
+          << "seed " << seed << " machines " << machines;
+      for (std::size_t i = 0; i < ref.size(); ++i) {
+        ASSERT_EQ(want.all()[i].dest, ref[i].dest) << "envelope " << i;
+        ASSERT_EQ(want.all()[i].payload, ref[i].payload) << "envelope " << i;
+        ASSERT_EQ(got.all()[i].dest, ref[i].dest) << "envelope " << i;
+        ASSERT_EQ(got.all()[i].payload, ref[i].payload) << "envelope " << i;
       }
       for (std::uint32_t dest = 0; dest < 64; ++dest) {
         ASSERT_EQ(gather(got, dest), gather(want, dest)) << "dest " << dest;
       }
+    }
+  }
+}
+
+TEST(Cluster, RadixRouterWideDestsTwoPass) {
+  // Destinations past 2^16 force the router's second (high-bits) radix
+  // pass; sparse, clustered, and boundary-adjacent dest values must still
+  // come out exactly stable-sorted.  Also covers payload-size skew: one
+  // machine emits megabyte-class payloads so the byte-weighted chunk
+  // balancing path runs.
+  for (const std::size_t workers : {1u, 5u}) {
+    ClusterConfig cfg;
+    cfg.workers = workers;
+    Cluster cluster(cfg);
+    const std::size_t machines = 300;
+    std::vector<Bytes> inputs;
+    for (std::size_t i = 0; i < machines; ++i) {
+      inputs.push_back(payload_of(static_cast<std::int64_t>(i)));
+    }
+    const auto body = [](MachineContext& ctx) {
+      auto r = ctx.reader();
+      const auto id = r.get<std::int64_t>();
+      Pcg32 rng(7u + static_cast<std::uint64_t>(id), 11u);
+      const std::size_t burst = 2 + rng.next() % 4;
+      for (std::size_t m = 0; m < burst; ++m) {
+        // Mix of low dests, dests straddling the 16-bit pass boundary, and
+        // sparse high dests up to ~2^20.
+        const std::uint64_t pick = rng.next() % 3;
+        std::uint32_t dest = 0;
+        if (pick == 0) {
+          dest = static_cast<std::uint32_t>(rng.next() % 8);
+        } else if (pick == 1) {
+          dest = 65534 + static_cast<std::uint32_t>(rng.next() % 4);
+        } else {
+          dest = static_cast<std::uint32_t>(rng.next() % (1u << 20));
+        }
+        ByteWriter w;
+        w.put(id);
+        w.put(static_cast<std::int64_t>(m));
+        if (id == 17) w.put_vector(Bytes(1 << 20, std::byte{0x5a}));
+        ctx.emit(dest, std::move(w).take());
+      }
+    };
+    const auto mail = cluster.run_round("wide", inputs, body);
+
+    std::vector<Envelope> ref;
+    for (std::size_t id = 0; id < machines; ++id) {
+      Pcg32 rng(7u + id, 11u);
+      const std::size_t burst = 2 + rng.next() % 4;
+      for (std::size_t m = 0; m < burst; ++m) {
+        const std::uint64_t pick = rng.next() % 3;
+        std::uint32_t dest = 0;
+        if (pick == 0) {
+          dest = static_cast<std::uint32_t>(rng.next() % 8);
+        } else if (pick == 1) {
+          dest = 65534 + static_cast<std::uint32_t>(rng.next() % 4);
+        } else {
+          dest = static_cast<std::uint32_t>(rng.next() % (1u << 20));
+        }
+        ByteWriter w;
+        w.put(static_cast<std::int64_t>(id));
+        w.put(static_cast<std::int64_t>(m));
+        if (id == 17) w.put_vector(Bytes(1 << 20, std::byte{0x5a}));
+        ref.push_back(Envelope{dest, std::move(w).take()});
+      }
+    }
+    std::stable_sort(ref.begin(), ref.end(),
+                     [](const Envelope& a, const Envelope& b) {
+                       return a.dest < b.dest;
+                     });
+
+    ASSERT_EQ(mail.message_count(), ref.size()) << "workers " << workers;
+    for (std::size_t i = 0; i < ref.size(); ++i) {
+      ASSERT_EQ(mail.all()[i].dest, ref[i].dest)
+          << "workers " << workers << " envelope " << i;
+      ASSERT_EQ(mail.all()[i].payload, ref[i].payload)
+          << "workers " << workers << " envelope " << i;
     }
   }
 }
