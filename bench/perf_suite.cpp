@@ -52,6 +52,13 @@
 //    global std::stable_sort baseline vs the cluster's counting/radix
 //    scatter, byte-identical output re-verified in-bench.
 //
+// BENCH_PR7 (--out5) — execution backends: the same batch workloads run
+// with machine bodies on the in-process thread pool vs forked worker
+// processes (shared-memory result arenas).  Distances and trace structural
+// hashes are cross-checked identical in-bench — the backend may only move
+// wall clock.  Hard gate (non-smoke): process-backend wall <= 2x the
+// thread backend on the edit and ulam batch workloads at n = 2000.
+//
 // `--smoke` runs tiny sizes once, checks the emitted JSON parses, and skips
 // the speedup gates — registered in ctest so the suite itself cannot rot.
 // `--full` adds the expensive points (ulam n=4096 with B up to 64, edit
@@ -71,6 +78,7 @@
 #include "core/batch.hpp"
 #include "core/workload.hpp"
 #include "edit_mpc/solver.hpp"
+#include "mpc/backend.hpp"
 #include "mpc/cluster.hpp"
 #include "mpc/plan.hpp"
 #include "obs/recorder.hpp"
@@ -315,6 +323,7 @@ int main(int argc, char** argv) {
   std::string out2_path = "BENCH_PR3.json";
   std::string out3_path = "BENCH_PR5.json";
   std::string out4_path = "BENCH_PR6.json";
+  std::string out5_path = "BENCH_PR7.json";
   std::string trace_path;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
@@ -323,6 +332,7 @@ int main(int argc, char** argv) {
     if (std::strcmp(argv[i], "--out2") == 0 && i + 1 < argc) out2_path = argv[++i];
     if (std::strcmp(argv[i], "--out3") == 0 && i + 1 < argc) out3_path = argv[++i];
     if (std::strcmp(argv[i], "--out4") == 0 && i + 1 < argc) out4_path = argv[++i];
+    if (std::strcmp(argv[i], "--out5") == 0 && i + 1 < argc) out5_path = argv[++i];
     if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc) {
       trace_path = argv[++i];
     }
@@ -636,9 +646,67 @@ int main(int argc, char** argv) {
         rounds_ok;
   }
 
+  // ---- BENCH_PR7: execution backends, thread pool vs forked processes. ----
+  // The same batch workload per algorithm on both backends.  Everything
+  // metered must agree bit for bit (checked here); only wall clock may
+  // move, and the gate below caps how far.
+  std::vector<Record> backend_records;
+  {
+    const std::int64_t backend_n = smoke ? 128 : 2000;
+    const std::size_t backend_b = smoke ? 2 : 4;
+    for (const bool ulam : {true, false}) {
+      const auto queries = make_batch_queries(backend_b, backend_n, ulam);
+      const auto solve = [&](mpc::BackendKind backend) {
+        core::BatchRequest request;
+        request.algorithm =
+            ulam ? core::BatchAlgorithm::kUlam : core::BatchAlgorithm::kEdit;
+        request.mode = core::BatchMode::kThroughput;
+        request.ulam.seed = 13;
+        request.ulam.backend = backend;
+        request.edit.backend = backend;
+        request.recorder = &bench_recorder;
+        request.queries = queries;
+        return core::distance_batch(request);
+      };
+      const char* algo = ulam ? "ulam" : "edit";
+      core::BatchResult threaded;
+      core::BatchResult forked;
+      Record thread_rec{std::string(algo) + "_batch_backend_thread", backend_n};
+      thread_rec.wall_seconds = wall_median(
+          [&] { threaded = solve(mpc::BackendKind::kThread); }, wall_reps);
+      thread_rec.work = threaded.trace.total_work();
+      thread_rec.bytes_moved = threaded.trace.total_comm_bytes();
+      backend_records.push_back(thread_rec);
+
+      Record process_rec{std::string(algo) + "_batch_backend_process",
+                         backend_n};
+      process_rec.wall_seconds = wall_median(
+          [&] { forked = solve(mpc::BackendKind::kProcess); }, wall_reps);
+      process_rec.work = forked.trace.total_work();
+      process_rec.bytes_moved = forked.trace.total_comm_bytes();
+      backend_records.push_back(process_rec);
+
+      if (forked.trace.structural_hash() != threaded.trace.structural_hash()) {
+        std::fprintf(stderr,
+                     "FATAL: %s batch trace hash differs across backends\n",
+                     algo);
+        return 1;
+      }
+      for (std::size_t q = 0; q < queries.size(); ++q) {
+        if (forked.queries[q].distance != threaded.queries[q].distance) {
+          std::fprintf(stderr,
+                       "FATAL: %s query %zu distance differs across backends\n",
+                       algo, q);
+          return 1;
+        }
+      }
+    }
+  }
+
   write_json(records, out_path);
   write_batch_json(batch_records, out2_path);
   write_json(isa_records, out4_path);
+  write_json(backend_records, out5_path);
   std::printf("perf_suite: %zu records -> %s\n", records.size(), out_path.c_str());
   for (const Record& r : records) {
     std::printf("  %-22s n=%-8lld wall=%.6fs work=%llu bytes_moved=%llu\n",
@@ -650,6 +718,14 @@ int main(int argc, char** argv) {
               isa_records.size(), out4_path.c_str(), isa_name(detected_isa()));
   for (const Record& r : isa_records) {
     std::printf("  %-22s n=%-8lld wall=%.6fs work=%llu bytes_moved=%llu\n",
+                r.bench.c_str(), static_cast<long long>(r.n), r.wall_seconds,
+                static_cast<unsigned long long>(r.work),
+                static_cast<unsigned long long>(r.bytes_moved));
+  }
+  std::printf("perf_suite: %zu backend records -> %s\n",
+              backend_records.size(), out5_path.c_str());
+  for (const Record& r : backend_records) {
+    std::printf("  %-28s n=%-8lld wall=%.6fs work=%llu bytes_moved=%llu\n",
                 r.bench.c_str(), static_cast<long long>(r.n), r.wall_seconds,
                 static_cast<unsigned long long>(r.work),
                 static_cast<unsigned long long>(r.bytes_moved));
@@ -750,6 +826,10 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "FAIL: %s is not well-formed JSON\n", out4_path.c_str());
       return 1;
     }
+    if (!json_well_formed(out5_path, backend_records.size())) {
+      std::fprintf(stderr, "FAIL: %s is not well-formed JSON\n", out5_path.c_str());
+      return 1;
+    }
     // The aggregate must have seen every re-emitted record plus the traced
     // batch run's round/stage/pass spans.
     if (aggregate->spans().size() < records.size() + batch_records.size()) {
@@ -831,6 +911,27 @@ int main(int argc, char** argv) {
     if (!(ulam_ratio >= 1.5)) {
       std::fprintf(stderr, "FAIL: ulam_batch qps %.2fx sequential < 1.5x\n",
                    ulam_ratio);
+      return 1;
+    }
+  }
+
+  // ---- BENCH_PR7 backend gate: fork + shm round overhead stays bounded. ----
+  // Forking workers and shuttling results through memfd arenas costs wall
+  // time every round; on real batch workloads at n=2000 the process backend
+  // must stay within 2x of the thread backend, or the isolation win has
+  // priced itself out of production use.
+  for (const char* algo : {"ulam", "edit"}) {
+    const double thread_wall = record_wall(
+        backend_records, std::string(algo) + "_batch_backend_thread", 2000);
+    const double process_wall = record_wall(
+        backend_records, std::string(algo) + "_batch_backend_process", 2000);
+    const double overhead = process_wall / thread_wall;
+    std::printf("%s process-backend overhead at n=2000: %.2fx (gate: <= 2x)\n",
+                algo, overhead);
+    if (!(overhead <= 2.0)) {
+      std::fprintf(stderr,
+                   "FAIL: %s process backend %.2fx thread backend > 2x\n", algo,
+                   overhead);
       return 1;
     }
   }

@@ -29,6 +29,7 @@
 
 #include "core/api.hpp"
 #include "core/tsv.hpp"
+#include "mpc/backend.hpp"
 #include "obs/recorder.hpp"
 #include "obs/sinks.hpp"
 
@@ -71,6 +72,22 @@ const char* flag_string(int argc, char** argv, const char* name,
     if (std::strcmp(argv[i], name) == 0) return argv[i + 1];
   }
   return fallback;
+}
+
+/// Parses `--backend {thread,process}` (default: auto, which honours the
+/// MPCSD_BACKEND environment variable).  Exits with a message on an
+/// unrecognized value.
+mpc::BackendKind flag_backend(int argc, char** argv) {
+  const char* value = flag_string(argc, argv, "--backend", nullptr);
+  if (value == nullptr) return mpc::BackendKind::kAuto;
+  const auto kind = mpc::backend_from_string(value);
+  if (!kind.has_value()) {
+    std::fprintf(stderr,
+                 "error: --backend must be 'thread' or 'process', got '%s'\n",
+                 value);
+    std::exit(2);
+  }
+  return *kind;
 }
 
 /// The CLI's trace attachment: parses `--trace-out` / `--trace-format`,
@@ -135,6 +152,9 @@ int usage() {
                "  mpcsd_cli batch <ulam|edit> <pairs_file> [--x X] [--eps E] [--seed S]\n"
                "  mpcsd_cli demo [--n N] [--edits K]\n"
                "common flags:\n"
+               "  --backend {thread,process}   execution backend for the machine\n"
+               "      bodies (default: thread, or the MPCSD_BACKEND env var);\n"
+               "      'process' runs bodies in forked, memory-isolated workers\n"
                "  --trace-out <file> [--trace-format {jsonl,chrome}]   write an\n"
                "      observability trace (chrome format opens in ui.perfetto.dev)\n");
   return 2;
@@ -151,12 +171,14 @@ int run_batch(int argc, char** argv) {
     request.ulam.epsilon = flag_value(argc, argv, "--eps", request.ulam.epsilon);
     request.ulam.seed =
         static_cast<std::uint64_t>(flag_value(argc, argv, "--seed", 7));
+    request.ulam.backend = flag_backend(argc, argv);
   } else if (algo == "edit") {
     request.algorithm = core::BatchAlgorithm::kEdit;
     request.edit.x = flag_value(argc, argv, "--x", request.edit.x);
     request.edit.epsilon = flag_value(argc, argv, "--eps", request.edit.epsilon);
     request.edit.seed =
         static_cast<std::uint64_t>(flag_value(argc, argv, "--seed", 7));
+    request.edit.backend = flag_backend(argc, argv);
   } else {
     std::fprintf(stderr, "error: batch algorithm must be 'ulam' or 'edit'\n");
     return 2;
@@ -217,7 +239,9 @@ int main(int argc, char** argv) {
     const auto k = static_cast<std::int64_t>(flag_value(argc, argv, "--edits", 300));
     const auto s = core::random_permutation(n, 1);
     const auto t = core::plant_edits(s, k, 2, true).text;
-    const auto result = ulam_mpc::ulam_distance_mpc(s, t);
+    ulam_mpc::UlamMpcParams demo_params;
+    demo_params.backend = flag_backend(argc, argv);
+    const auto result = ulam_mpc::ulam_distance_mpc(s, t, demo_params);
     const auto exact = seq::ulam_distance(s, t);
     std::printf("demo: n=%lld planted=%lld exact=%lld mpc=%lld\n%s",
                 static_cast<long long>(n), static_cast<long long>(k),
@@ -242,6 +266,7 @@ int main(int argc, char** argv) {
     params.x = flag_value(argc, argv, "--x", params.x);
     params.epsilon = flag_value(argc, argv, "--eps", params.epsilon);
     params.seed = static_cast<std::uint64_t>(flag_value(argc, argv, "--seed", 7));
+    params.backend = flag_backend(argc, argv);
     TraceOutput trace;
     if (!trace.init(argc, argv)) return 2;
     params.recorder = trace.recorder();
@@ -259,6 +284,7 @@ int main(int argc, char** argv) {
     if (has_flag(argc, argv, "--exact-unit")) {
       params.unit = edit_mpc::DistanceUnit::kExactBanded;
     }
+    params.backend = flag_backend(argc, argv);
     TraceOutput trace;
     if (!trace.init(argc, argv)) return 2;
     params.recorder = trace.recorder();

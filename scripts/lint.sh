@@ -92,6 +92,16 @@ hits=$(grep -rnE '#include[[:space:]]*<(immintrin|x86intrin|emmintrin|smmintrin|
   | grep -v '^src/common/cpu\.' || true)
 [ -n "$hits" ] && fail "intrinsics header outside src/seq/*_simd*.cpp and src/common/cpu.*; keep ISA-specific code behind the dispatch boundary" "$hits"
 
+# --- Rule 8: process-isolation primitives are confined to the process
+# backend TU (src/mpc/backend_process.cpp).  fork/mmap/memfd scattered
+# through the simulator would make "bodies cannot touch host memory" a
+# property of many files instead of one reviewable boundary, and a second
+# fork site could silently skip the round-barrier/reap protocol.
+hits=$(grep -rnE '\b(fork|vfork|mmap|munmap|memfd_create|shm_open|shm_unlink)\s*\(' \
+  "${sources[@]}" --include='*.hpp' --include='*.cpp' \
+  | grep -v '^src/mpc/backend_process\.cpp:' || true)
+[ -n "$hits" ] && fail "process/shared-memory primitives outside src/mpc/backend_process.cpp; keep isolation in the backend boundary" "$hits"
+
 if [ $status -ne 0 ]; then
   echo "lint: invariant rules failed" >&2
   exit 1

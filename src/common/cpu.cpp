@@ -1,6 +1,7 @@
 #include "common/cpu.hpp"
 
 #include <atomic>
+#include <cstdio>
 #include <cstdlib>
 
 namespace mpcsd {
@@ -26,10 +27,17 @@ Isa probe_isa() {
 
 Isa env_forced(Isa detected) {
   const char* env = std::getenv("MPCSD_FORCE_ISA");
-  if (env == nullptr) return detected;
-  const auto parsed = isa_from_string(env);
-  if (!parsed.has_value()) return detected;  // unknown value: ignore
-  return *parsed < detected ? *parsed : detected;
+  const IsaOverride resolved = resolve_isa_override(env, detected);
+  if (!resolved.recognised) {
+    static std::atomic<bool> warned{false};
+    if (!warned.exchange(true, std::memory_order_relaxed)) {
+      std::fprintf(stderr,
+                   "mpcsd: MPCSD_FORCE_ISA='%s' is not one of "
+                   "scalar|avx2|avx512; using detected level '%s'\n",
+                   env, isa_name(detected));
+    }
+  }
+  return resolved.level;
 }
 
 /// The dispatch level, initialised lazily from (probe, env) on first read.
@@ -78,6 +86,13 @@ std::optional<Isa> isa_from_string(std::string_view name) {
   if (name == "avx2") return Isa::kAvx2;
   if (name == "avx512") return Isa::kAvx512;
   return std::nullopt;
+}
+
+IsaOverride resolve_isa_override(const char* env, Isa detected) noexcept {
+  if (env == nullptr) return IsaOverride{detected, true};
+  const auto parsed = isa_from_string(env);
+  if (!parsed.has_value()) return IsaOverride{detected, false};
+  return IsaOverride{*parsed < detected ? *parsed : detected, true};
 }
 
 }  // namespace mpcsd

@@ -55,4 +55,17 @@ Isa force_isa(Isa level);
 /// Parses an `MPCSD_FORCE_ISA` value; nullopt for anything unrecognised.
 [[nodiscard]] std::optional<Isa> isa_from_string(std::string_view name);
 
+/// Result of resolving an `MPCSD_FORCE_ISA` value against the detected
+/// level — split out so the fallback policy is testable without touching
+/// the process environment.  `recognised` is false when `env` named no
+/// known level (e.g. "avx3"); the resolved level is then the detected one,
+/// and the dispatch initialiser warns once on stderr instead of silently
+/// ignoring the override.
+struct IsaOverride {
+  Isa level = Isa::kScalar;
+  bool recognised = true;
+};
+[[nodiscard]] IsaOverride resolve_isa_override(const char* env,
+                                               Isa detected) noexcept;
+
 }  // namespace mpcsd

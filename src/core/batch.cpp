@@ -92,6 +92,7 @@ BatchResult run_ulam_batch(const BatchRequest& request) {
   config.strict_memory = params.strict_memory;
   config.workers = params.workers;
   config.seed = params.seed;
+  config.backend = params.backend;
   config.audit = params.audit;
   config.recorder = request.recorder;
   mpc::Driver driver(
@@ -200,7 +201,6 @@ BatchResult run_ulam_batch(const BatchRequest& request) {
   }
 
   using TupleInbox = mpc::Inbox<std::vector<seq::Tuple>>;
-  std::vector<std::int64_t> answers(meta.size(), 0);
   const mpc::Stage<TupleInbox> combine_stage{
       "batch:ulam:combine", [&](mpc::StageContext<TupleInbox>& ctx) {
         const std::uint32_t q = combine_query[ctx.machine_id()];
@@ -213,18 +213,25 @@ BatchResult run_ulam_batch(const BatchRequest& request) {
         const std::size_t tuple_count = tuples.size();
         seq::CombineOptions copts;
         copts.gap = params.combine_gap;
-        answers[q] =
+        const std::int64_t answer =
             seq::combine_tuples(std::move(tuples), m.n, m.n_bar, copts, &work);
         ctx.charge_work(work);
         ctx.charge_scratch(tuple_count * sizeof(seq::Tuple) * 2);
-        ctx.send(mpc::Channel<std::int64_t>(q), answers[q]);
+        ctx.send(mpc::Channel<std::int64_t>(q), answer);
       }};
   std::vector<mpc::MachineReport> reports2;
   mpc::RoundOptions options2;
   options2.machine_memory_limits = &combine_limits;
   options2.machine_reports = &reports2;
-  driver.run_views(combine_stage, combine_inputs, options2);
+  const auto mail2 = driver.run_views(combine_stage, combine_inputs, options2);
   driver.finish();
+
+  // Answers come back out of the routed mail (mailbox = query id), not out
+  // of shared host memory: combine bodies may have run in forked workers.
+  std::vector<std::int64_t> answers(meta.size(), 0);
+  for (const std::uint32_t q : combine_query) {
+    answers[q] = driver.receive(mail2, mpc::Channel<std::int64_t>(q)).at(0);
+  }
 
   // Per-query trace attribution from the machine reports.
   obs::Recorder* rec = request.recorder;
@@ -385,7 +392,6 @@ std::vector<std::int64_t> run_edit_round_pair(
   }
 
   using TupleInbox = mpc::Inbox<std::vector<seq::Tuple>>;
-  std::vector<std::int64_t> cell_answers(cells.size(), 0);
   const mpc::Stage<TupleInbox> combine_stage{
       "batch:edit:combine", [&](mpc::StageContext<TupleInbox>& ctx) {
         const auto c = static_cast<std::uint32_t>(ctx.machine_id());
@@ -398,17 +404,24 @@ std::vector<std::int64_t> run_edit_round_pair(
         const std::size_t tuple_count = tuples.size();
         seq::CombineOptions copts;
         copts.gap = seq::GapCost::kSum;
-        cell_answers[c] =
+        const std::int64_t answer =
             seq::combine_tuples(std::move(tuples), m.n, m.n_bar, copts, &work);
         ctx.charge_work(work);
         ctx.charge_scratch(tuple_count * sizeof(seq::Tuple) * 2);
-        ctx.send(mpc::Channel<std::int64_t>(c), cell_answers[c]);
+        ctx.send(mpc::Channel<std::int64_t>(c), answer);
       }};
   std::vector<mpc::MachineReport> reports2;
   mpc::RoundOptions options2;
   options2.machine_memory_limits = &combine_limits;
   options2.machine_reports = &reports2;
-  driver.run_views(combine_stage, combine_inputs, options2);
+  const auto mail2 = driver.run_views(combine_stage, combine_inputs, options2);
+
+  // Per-cell answers return through the routed mail (mailbox = cell id):
+  // combine bodies may have run in forked workers whose host writes vanish.
+  std::vector<std::int64_t> cell_answers(cells.size(), 0);
+  for (std::uint32_t c = 0; c < cells.size(); ++c) {
+    cell_answers[c] = driver.receive(mail2, mpc::Channel<std::int64_t>(c)).at(0);
+  }
 
   for (const std::uint32_t q : attribute_queries) {
     queries[q].trace.add_round(attribute_round("batch:edit:distances", reports1,
@@ -450,6 +463,7 @@ BatchResult run_edit_batch(const BatchRequest& request) {
   config.strict_memory = params.strict_memory;
   config.workers = params.workers;
   config.seed = params.seed;
+  config.backend = params.backend;
   config.audit = params.audit;
   config.recorder = request.recorder;
   mpc::Driver driver(

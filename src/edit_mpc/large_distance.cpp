@@ -211,6 +211,7 @@ LargeDistanceResult run_large_distance(SymView s, SymView t,
   config.strict_memory = params.strict_memory;
   config.workers = params.workers;
   config.seed = params.seed;
+  config.backend = params.backend;
   config.audit = params.audit;
   config.recorder = params.recorder;
   mpc::Driver driver(large_plan(), config);
@@ -575,8 +576,6 @@ LargeDistanceResult run_large_distance(SymView s, SymView t,
   ByteChain all_tuples = mpc::gather_view(mail2, kTuples.mailbox);
   all_tuples.add(mpc::gather_view(mail3, kTuples.mailbox));
   using TupleInbox = mpc::Inbox<std::vector<seq::Tuple>>;
-  std::int64_t answer = n + n_bar;
-  std::size_t tuple_count = 0;
   const mpc::Stage<TupleInbox> combine_stage{
       "edit:large:combine", [&](mpc::StageContext<TupleInbox>& ctx) {
         std::uint64_t work = 0;
@@ -584,19 +583,27 @@ LargeDistanceResult run_large_distance(SymView s, SymView t,
         for (auto& batch : ctx.in().messages) {
           tuples.insert(tuples.end(), batch.begin(), batch.end());
         }
-        tuple_count = tuples.size();
+        const auto tuple_count = static_cast<std::uint64_t>(tuples.size());
         seq::CombineOptions options;
         options.gap = seq::GapCost::kSum;
-        answer = seq::combine_tuples(std::move(tuples), n, n_bar, options, &work);
+        const std::int64_t answer =
+            seq::combine_tuples(std::move(tuples), n, n_bar, options, &work);
         ctx.charge_work(work);
         ctx.charge_scratch(tuple_count * sizeof(seq::Tuple) * 2);
         ctx.send(kAnswer, answer);
+        ctx.stash(tuple_count);
       }};
-  driver.run_views(combine_stage, {all_tuples});
+  std::vector<Bytes> combine_stash;
+  mpc::RoundOptions combine_options;
+  combine_options.machine_stash = &combine_stash;
+  const auto mail4 = driver.run_views(combine_stage, {all_tuples}, combine_options);
   driver.finish();
 
-  result.distance = answer;
-  result.tuple_count = tuple_count;
+  const auto answers = driver.receive(mail4, kAnswer);
+  MPCSD_ENSURES(answers.size() == 1);
+  result.distance = answers.front();
+  result.tuple_count =
+      static_cast<std::size_t>(mpc::unstash<std::uint64_t>(combine_stash.at(0)));
   result.trace = driver.take_trace();
   MPCSD_ENSURES(result.trace.round_count() == 4);
   return result;

@@ -40,6 +40,7 @@ struct LargeDistanceParams {
   std::size_t workers = 0;
   bool strict_memory = false;
   std::uint64_t memory_cap_bytes = UINT64_MAX;
+  mpc::BackendKind backend = mpc::BackendKind::kAuto;  ///< see mpc/backend.hpp
   mpc::AuditOptions audit{};  ///< conformance auditing (see mpc/audit.hpp)
   obs::Recorder* recorder = nullptr;  ///< observability (null = detached)
 };

@@ -155,6 +155,7 @@ PipelineResult run_small_distance(SymView s, SymView t,
   config.strict_memory = params.strict_memory;
   config.workers = params.workers;
   config.seed = params.seed;
+  config.backend = params.backend;
   config.audit = params.audit;
   config.recorder = params.recorder;
   mpc::Driver driver(small_plan(), config);
@@ -178,9 +179,10 @@ PipelineResult run_small_distance(SymView s, SymView t,
   const auto mail = driver.run(distances_stage, inputs);
 
   // ---- Stage 2 (Algorithm 4): combine on one machine (zero-copy inbox). ----
+  // The answer returns through the mailbox, the tuple count through the
+  // unmetered stash: bodies may run in forked worker processes whose host
+  // writes are invisible (mpc/backend.hpp).
   using TupleInbox = mpc::Inbox<std::vector<seq::Tuple>>;
-  std::int64_t answer = n + n_bar;
-  std::size_t tuple_count = 0;
   const mpc::Stage<TupleInbox> combine_stage{
       "edit:small:combine", [&](mpc::StageContext<TupleInbox>& ctx) {
         std::uint64_t work = 0;
@@ -188,19 +190,28 @@ PipelineResult run_small_distance(SymView s, SymView t,
         for (auto& batch : ctx.in().messages) {
           tuples.insert(tuples.end(), batch.begin(), batch.end());
         }
-        tuple_count = tuples.size();
+        const auto tuple_count = static_cast<std::uint64_t>(tuples.size());
         seq::CombineOptions options;
         options.gap = seq::GapCost::kSum;
-        answer = seq::combine_tuples(std::move(tuples), n, n_bar, options, &work);
+        const std::int64_t answer =
+            seq::combine_tuples(std::move(tuples), n, n_bar, options, &work);
         ctx.charge_work(work);
         ctx.charge_scratch(tuple_count * sizeof(seq::Tuple) * 2);
         ctx.send(kAnswer, answer);
+        ctx.stash(tuple_count);
       }};
-  driver.run_views(combine_stage, {mpc::gather_view(mail, kTuples.mailbox)});
+  std::vector<Bytes> combine_stash;
+  mpc::RoundOptions combine_options;
+  combine_options.machine_stash = &combine_stash;
+  const auto mail2 = driver.run_views(
+      combine_stage, {mpc::gather_view(mail, kTuples.mailbox)}, combine_options);
   driver.finish();
 
-  result.distance = answer;
-  result.tuple_count = tuple_count;
+  const auto answers = driver.receive(mail2, kAnswer);
+  MPCSD_ENSURES(answers.size() == 1);
+  result.distance = answers.front();
+  result.tuple_count =
+      static_cast<std::size_t>(mpc::unstash<std::uint64_t>(combine_stash.at(0)));
   result.trace = driver.take_trace();
   MPCSD_ENSURES(result.trace.round_count() == 2);
   return result;

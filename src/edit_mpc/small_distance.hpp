@@ -21,6 +21,7 @@
 
 #include "edit_mpc/candidates.hpp"
 #include "mpc/audit.hpp"
+#include "mpc/backend.hpp"
 #include "mpc/stats.hpp"
 #include "obs/recorder.hpp"
 #include "seq/approx_edit.hpp"
@@ -47,6 +48,7 @@ struct SmallDistanceParams {
   std::size_t workers = 0;
   bool strict_memory = false;
   std::uint64_t memory_cap_bytes = UINT64_MAX;
+  mpc::BackendKind backend = mpc::BackendKind::kAuto;  ///< see mpc/backend.hpp
   mpc::AuditOptions audit{};  ///< conformance auditing (see mpc/audit.hpp)
   obs::Recorder* recorder = nullptr;  ///< observability (null = detached)
 };

@@ -92,6 +92,7 @@ EditMpcResult edit_distance_mpc(SymView s, SymView t, const EditMpcParams& param
       sp.workers = params.workers;
       sp.strict_memory = params.strict_memory;
       sp.memory_cap_bytes = result.memory_cap_bytes;
+      sp.backend = params.backend;
       sp.audit = params.audit;
       sp.recorder = params.recorder;
       auto pipeline = run_small_distance(s, t, sp);
@@ -110,6 +111,7 @@ EditMpcResult edit_distance_mpc(SymView s, SymView t, const EditMpcParams& param
       lp.workers = params.workers;
       lp.strict_memory = params.strict_memory;
       lp.memory_cap_bytes = result.memory_cap_bytes;
+      lp.backend = params.backend;
       lp.audit = params.audit;
       lp.recorder = params.recorder;
       auto pipeline = run_large_distance(s, t, lp);

@@ -48,6 +48,8 @@ struct EditMpcParams {
   std::size_t workers = 0;
   bool strict_memory = false;
   double memory_slack = 8.0;       ///< constant inside the Õ_eps(n^{1-x}) cap
+  /// Execution backend for every guess pipeline (see mpc/backend.hpp).
+  mpc::BackendKind backend = mpc::BackendKind::kAuto;
   /// Model-conformance auditing of every guess pipeline (see mpc/audit.hpp).
   mpc::AuditOptions audit{};
   /// Observability recorder passed to every guess pipeline (null = detached).

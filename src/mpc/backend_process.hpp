@@ -1,0 +1,71 @@
+// The multi-process execution backend: machine bodies run in forked worker
+// processes, so a machine body's writes are physically confined to its own
+// address space — the MPC model's no-shared-state guarantee enforced by the
+// kernel instead of approximated by the auditor's canary copies.
+//
+// Per round:
+//   * the host forks one worker per pool slot (capped at the machine
+//     count); worker w owns the contiguous machine partition
+//     [w*M/W, (w+1)*M/W) and runs its bodies serially (forked children
+//     do not inherit pool threads);
+//   * each worker serializes its machines' outboxes/reports/stashes into a
+//     long-lived per-worker shared-memory arena (memfd, one per slot,
+//     created on first use and remapped to the round's size), then reports
+//     a fixed-size round barrier — status, arena byte count, body wall
+//     seconds — over a pipe;
+//   * the host maps each arena read-only, parses the envelope headers and
+//     payloads back into the cluster's arenas in machine order, reaps the
+//     worker, and (with a recorder attached) emits one span per worker
+//     process on its own track id, merged into the one trace.
+//
+// A body exception inside a worker serializes its message into the arena
+// (status byte distinguishes it) and is rethrown host-side; a crashed
+// worker is detected as pipe EOF + nonzero wait status.  Determinism:
+// machine i's RNG stream, inputs, and outputs are identical to the thread
+// backend's — partitioning only changes *where* a body runs, never what it
+// computes — pinned by the backend axis of test_determinism.cpp.
+//
+// Linux-only (memfd + fork); `make_backend` refuses the kind elsewhere.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+#include "mpc/backend.hpp"
+
+namespace mpcsd::mpc {
+
+class ProcessBackend final : public ExecutionBackend {
+ public:
+  ProcessBackend(std::shared_ptr<ThreadPool> pool, obs::Recorder* recorder);
+  ~ProcessBackend() override;
+
+  ProcessBackend(const ProcessBackend&) = delete;
+  ProcessBackend& operator=(const ProcessBackend&) = delete;
+
+  void execute(const RoundWork& work) override;
+
+  /// Forked bodies write copy-on-write pages; nothing they do can reach
+  /// the host's or a sibling machine's memory.
+  [[nodiscard]] bool isolates_machine_memory() const noexcept override {
+    return true;
+  }
+
+  [[nodiscard]] const char* name() const noexcept override { return "process"; }
+
+ private:
+  /// Child-side: runs machines [begin, end) serially, serializes results
+  /// into the arena fd, writes the round barrier to the pipe.  Never
+  /// returns control to the cluster — the caller `_exit`s.
+  static void run_worker(const RoundWork& work, std::size_t begin,
+                         std::size_t end, int arena_fd, int pipe_fd);
+
+  std::shared_ptr<ThreadPool> pool_;
+  obs::Recorder* recorder_;
+  /// One memfd per worker slot, created lazily and kept across rounds so
+  /// steady-state rounds reuse the same shared-memory object.
+  std::vector<int> arena_fds_;
+};
+
+}  // namespace mpcsd::mpc

@@ -1,0 +1,24 @@
+#include "mpc/backend_thread.hpp"
+
+#include "common/rng.hpp"
+#include "mpc/cluster.hpp"
+
+namespace mpcsd::mpc {
+
+void ThreadBackend::execute(const RoundWork& work) {
+  pool_->parallel_for(
+      work.machines,
+      [&](std::size_t i) {
+        (*work.outboxes)[i].clear();
+        (*work.stashes)[i].clear();
+        MachineContext ctx(i, &(*work.inputs)[i],
+                           derive_stream(work.seed, work.round, i),
+                           &(*work.outboxes)[i], &(*work.stashes)[i]);
+        ctx.report_.input_bytes = (*work.inputs)[i].total_bytes();
+        (*work.body)(ctx);
+        (*work.reports)[i] = ctx.report_;
+      },
+      work.grain);
+}
+
+}  // namespace mpcsd::mpc

@@ -1,0 +1,34 @@
+// The shared-address-space execution backend: machine bodies of one round
+// run concurrently on the cluster's thread pool, writing straight into the
+// cluster's outbox/report/stash arenas.  This is the seed execution path
+// extracted verbatim from `Cluster::run_round_views`; the golden traces pin
+// it byte-identical.
+#pragma once
+
+#include <memory>
+
+#include "common/thread_pool.hpp"
+#include "mpc/backend.hpp"
+
+namespace mpcsd::mpc {
+
+class ThreadBackend final : public ExecutionBackend {
+ public:
+  explicit ThreadBackend(std::shared_ptr<ThreadPool> pool)
+      : pool_(std::move(pool)) {}
+
+  void execute(const RoundWork& work) override;
+
+  /// Threads share one address space: a stray write in a machine body can
+  /// land anywhere, so the auditor's canary copies stay armed.
+  [[nodiscard]] bool isolates_machine_memory() const noexcept override {
+    return false;
+  }
+
+  [[nodiscard]] const char* name() const noexcept override { return "thread"; }
+
+ private:
+  std::shared_ptr<ThreadPool> pool_;
+};
+
+}  // namespace mpcsd::mpc

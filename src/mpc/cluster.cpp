@@ -26,6 +26,14 @@ constexpr std::uint64_t kRouteBytesPerEnvelope = 256;
 /// Destination bits resolved per radix pass (two passes cover uint32).
 constexpr unsigned kRadixBits = 16;
 
+/// Consecutive rounds using under 1/kArenaDecayFactor of the retained
+/// arena capacity before the arenas are released (see maybe_decay_arenas).
+constexpr std::size_t kArenaDecayRounds = 8;
+constexpr std::size_t kArenaDecayFactor = 4;
+/// Retained arena bytes always tolerated; decay never fires below this, so
+/// small steady workloads keep their warm arenas.
+constexpr std::size_t kArenaFloorBytes = std::size_t{1} << 16;
+
 bool by_dest(const Envelope& a, const Envelope& b) { return a.dest < b.dest; }
 
 }  // namespace
@@ -33,6 +41,10 @@ bool by_dest(const Envelope& a, const Envelope& b) { return a.dest < b.dest; }
 void MachineContext::emit(std::uint32_t dest, Bytes payload) {
   report_.output_bytes += payload.size();
   outbox_->push_back(Envelope{dest, std::move(payload)});
+}
+
+void MachineContext::stash_append(Bytes bytes) {
+  stash_->insert(stash_->end(), bytes.begin(), bytes.end());
 }
 
 std::span<const Envelope> Mail::at(std::uint32_t dest) const noexcept {
@@ -47,7 +59,9 @@ std::span<const Envelope> Mail::at(std::uint32_t dest) const noexcept {
 }
 
 Cluster::Cluster(ClusterConfig config)
-    : config_(config), pool_(std::make_shared<ThreadPool>(config.workers)) {}
+    : config_(config), pool_(std::make_shared<ThreadPool>(config.workers)) {
+  backend_ = make_backend(config_.backend, pool_, config_.recorder);
+}
 
 Mail Cluster::run_round(const std::string& label, const std::vector<Bytes>& inputs,
                         const std::function<void(MachineContext&)>& body,
@@ -220,15 +234,21 @@ Mail Cluster::run_round_views(const std::string& label,
   // Arena slots: report entries reset, outbox slots keep their capacity.
   reports_.assign(machines, MachineReport{});
   if (outboxes_.size() < machines) outboxes_.resize(machines);
+  if (stashes_.size() < machines) stashes_.resize(machines);
 
   // Audited execution swaps the zero-copy inputs for canary-padded private
   // copies.  The previous round's poisoned buffers stay alive through this
   // round (audit_poison retires them at round end), so a view a machine
   // retained across one round boundary reads 0xA5 instead of dangling.
+  // A backend that isolates machine memory (separate address spaces)
+  // discharges the canary detectors physically — the copies are skipped;
+  // schedule replay and byte accounting stay armed.
   const AuditOptions& audit = config_.audit;
+  const bool guard_inputs = audit.enabled && audit.guard_inputs &&
+                            !backend_->isolates_machine_memory();
   AuditGuards guards;
   const std::vector<ByteChain>* exec_inputs = &inputs;
-  if (audit.enabled && audit.guard_inputs) {
+  if (guard_inputs) {
     guards = audit_guard_inputs(inputs);
     exec_inputs = &guards.chains;
   }
@@ -241,26 +261,26 @@ Mail Cluster::run_round_views(const std::string& label,
                                     1, 64);
   }
 
+  RoundWork work;
+  work.round = round;
+  work.seed = config_.seed;
+  work.grain = grain;
+  work.machines = machines;
+  work.inputs = exec_inputs;
+  work.body = &body;
+  work.outboxes = &outboxes_;
+  work.reports = &reports_;
+  work.stashes = &stashes_;
   Stopwatch wall;
-  pool_->parallel_for(
-      machines,
-      [&](std::size_t i) {
-        outboxes_[i].clear();
-        MachineContext ctx(i, &(*exec_inputs)[i],
-                           derive_stream(config_.seed, round, i), &outboxes_[i]);
-        ctx.report_.input_bytes = (*exec_inputs)[i].total_bytes();
-        body(ctx);
-        reports_[i] = ctx.report_;
-      },
-      grain);
+  backend_->execute(work);
   const double wall_seconds = wall.seconds();
 
   if (audit.enabled) {
     ++audit_report_.rounds_audited;
-    if (audit.guard_inputs) audit_check_guards(label, round, guards);
+    if (guard_inputs) audit_check_guards(label, round, guards);
     if (audit.replay) audit_replay(label, round, *exec_inputs, body);
     if (audit.inject_after_round) audit_inject(round);
-    if (audit.guard_inputs) audit_poison(std::move(guards));
+    if (guard_inputs) audit_poison(std::move(guards));
   }
 
   RoundReport rr;
@@ -291,6 +311,11 @@ Mail Cluster::run_round_views(const std::string& label,
   trace_.add_round(rr);
   if (options.machine_reports != nullptr) {
     *options.machine_reports = reports_;
+  }
+  if (options.machine_stash != nullptr) {
+    options.machine_stash->assign(stashes_.begin(),
+                                  stashes_.begin() +
+                                      static_cast<std::ptrdiff_t>(machines));
   }
 
   // Deterministic routing: envelopes move (payloads are never copied)
@@ -324,7 +349,55 @@ Mail Cluster::run_round_views(const std::string& label,
     rec.counter("pool.peak_queue_depth", "pool",
                 static_cast<double>(pc.peak_queue_depth));
   }
+  maybe_decay_arenas(machines, mail.msgs_.size());
   return mail;
+}
+
+std::size_t Cluster::arena_footprint_bytes() const noexcept {
+  std::size_t total = route_scratch_.capacity() * sizeof(Envelope) +
+                      radix_counts_.capacity() * sizeof(std::uint32_t) +
+                      outboxes_.capacity() * sizeof(std::vector<Envelope>) +
+                      reports_.capacity() * sizeof(MachineReport) +
+                      stashes_.capacity() * sizeof(Bytes) +
+                      input_chains_.capacity() * sizeof(ByteChain);
+  for (const std::vector<Envelope>& box : outboxes_) {
+    total += box.capacity() * sizeof(Envelope);
+  }
+  for (const Bytes& stash : stashes_) total += stash.capacity();
+  for (const ByteChain& chain : input_chains_) {
+    total += chain.parts().capacity() * sizeof(ByteSpan);
+  }
+  return total;
+}
+
+void Cluster::maybe_decay_arenas(std::size_t machines, std::size_t envelopes) {
+  // Retained envelope-slot capacity vs what this round actually used: the
+  // envelope structs pinned by the outbox slots and the two-pass scratch
+  // dominate after a skewed burst (payload bytes themselves are moved out
+  // to the caller with the Mail).
+  std::size_t retained = route_scratch_.capacity();
+  for (const std::vector<Envelope>& box : outboxes_) retained += box.capacity();
+  const std::size_t need = std::max(envelopes, machines);
+  if (retained * sizeof(Envelope) <= kArenaFloorBytes ||
+      retained <= kArenaDecayFactor * need) {
+    arena_low_rounds_ = 0;
+    return;
+  }
+  if (++arena_low_rounds_ < kArenaDecayRounds) return;
+  arena_low_rounds_ = 0;
+  // Sustained low usage: release everything and let the following rounds
+  // regrow to their own high-water mark.  Results are unaffected — only
+  // the next round's first allocations.
+  outboxes_.clear();
+  outboxes_.shrink_to_fit();
+  stashes_.clear();
+  stashes_.shrink_to_fit();
+  route_scratch_.clear();
+  route_scratch_.shrink_to_fit();
+  radix_counts_.clear();
+  radix_counts_.shrink_to_fit();
+  input_chains_.clear();
+  input_chains_.shrink_to_fit();
 }
 
 ByteChain gather_view(const Mail& mail, std::uint32_t dest) {

@@ -36,6 +36,7 @@
 #include "common/rng.hpp"
 #include "common/thread_pool.hpp"
 #include "mpc/audit.hpp"
+#include "mpc/backend.hpp"
 #include "mpc/stats.hpp"
 #include "obs/recorder.hpp"
 
@@ -55,6 +56,11 @@ struct ClusterConfig {
   /// rounds with thousands of tiny machine bodies don't pay one contended
   /// RMW per machine; rounds with few machines keep perfect balancing.
   std::size_t grain = 0;
+  /// How machine bodies execute: the shared thread pool (seed semantics)
+  /// or forked worker processes with shared-memory result arenas (physical
+  /// isolation).  kAuto resolves through MPCSD_BACKEND and defaults to
+  /// thread.  Results and metering are backend-invariant; see backend.hpp.
+  BackendKind backend = BackendKind::kAuto;
   /// Model-conformance auditing (opt-in, metering-neutral); see audit.hpp.
   AuditOptions audit{};
   /// Observability spine (opt-in, metering-neutral): when non-null, every
@@ -120,11 +126,23 @@ class MachineContext {
   /// Deterministic private random stream for this (round, machine).
   [[nodiscard]] Pcg32& rng() noexcept { return rng_; }
 
+  /// Appends bytes to this machine's *stash* — an unmetered per-machine
+  /// diagnostics side channel returned to the driver through
+  /// `RoundOptions::machine_stash`.  Unlike `emit`, stashed bytes are not
+  /// communication: they never route, never count against memory or comm
+  /// metering, and exist so drivers can read back per-machine results
+  /// (answers, counters) without the body writing captured host state —
+  /// which the process backend makes physically impossible.  Stash content
+  /// must be deterministic; the audit replay fingerprints it.
+  void stash_append(Bytes bytes);
+
  private:
   friend class Cluster;
+  friend class ThreadBackend;
+  friend class ProcessBackend;
   MachineContext(std::size_t id, const ByteChain* input, Pcg32 rng,
-                 std::vector<Envelope>* outbox)
-      : id_(id), input_(input), rng_(rng), outbox_(outbox) {}
+                 std::vector<Envelope>* outbox, Bytes* stash)
+      : id_(id), input_(input), rng_(rng), outbox_(outbox), stash_(stash) {}
 
   std::size_t id_;
   const ByteChain* input_;
@@ -133,6 +151,8 @@ class MachineContext {
   /// Borrowed slot in the cluster's per-machine outbox arena; its capacity
   /// survives across rounds so steady-state rounds emit without allocating.
   std::vector<Envelope>* outbox_;
+  /// Borrowed slot in the per-machine stash arena (see `stash_append`).
+  Bytes* stash_;
 };
 
 /// Per-round execution overrides, used by the batch driver: queries of
@@ -145,6 +165,9 @@ struct RoundOptions {
   /// When non-null, receives every machine's report after the round (in
   /// machine-id order), for per-query aggregation.
   std::vector<MachineReport>* machine_reports = nullptr;
+  /// When non-null, receives every machine's stash bytes after the round
+  /// (in machine-id order); see `MachineContext::stash_append`.
+  std::vector<Bytes>* machine_stash = nullptr;
   /// Host-side glue seconds spent preparing this round (sharding, routing,
   /// request packing); stamped into the RoundReport at creation.  The plan
   /// Driver fills this from its glue clock — forward, at submission, not by
@@ -184,6 +207,16 @@ class Cluster {
   /// driver glue scales with the same worker budget as the rounds.
   [[nodiscard]] ThreadPool& pool() noexcept { return *pool_; }
 
+  /// The execution backend running machine bodies ("thread" | "process").
+  [[nodiscard]] const ExecutionBackend& backend() const noexcept {
+    return *backend_;
+  }
+
+  /// Bytes currently pinned by the round-scoped arenas (outbox slots, sort
+  /// scratch, radix histograms, input chains, stash slots).  Observable so
+  /// tests can pin the high-water-mark decay; not part of machine metering.
+  [[nodiscard]] std::size_t arena_footprint_bytes() const noexcept;
+
   /// Conformance findings of the audited rounds (empty unless
   /// `config.audit.enabled`; always empty with `audit.fail_fast`, which
   /// throws AuditError at the first violation instead).
@@ -200,6 +233,12 @@ class Cluster {
   /// time or comparator overhead.  Chunks are balanced by envelope count
   /// plus payload bytes so emission skew doesn't serialize one chunk.
   void route_mail(std::size_t machines, std::vector<Envelope>& out);
+
+  /// High-water-mark decay for the round-scoped arenas: after enough
+  /// consecutive rounds using a small fraction of the retained capacity,
+  /// releases it so one skewed round (a 1MB-payload burst) doesn't pin
+  /// peak memory for the life of a long-running batch process.
+  void maybe_decay_arenas(std::size_t machines, std::size_t envelopes);
 
   // --- audited execution path (implemented in audit.cpp) ---------------
 
@@ -224,17 +263,21 @@ class Cluster {
 
   ClusterConfig config_;
   std::shared_ptr<ThreadPool> pool_;
+  std::unique_ptr<ExecutionBackend> backend_;
   ExecutionTrace trace_;
   std::size_t round_index_ = 0;
 
   // Round-scoped arenas, reused across rounds (escalation loops run many
   // structurally similar rounds; reallocating these every round showed up
-  // in the batch-serving driver plane).
+  // in the batch-serving driver plane).  `maybe_decay_arenas` releases them
+  // after sustained low usage.
   std::vector<std::vector<Envelope>> outboxes_;
   std::vector<MachineReport> reports_;
+  std::vector<Bytes> stashes_;
   std::vector<Envelope> route_scratch_;
   std::vector<std::uint32_t> radix_counts_;
   std::vector<ByteChain> input_chains_;
+  std::size_t arena_low_rounds_ = 0;
 
   // Audit state: findings, the differently-sized replay pool (lazy), and
   // the previous round's guard buffers — poisoned and kept alive one extra

@@ -238,12 +238,34 @@ class StageContext {
     machine_.emit(ch.mailbox, std::move(w).take());
   }
 
+  /// Encodes `value` onto the machine's unmetered diagnostics stash (see
+  /// `MachineContext::stash_append`): the driver reads it back per machine
+  /// through `RoundOptions::machine_stash` + `unstash`.  For results that
+  /// are host-side bookkeeping rather than machine-to-machine traffic —
+  /// mailbox channels stay the only metered communication.
+  template <typename T>
+  void stash(const T& value) {
+    ByteWriter w;
+    Codec<T>::encode(w, value);
+    machine_.stash_append(std::move(w).take());
+  }
+
   [[nodiscard]] MachineContext& machine() noexcept { return machine_; }
 
  private:
   MachineContext& machine_;
   In input_;
 };
+
+/// Decodes one value a stage body stashed via `StageContext::stash` from a
+/// machine's `RoundOptions::machine_stash` slot.  Successive stashed values
+/// decode with successive calls on one reader; this helper covers the
+/// common one-value-per-machine case.
+template <typename T>
+[[nodiscard]] T unstash(const Bytes& stash) {
+  ByteReader r(stash);
+  return Codec<T>::decode(r);
+}
 
 /// One labelled round: a machine body over decoded `In` messages.
 template <typename In>
@@ -384,6 +406,10 @@ class Driver {
 
   [[nodiscard]] const Plan& plan() const noexcept { return plan_; }
   [[nodiscard]] Cluster& cluster() noexcept { return cluster_; }
+  /// The backend executing this driver's rounds ("thread" | "process").
+  [[nodiscard]] const ExecutionBackend& backend() const noexcept {
+    return cluster_.backend();
+  }
   /// Conformance findings of the owned cluster (see mpc/audit.hpp).
   [[nodiscard]] const AuditReport& audit_report() const noexcept {
     return cluster_.audit_report();

@@ -65,8 +65,7 @@ SortResult mpc_sort(Cluster& cluster, std::vector<KeyValue> records,
   });
 
   // ---- Round 2: one coordinator picks machines-1 splitters. ----
-  std::vector<KeyValue> splitters;
-  cluster.run_round_views("sort:splitters", {gather_view(mail1, 0)}, [&](MachineContext& ctx) {
+  const auto mail2 = cluster.run_round_views("sort:splitters", {gather_view(mail1, 0)}, [&](MachineContext& ctx) {
     std::vector<KeyValue> sample;
     auto r = ctx.reader();
     while (!r.exhausted()) {
@@ -81,11 +80,19 @@ SortResult mpc_sort(Cluster& cluster, std::vector<KeyValue> records,
         picks.push_back(sample[p * sample.size() / machines]);
       }
     }
-    splitters = picks;  // driver relays the broadcast to round 3 inputs
     ByteWriter w;
     w.put_vector(picks);
     ctx.emit(0, std::move(w).take());
   });
+  // The driver reads the splitter broadcast back out of the routed mail —
+  // never out of the machine body's address space — so the round behaves
+  // identically under process isolation.
+  std::vector<KeyValue> splitters;
+  {
+    const ByteChain broadcast = gather_view(mail2, 0);
+    ChainReader r(broadcast);
+    if (!r.exhausted()) splitters = r.get_vector<KeyValue>();
+  }
 
   // ---- Round 3: partition records by splitter. ----
   // Each input is "splitter broadcast + original chunk": chain the two

@@ -85,6 +85,7 @@ UlamMpcResult ulam_distance_mpc(SymView s, SymView t, const UlamMpcParams& param
   config.strict_memory = params.strict_memory;
   config.workers = params.workers;
   config.seed = params.seed;
+  config.backend = params.backend;
   config.audit = params.audit;
   config.recorder = params.recorder;
   mpc::Driver driver(ulam_plan(), config);
@@ -125,7 +126,9 @@ UlamMpcResult ulam_distance_mpc(SymView s, SymView t, const UlamMpcParams& param
   const std::vector<Bytes> inputs = driver.shard_parallel(tasks);
 
   // ---- Stage 1: Algorithm 1 on every block. ----
-  std::vector<CandidateStats> stats(inputs.size());
+  // Per-machine stats travel on the unmetered stash channel rather than a
+  // shared host array: machine bodies may run in forked worker processes
+  // whose writes to host memory are invisible (mpc/backend.hpp).
   const mpc::Stage<BlockTask> candidates_stage{
       "ulam:candidates", [&](mpc::StageContext<BlockTask>& ctx) {
         CandidateParams cp;
@@ -133,19 +136,21 @@ UlamMpcResult ulam_distance_mpc(SymView s, SymView t, const UlamMpcParams& param
         cp.theta_constant = params.theta_constant;
         cp.n = n;
         cp.n_bar = n_bar;
-        CandidateStats& st = stats[ctx.machine_id()];
-        // The slot accumulates; reset it so the body is idempotent per
-        // machine (the conformance auditor re-executes bodies on replay).
-        st = CandidateStats{};
+        CandidateStats st{};
         const auto tuples = build_block_candidates(
             ctx.in().begin, ctx.in().positions, cp, ctx.rng(), &st);
         ctx.charge_work(st.work);
         ctx.charge_scratch(ctx.in().positions.size() * 32);
         ctx.send(kTuples, tuples);
+        ctx.stash(st);
       }};
-  const auto mail = driver.run(candidates_stage, inputs);
+  std::vector<Bytes> stage1_stash;
+  mpc::RoundOptions stage1_options;
+  stage1_options.machine_stash = &stage1_stash;
+  const auto mail = driver.run(candidates_stage, inputs, stage1_options);
 
-  for (const CandidateStats& st : stats) {
+  for (const Bytes& raw : stage1_stash) {
+    const auto st = mpc::unstash<CandidateStats>(raw);
     result.stats.candidates_evaluated += st.candidates_evaluated;
     result.stats.candidates_pruned += st.candidates_pruned;
     result.stats.anchors_sampled += st.anchors_sampled;
@@ -157,9 +162,6 @@ UlamMpcResult ulam_distance_mpc(SymView s, SymView t, const UlamMpcParams& param
   // The combine machine reads the round-1 tuple batches in place
   // (zero-copy); its metered input is still the full mailbox byte count.
   using TupleInbox = mpc::Inbox<std::vector<seq::Tuple>>;
-  std::int64_t answer = std::max(n, n_bar);
-  std::size_t tuple_count = 0;
-  std::vector<seq::Tuple> kept;
   const mpc::Stage<TupleInbox> combine_stage{
       "ulam:combine", [&](mpc::StageContext<TupleInbox>& ctx) {
         std::uint64_t work = 0;
@@ -167,23 +169,39 @@ UlamMpcResult ulam_distance_mpc(SymView s, SymView t, const UlamMpcParams& param
         for (auto& batch : ctx.in().messages) {
           tuples.insert(tuples.end(), batch.begin(), batch.end());
         }
-        tuple_count = tuples.size();
+        const auto tuple_count = static_cast<std::uint64_t>(tuples.size());
+        std::vector<seq::Tuple> kept;
         if (params.keep_tuples) kept = tuples;
         seq::CombineOptions options;
         options.gap = params.combine_gap;
-        answer = seq::combine_tuples(std::move(tuples), n, n_bar, options, &work);
+        const std::int64_t answer =
+            seq::combine_tuples(std::move(tuples), n, n_bar, options, &work);
         ctx.charge_work(work);
         ctx.charge_scratch(tuple_count * sizeof(seq::Tuple) * 2);
         ctx.send(kAnswer, answer);
+        // Diagnostics ride the stash; the answer rides the mailbox.  The
+        // stash layout (count, then tuples iff keep_tuples) is decoded below.
+        ctx.stash(tuple_count);
+        if (params.keep_tuples) ctx.stash(kept);
       }};
-  const auto mail2 =
-      driver.run_views(combine_stage, {mpc::gather_view(mail, kTuples.mailbox)});
-  (void)mail2;
+  std::vector<Bytes> stage2_stash;
+  mpc::RoundOptions stage2_options;
+  stage2_options.machine_stash = &stage2_stash;
+  const auto mail2 = driver.run_views(
+      combine_stage, {mpc::gather_view(mail, kTuples.mailbox)}, stage2_options);
   driver.finish();
 
-  result.distance = answer;
-  result.tuple_count = tuple_count;
-  result.tuples = std::move(kept);
+  const auto answers = driver.receive(mail2, kAnswer);
+  MPCSD_ENSURES(answers.size() == 1);
+  result.distance = answers.front();
+  {
+    ByteReader r(stage2_stash.at(0));
+    result.tuple_count =
+        static_cast<std::size_t>(mpc::Codec<std::uint64_t>::decode(r));
+    if (params.keep_tuples) {
+      result.tuples = mpc::Codec<std::vector<seq::Tuple>>::decode(r);
+    }
+  }
   result.trace = driver.take_trace();
   MPCSD_ENSURES(result.trace.round_count() ==
                 (params.in_model_position_map ? 4u : 2u));

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "mpc/audit.hpp"
+#include "mpc/backend.hpp"
 #include "mpc/stats.hpp"
 #include "obs/recorder.hpp"
 #include "seq/combine.hpp"
@@ -40,6 +41,9 @@ struct UlamMpcParams {
   /// paired stretch); kSum is the Algorithm 4 variant, exposed for the
   /// DESIGN.md ablation.
   seq::GapCost combine_gap = seq::GapCost::kMax;
+  /// Execution backend for the owned cluster (see mpc/backend.hpp):
+  /// kAuto honours MPCSD_BACKEND, kThread/kProcess pin it.
+  mpc::BackendKind backend = mpc::BackendKind::kAuto;
   /// Model-conformance auditing of the pipeline's rounds (see mpc/audit.hpp).
   mpc::AuditOptions audit{};
   /// Observability recorder handed to the owned cluster (null = detached).

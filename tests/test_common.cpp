@@ -5,6 +5,7 @@
 #include <algorithm>
 #include <atomic>
 #include <cmath>
+#include <cstdlib>
 #include <numeric>
 #include <set>
 #include <stdexcept>
@@ -12,8 +13,13 @@
 #include <thread>
 #include <vector>
 
+#if defined(__linux__)
+#include <unistd.h>
+#endif
+
 #include "common/bytes.hpp"
 #include "common/contracts.hpp"
+#include "common/cpu.hpp"
 #include "common/fenwick.hpp"
 #include "common/grid.hpp"
 #include "common/rng.hpp"
@@ -335,6 +341,58 @@ TEST(ThreadPool, ResultsIndependentOfWorkerCount) {
 TEST(Contracts, ViolationThrows) {
   EXPECT_THROW(MPCSD_EXPECTS(false), ContractViolation);
   EXPECT_NO_THROW(MPCSD_EXPECTS(true));
+}
+
+// ---- ISA override resolution (MPCSD_FORCE_ISA policy) ----
+
+TEST(Cpu, OverrideUnsetKeepsDetectedLevel) {
+  const IsaOverride r = resolve_isa_override(nullptr, Isa::kAvx2);
+  EXPECT_TRUE(r.recognised);
+  EXPECT_EQ(r.level, Isa::kAvx2);
+}
+
+TEST(Cpu, OverrideClampsDownNeverUp) {
+  // Forcing below the detected level wins; forcing above clamps to it
+  // (the override can never select an illegal instruction).
+  EXPECT_EQ(resolve_isa_override("scalar", Isa::kAvx512).level, Isa::kScalar);
+  EXPECT_EQ(resolve_isa_override("avx512", Isa::kScalar).level, Isa::kScalar);
+  EXPECT_TRUE(resolve_isa_override("avx512", Isa::kScalar).recognised);
+}
+
+TEST(Cpu, UnrecognisedOverrideFallsBackToDetectedAndFlags) {
+  // "avx3" and friends used to be silently ignored; the resolver now
+  // reports them so the dispatch initialiser can warn on stderr.
+  for (const char* bad : {"avx3", "AVX2", "", "neon"}) {
+    const IsaOverride r = resolve_isa_override(bad, Isa::kAvx2);
+    EXPECT_FALSE(r.recognised) << bad;
+    EXPECT_EQ(r.level, Isa::kAvx2) << bad;
+  }
+}
+
+TEST(Cpu, ActiveIsaAtMostDetected) {
+  EXPECT_LE(static_cast<int>(active_isa()), static_cast<int>(detected_isa()));
+}
+
+TEST(Cpu, UnrecognisedEnvValueWarnsOnStderrOnce) {
+#if defined(__linux__)
+  // End-to-end: a child process with a bogus MPCSD_FORCE_ISA must print
+  // the warning (when its lazy dispatch init runs) and still pass on the
+  // detected level.  Resolve our own binary path first — /proc/self/exe
+  // inside a std::system() shell names the shell, not this test.
+  char self[4096];
+  const ssize_t len = ::readlink("/proc/self/exe", self, sizeof(self) - 1);
+  ASSERT_GT(len, 0);
+  self[len] = '\0';
+  const std::string cmd =
+      std::string("MPCSD_FORCE_ISA=avx3 '") + self +
+      "' --gtest_filter=Cpu.ActiveIsaAtMostDetected >/dev/null "
+      "2>/tmp/mpcsd_isa_warn && "
+      "grep -q \"MPCSD_FORCE_ISA='avx3'\" /tmp/mpcsd_isa_warn";
+  const int rc = std::system(cmd.c_str());
+  EXPECT_EQ(rc, 0);
+#else
+  GTEST_SKIP() << "self-exec probe is Linux-only";
+#endif
 }
 
 }  // namespace

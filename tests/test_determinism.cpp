@@ -11,6 +11,7 @@
 #include "core/batch.hpp"
 #include "core/workload.hpp"
 #include "edit_mpc/solver.hpp"
+#include "mpc/backend.hpp"
 #include "mpc/stats.hpp"
 #include "ulam_mpc/solver.hpp"
 
@@ -132,6 +133,82 @@ TEST(Determinism, UlamTraceHashIndependentOfIsaLevel) {
     EXPECT_EQ(r.trace.structural_hash(), base.trace.structural_hash())
         << isa_name(level);
   }
+}
+
+TEST(Determinism, UlamTraceHashIndependentOfExecutionBackend) {
+  // The execution backend (thread pool vs forked worker processes) is an
+  // implementation detail of where machine bodies run; the metered model —
+  // distance, per-round stats, structural trace hash — must be
+  // byte-identical across {thread, process} x worker counts.
+  const auto s = core::random_permutation(600, 61);
+  const auto t = core::plant_edits(s, 40, 62, true).text;
+  auto run = [&](mpc::BackendKind backend, std::size_t workers) {
+    ulam_mpc::UlamMpcParams params;
+    params.workers = workers;
+    params.backend = backend;
+    return ulam_mpc::ulam_distance_mpc(s, t, params);
+  };
+  const auto base = run(mpc::BackendKind::kThread, 1);
+  for (const auto backend :
+       {mpc::BackendKind::kThread, mpc::BackendKind::kProcess}) {
+    for (const std::size_t workers : {1ul, 2ul, 5ul}) {
+      const auto r = run(backend, workers);
+      EXPECT_EQ(r.distance, base.distance)
+          << mpc::backend_kind_name(backend) << " x " << workers;
+      EXPECT_EQ(r.trace.structural_hash(), base.trace.structural_hash())
+          << mpc::backend_kind_name(backend) << " x " << workers;
+    }
+  }
+}
+
+TEST(Determinism, EditTraceHashIndependentOfExecutionBackend) {
+  const auto s = core::random_string(500, 10, 63);
+  const auto t = core::plant_edits(s, 30, 64, false).text;
+  auto run = [&](mpc::BackendKind backend, std::size_t workers) {
+    edit_mpc::EditMpcParams params;
+    params.workers = workers;
+    params.backend = backend;
+    return edit_mpc::edit_distance_mpc(s, t, params);
+  };
+  const auto base = run(mpc::BackendKind::kThread, 1);
+  for (const auto backend :
+       {mpc::BackendKind::kThread, mpc::BackendKind::kProcess}) {
+    for (const std::size_t workers : {1ul, 2ul, 5ul}) {
+      const auto r = run(backend, workers);
+      EXPECT_EQ(r.distance, base.distance)
+          << mpc::backend_kind_name(backend) << " x " << workers;
+      EXPECT_EQ(r.accepted_guess, base.accepted_guess)
+          << mpc::backend_kind_name(backend) << " x " << workers;
+      EXPECT_EQ(r.trace.structural_hash(), base.trace.structural_hash())
+          << mpc::backend_kind_name(backend) << " x " << workers;
+    }
+  }
+}
+
+TEST(Determinism, BatchTraceHashIndependentOfExecutionBackend) {
+  core::BatchRequest request;
+  request.algorithm = core::BatchAlgorithm::kEdit;
+  request.mode = core::BatchMode::kThroughput;
+  for (std::uint64_t q = 0; q < 3; ++q) {
+    const auto s = core::random_string(220, 6, 70 + q);
+    core::BatchQuery query;
+    query.s = s;
+    query.t = core::plant_edits(s, 12, 80 + q, false).text;
+    request.queries.push_back(std::move(query));
+  }
+  auto run = [&](mpc::BackendKind backend) {
+    core::BatchRequest r = request;
+    r.edit.workers = 3;
+    r.edit.backend = backend;
+    return core::distance_batch(r);
+  };
+  const auto threaded = run(mpc::BackendKind::kThread);
+  const auto forked = run(mpc::BackendKind::kProcess);
+  ASSERT_EQ(forked.queries.size(), threaded.queries.size());
+  for (std::size_t q = 0; q < threaded.queries.size(); ++q) {
+    EXPECT_EQ(forked.queries[q].distance, threaded.queries[q].distance) << q;
+  }
+  EXPECT_EQ(forked.trace.structural_hash(), threaded.trace.structural_hash());
 }
 
 TEST(Determinism, StructuralHashIgnoresWallClockOnly) {

@@ -294,6 +294,215 @@ TEST(Cluster, RadixRouterWideDestsTwoPass) {
   }
 }
 
+TEST(Cluster, RadixRouterExactly16BitDestRangeSinglePass) {
+  // Exactly 65536 distinct destinations: bit_width of the dest OR is 16,
+  // the single-pass boundary of the radix router.  Every dest in the full
+  // low-16-bit space gets one envelope, and dest 0 additionally gets one
+  // per machine (machine order pins stability).  Byte-identical to a
+  // global stable sort of the emission schedule.
+  for (const std::size_t workers : {1u, 4u}) {
+    ClusterConfig cfg;
+    cfg.workers = workers;
+    Cluster cluster(cfg);
+    const std::size_t machines = 128;
+    const std::size_t span = 65536 / machines;
+    std::vector<Bytes> inputs;
+    for (std::size_t i = 0; i < machines; ++i) {
+      inputs.push_back(payload_of(static_cast<std::int64_t>(i)));
+    }
+    const auto emit_plan = [&](std::int64_t id, auto&& sink) {
+      for (std::size_t k = 0; k < span; ++k) {
+        ByteWriter w;
+        w.put(id);
+        w.put(static_cast<std::int64_t>(k));
+        sink(static_cast<std::uint32_t>(static_cast<std::size_t>(id) * span + k),
+             std::move(w).take());
+      }
+      ByteWriter w;
+      w.put(id);
+      w.put<std::int64_t>(-1);
+      sink(0, std::move(w).take());
+    };
+    const auto mail =
+        cluster.run_round("route:16bit", inputs, [&](MachineContext& ctx) {
+          auto r = ctx.reader();
+          const auto id = r.get<std::int64_t>();
+          emit_plan(id, [&](std::uint32_t dest, Bytes payload) {
+            ctx.emit(dest, std::move(payload));
+          });
+        });
+
+    std::vector<Envelope> ref;
+    for (std::size_t id = 0; id < machines; ++id) {
+      emit_plan(static_cast<std::int64_t>(id),
+                [&](std::uint32_t dest, Bytes payload) {
+                  ref.push_back(Envelope{dest, std::move(payload)});
+                });
+    }
+    std::stable_sort(ref.begin(), ref.end(),
+                     [](const Envelope& a, const Envelope& b) {
+                       return a.dest < b.dest;
+                     });
+
+    ASSERT_EQ(mail.message_count(), ref.size()) << "workers " << workers;
+    for (std::size_t i = 0; i < ref.size(); ++i) {
+      ASSERT_EQ(mail.all()[i].dest, ref[i].dest)
+          << "workers " << workers << " envelope " << i;
+      ASSERT_EQ(mail.all()[i].payload, ref[i].payload)
+          << "workers " << workers << " envelope " << i;
+    }
+    // Payloads are two int64s (16 bytes).  Dest 0 is the hot destination
+    // (one per machine plus machine 0's span slot); 65535 is the top of
+    // the covered range.
+    EXPECT_EQ(gather(mail, 0).size(), (machines + 1) * 16);
+    EXPECT_EQ(gather(mail, 65535).size(), 16u);
+  }
+}
+
+TEST(Cluster, RadixRouterDest65536TriggersSecondPassByteExact) {
+  // One envelope to dest 65536 pushes the dest OR past 16 bits, flipping
+  // the router into its two-pass (high-bits) mode for the whole round; the
+  // result must stay byte-identical to the stable-sort reference.
+  for (const std::size_t workers : {1u, 4u}) {
+    ClusterConfig cfg;
+    cfg.workers = workers;
+    Cluster cluster(cfg);
+    const std::size_t machines = 600;  // above the radix-route threshold
+    std::vector<Bytes> inputs;
+    for (std::size_t i = 0; i < machines; ++i) {
+      inputs.push_back(payload_of(static_cast<std::int64_t>(i)));
+    }
+    const auto dest_of = [](std::int64_t id) {
+      if (id == 299) return std::uint32_t{65536};  // the boundary breaker
+      return static_cast<std::uint32_t>((id * 131) % 65536);
+    };
+    const auto mail =
+        cluster.run_round("route:65536", inputs, [&](MachineContext& ctx) {
+          auto r = ctx.reader();
+          const auto id = r.get<std::int64_t>();
+          ByteWriter w;
+          w.put(id);
+          ctx.emit(dest_of(id), std::move(w).take());
+        });
+
+    std::vector<Envelope> ref;
+    for (std::size_t id = 0; id < machines; ++id) {
+      ByteWriter w;
+      w.put(static_cast<std::int64_t>(id));
+      ref.push_back(Envelope{dest_of(static_cast<std::int64_t>(id)),
+                             std::move(w).take()});
+    }
+    std::stable_sort(ref.begin(), ref.end(),
+                     [](const Envelope& a, const Envelope& b) {
+                       return a.dest < b.dest;
+                     });
+
+    ASSERT_EQ(mail.message_count(), ref.size()) << "workers " << workers;
+    for (std::size_t i = 0; i < ref.size(); ++i) {
+      ASSERT_EQ(mail.all()[i].dest, ref[i].dest)
+          << "workers " << workers << " envelope " << i;
+      ASSERT_EQ(mail.all()[i].payload, ref[i].payload)
+          << "workers " << workers << " envelope " << i;
+    }
+    EXPECT_EQ(gather(mail, 65536).size(), sizeof(std::int64_t));
+  }
+}
+
+TEST(Cluster, ArenaCapacityDecaysAfterBurstRound) {
+  // Round-scoped arenas (outbox slots, route scratch) grow to a burst
+  // round's high-water mark and used to stay there for the cluster's
+  // lifetime.  After sustained low usage they must be released.
+  ClusterConfig cfg;
+  cfg.workers = 2;
+  Cluster cluster(cfg);
+  std::vector<Bytes> inputs;
+  for (std::size_t i = 0; i < 4; ++i) {
+    inputs.push_back(payload_of(static_cast<std::int64_t>(i)));
+  }
+  // Burst: one machine emits tens of thousands of envelopes, pinning
+  // megabyte-class slot capacity that a plain clear() keeps allocated.
+  cluster.run_round("burst", inputs, [](MachineContext& ctx) {
+    auto r = ctx.reader();
+    const auto id = r.get<std::int64_t>();
+    if (id != 0) return;
+    for (std::int64_t m = 0; m < 50000; ++m) {
+      ByteWriter w;
+      w.put(m);
+      ctx.emit(static_cast<std::uint32_t>(m % 7), std::move(w).take());
+    }
+  });
+  const std::size_t after_burst = cluster.arena_footprint_bytes();
+  const auto lean = [](MachineContext& ctx) {
+    auto r = ctx.reader();
+    const auto id = r.get<std::int64_t>();
+    ByteWriter w;
+    w.put(id);
+    ctx.emit(0, std::move(w).take());
+  };
+  // Longer than the decay window of consecutive low-usage rounds.
+  for (int round = 0; round < 12; ++round) {
+    cluster.run_round("lean", inputs, lean);
+  }
+  EXPECT_LT(cluster.arena_footprint_bytes(), after_burst / 4);
+}
+
+TEST(Cluster, RouterZeroEnvelopeRound) {
+  // A round where no machine emits anything: empty mail, empty gathers,
+  // and no crash in either routing path.
+  for (const std::size_t workers : {1u, 4u}) {
+    ClusterConfig cfg;
+    cfg.workers = workers;
+    Cluster cluster(cfg);
+    std::vector<Bytes> inputs;
+    for (std::size_t i = 0; i < 9; ++i) {
+      inputs.push_back(payload_of(static_cast<std::int64_t>(i)));
+    }
+    const auto mail =
+        cluster.run_round("route:silent", inputs, [](MachineContext& ctx) {
+          auto r = ctx.reader();
+          (void)r.get<std::int64_t>();
+          ctx.charge_work(1);
+        });
+    EXPECT_EQ(mail.message_count(), 0u);
+    EXPECT_TRUE(mail.all().empty());
+    EXPECT_TRUE(gather(mail, 0).empty());
+  }
+}
+
+TEST(Cluster, RouterSingleDestinationKeepsEmissionOrder) {
+  // Every envelope lands on one mailbox, with enough of them to engage the
+  // radix path: the routed order must equal the (machine, emission) order,
+  // i.e. stable-sort with a constant key is the identity.
+  for (const std::size_t workers : {1u, 4u}) {
+    ClusterConfig cfg;
+    cfg.workers = workers;
+    Cluster cluster(cfg);
+    const std::size_t machines = 700;  // above the radix-route threshold
+    std::vector<Bytes> inputs;
+    for (std::size_t i = 0; i < machines; ++i) {
+      inputs.push_back(payload_of(static_cast<std::int64_t>(i)));
+    }
+    const auto mail =
+        cluster.run_round("route:onedest", inputs, [](MachineContext& ctx) {
+          auto r = ctx.reader();
+          const auto id = r.get<std::int64_t>();
+          for (std::int64_t m = 0; m < 2; ++m) {
+            ByteWriter w;
+            w.put(id);
+            w.put(m);
+            ctx.emit(3, std::move(w).take());
+          }
+        });
+    ASSERT_EQ(mail.message_count(), 2 * machines);
+    for (std::size_t i = 0; i < 2 * machines; ++i) {
+      ASSERT_EQ(mail.all()[i].dest, 3u);
+      ByteReader r(mail.all()[i].payload);
+      EXPECT_EQ(r.get<std::int64_t>(), static_cast<std::int64_t>(i / 2));
+      EXPECT_EQ(r.get<std::int64_t>(), static_cast<std::int64_t>(i % 2));
+    }
+  }
+}
+
 TEST(Trace, SequentialAppend) {
   ExecutionTrace a;
   a.add_round(RoundReport{.label = "r1", .machines = 3, .max_machine_memory = 10,
