@@ -1,5 +1,6 @@
 // Machine-readable performance regression suite (BENCH_PR1.json +
-// BENCH_PR3.json + BENCH_PR5.json + BENCH_PR6.json).
+// BENCH_PR3.json + BENCH_PR5.json + BENCH_PR6.json + BENCH_PR7.json +
+// BENCH_PR8.json).
 //
 // BENCH_PR1 — one JSON record per kernel/routing benchmark:
 //   { "bench": ..., "n": ..., "wall_seconds": ..., "work": ..., "bytes_moved": ... }
@@ -59,6 +60,18 @@
 // wall clock.  Hard gate (non-smoke): process-backend wall <= 2x the
 // thread backend on the edit and ulam batch workloads at n = 2000.
 //
+// BENCH_PR8 (--out6) — the cost-model query router: one skewed
+// near-duplicate batch (n = 2000, B = 32; 75% of pairs within edit
+// distance 8, the rest ~n/8 edits away) solved in kThroughput mode with
+// the router off vs auto.  Answers are cross-checked per query (a retired
+// query is exact, the ladder certifies (1 + eps): exact <= auto <= off)
+// and the decision counts
+// (examined / retired_seq / probed / lower_bounded / to_plan) come from a
+// sinked AggregateSink re-run so the gated walls still price the disabled
+// recorder.  Hard gate (non-smoke): router-auto must hold >= 3x the
+// router-off qps on this workload — the output-sensitive portfolio's
+// reason to exist.
+//
 // `--smoke` runs tiny sizes once, checks the emitted JSON parses, and skips
 // the speedup gates — registered in ctest so the suite itself cannot rot.
 // `--full` adds the expensive points (ulam n=4096 with B up to 64, edit
@@ -76,6 +89,7 @@
 #include "common/cpu.hpp"
 #include "common/thread_pool.hpp"
 #include "core/batch.hpp"
+#include "core/router.hpp"
 #include "core/workload.hpp"
 #include "edit_mpc/solver.hpp"
 #include "mpc/backend.hpp"
@@ -86,6 +100,7 @@
 #include "seq/combine.hpp"
 #include "seq/edit_distance.hpp"
 #include "seq/edit_distance_fast.hpp"
+#include "seq/edit_distance_os.hpp"
 #include "seq/myers.hpp"
 #include "ulam_mpc/solver.hpp"
 
@@ -314,6 +329,46 @@ double batch_ratio(const std::vector<BatchRecord>& records,
   return -1.0;
 }
 
+// ---- BENCH_PR8: the query router on a skewed near-duplicate batch ----
+
+struct RouterRecord {
+  std::string bench;  // "edit_router_off" | "edit_router_auto"
+  std::int64_t n = 0;
+  std::size_t batch = 0;
+  double wall_seconds = 0.0;
+  double qps = 0.0;
+  std::size_t rounds = 0;
+  std::size_t passes = 0;
+  double ratio_vs_off = 0.0;  // this record's qps / the router-off qps
+  // Router decision counts from the sinked re-run (zero for router-off).
+  std::uint64_t examined = 0;
+  std::uint64_t retired_seq = 0;
+  std::uint64_t probed = 0;
+  std::uint64_t lower_bounded = 0;
+  std::uint64_t to_plan = 0;
+};
+
+void write_router_json(const std::vector<RouterRecord>& records,
+                       const std::string& path) {
+  std::ofstream out(path);
+  out << "[\n";
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const RouterRecord& r = records[i];
+    out << "  {\"bench\": \"" << r.bench << "\", \"mode\": \"throughput\""
+        << ", \"n\": " << r.n << ", \"batch\": " << r.batch
+        << ", \"wall_seconds\": " << r.wall_seconds << ", \"qps\": " << r.qps
+        << ", \"rounds\": " << r.rounds << ", \"passes\": " << r.passes
+        << ", \"ratio_vs_off\": " << r.ratio_vs_off
+        << ", \"router_examined\": " << r.examined
+        << ", \"router_retired_seq\": " << r.retired_seq
+        << ", \"router_probed\": " << r.probed
+        << ", \"router_lower_bounded\": " << r.lower_bounded
+        << ", \"router_to_plan\": " << r.to_plan << "}"
+        << (i + 1 < records.size() ? "," : "") << "\n";
+  }
+  out << "]\n";
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -324,6 +379,7 @@ int main(int argc, char** argv) {
   std::string out3_path = "BENCH_PR5.json";
   std::string out4_path = "BENCH_PR6.json";
   std::string out5_path = "BENCH_PR7.json";
+  std::string out6_path = "BENCH_PR8.json";
   std::string trace_path;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
@@ -333,6 +389,7 @@ int main(int argc, char** argv) {
     if (std::strcmp(argv[i], "--out3") == 0 && i + 1 < argc) out3_path = argv[++i];
     if (std::strcmp(argv[i], "--out4") == 0 && i + 1 < argc) out4_path = argv[++i];
     if (std::strcmp(argv[i], "--out5") == 0 && i + 1 < argc) out5_path = argv[++i];
+    if (std::strcmp(argv[i], "--out6") == 0 && i + 1 < argc) out6_path = argv[++i];
     if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc) {
       trace_path = argv[++i];
     }
@@ -703,10 +760,122 @@ int main(int argc, char** argv) {
     }
   }
 
+  // ---- BENCH_PR8: router off vs auto on a skewed near-duplicate batch. ----
+  // Three quarters of the pairs sit within edit distance 8 (including exact
+  // duplicates); the tail is ~n/8 edits away.  Both runs pin an explicit
+  // policy — the MPCSD_ROUTER env never reaches an explicit request.
+  std::vector<RouterRecord> router_records;
+  {
+    const std::int64_t router_n = smoke ? 128 : 2000;
+    const std::size_t router_b = smoke ? 4 : 32;
+    const auto pairs = core::near_duplicate_pairs(
+        router_n, router_b, /*near_fraction=*/0.75,
+        /*tail_edits=*/std::max<std::int64_t>(4, router_n / 8), /*seed=*/77);
+    std::vector<core::BatchQuery> queries;
+    queries.reserve(pairs.size());
+    for (const core::QueryPair& pair : pairs) {
+      core::BatchQuery query;
+      query.s = pair.s;
+      query.t = pair.t;
+      queries.push_back(std::move(query));
+    }
+    const auto solve = [&](core::RouterPolicy policy, obs::Recorder* rec) {
+      core::BatchRequest request;
+      request.algorithm = core::BatchAlgorithm::kEdit;
+      request.mode = core::BatchMode::kThroughput;
+      request.router = policy;
+      request.recorder = rec;
+      request.queries = queries;
+      return core::distance_batch(request);
+    };
+
+    core::BatchResult off_result;
+    RouterRecord off;
+    off.bench = "edit_router_off";
+    off.n = router_n;
+    off.batch = router_b;
+    off.wall_seconds = wall_median(
+        [&] { off_result = solve(core::RouterPolicy::kOff, &bench_recorder); },
+        wall_reps);
+    off.qps = double(router_b) / off.wall_seconds;
+    off.rounds = off_result.trace.round_count();
+    off.passes = off_result.passes;
+    off.ratio_vs_off = 1.0;
+    router_records.push_back(off);
+
+    core::BatchResult routed_result;
+    RouterRecord routed;
+    routed.bench = "edit_router_auto";
+    routed.n = router_n;
+    routed.batch = router_b;
+    routed.wall_seconds = wall_median(
+        [&] {
+          routed_result = solve(core::RouterPolicy::kAuto, &bench_recorder);
+        },
+        wall_reps);
+    routed.qps = double(router_b) / routed.wall_seconds;
+    routed.rounds = routed_result.trace.round_count();
+    routed.passes = routed_result.passes;
+    routed.ratio_vs_off = routed.qps / off.qps;
+
+    // The ladder certifies a (1 + eps) upper bound; a retired query answers
+    // exactly.  Routing may therefore only improve an answer, never worsen
+    // it: exact <= router-auto <= router-off, query by query.
+    for (std::size_t q = 0; q < queries.size(); ++q) {
+      const std::int64_t exact =
+          seq::edit_distance_output_sensitive(queries[q].s, queries[q].t);
+      const std::int64_t routed_d = routed_result.queries[q].distance;
+      const std::int64_t off_d = off_result.queries[q].distance;
+      if (routed_d < exact || routed_d > off_d) {
+        std::fprintf(
+            stderr,
+            "FATAL: router broke query %zu ordering: exact=%lld auto=%lld "
+            "off=%lld\n",
+            q, static_cast<long long>(exact),
+            static_cast<long long>(routed_d), static_cast<long long>(off_d));
+        return 1;
+      }
+    }
+
+    // Decision counts come from a sinked re-run on a local recorder so the
+    // gated walls above keep pricing the disabled recorder on the hot path.
+    obs::Recorder counted;
+    const auto decisions = std::make_shared<obs::AggregateSink>();
+    counted.add_sink(decisions);
+    (void)solve(core::RouterPolicy::kAuto, &counted);
+    counted.flush();
+    const auto decision_count = [&](const char* name) -> std::uint64_t {
+      const auto it = decisions->counters().find(name);
+      return it == decisions->counters().end()
+                 ? 0
+                 : static_cast<std::uint64_t>(it->second.last);
+    };
+    routed.examined = decision_count("router.examined");
+    routed.retired_seq = decision_count("router.retired_seq");
+    routed.probed = decision_count("router.probed");
+    routed.lower_bounded = decision_count("router.lower_bounded");
+    routed.to_plan = decision_count("router.to_plan");
+    // Degenerate pairs (equal / empty strings) resolve before the router,
+    // so `examined` counts the rest — and every examined query must either
+    // retire or go to the plan.
+    if (routed.examined > router_b ||
+        routed.retired_seq + routed.to_plan != routed.examined) {
+      std::fprintf(stderr,
+                   "FATAL: router decision counts inconsistent: examined=%llu "
+                   "retired=%llu to_plan=%llu (B=%zu)\n",
+                   static_cast<unsigned long long>(routed.examined),
+                   static_cast<unsigned long long>(routed.retired_seq),
+                   static_cast<unsigned long long>(routed.to_plan), router_b);
+      return 1;
+    }
+    router_records.push_back(routed);
+  }
+
   write_json(records, out_path);
   write_batch_json(batch_records, out2_path);
   write_json(isa_records, out4_path);
   write_json(backend_records, out5_path);
+  write_router_json(router_records, out6_path);
   std::printf("perf_suite: %zu records -> %s\n", records.size(), out_path.c_str());
   for (const Record& r : records) {
     std::printf("  %-22s n=%-8lld wall=%.6fs work=%llu bytes_moved=%llu\n",
@@ -738,6 +907,19 @@ int main(int argc, char** argv) {
         "passes=%zu ratio=%.2f\n",
         r.bench.c_str(), r.mode.c_str(), static_cast<long long>(r.n), r.batch,
         r.wall_seconds, r.qps, r.rounds, r.passes, r.ratio_vs_seq);
+  }
+  std::printf("perf_suite: %zu router records -> %s\n", router_records.size(),
+              out6_path.c_str());
+  for (const RouterRecord& r : router_records) {
+    std::printf(
+        "  %-18s n=%-6lld B=%-3zu wall=%.4fs qps=%.2f passes=%zu "
+        "ratio=%.2f retired=%llu probed=%llu lower_bounded=%llu to_plan=%llu\n",
+        r.bench.c_str(), static_cast<long long>(r.n), r.batch, r.wall_seconds,
+        r.qps, r.passes, r.ratio_vs_off,
+        static_cast<unsigned long long>(r.retired_seq),
+        static_cast<unsigned long long>(r.probed),
+        static_cast<unsigned long long>(r.lower_bounded),
+        static_cast<unsigned long long>(r.to_plan));
   }
 
   // ---- BENCH_PR5: the benchmark numbers through the aggregate sink. ----
@@ -780,6 +962,25 @@ int main(int argc, char** argv) {
                {"rounds", static_cast<double>(r.rounds)},
                {"passes", static_cast<double>(r.passes)},
                {"ratio_vs_seq", r.ratio_vs_seq}};
+    bench_recorder.emit(std::move(ev));
+  }
+  for (const RouterRecord& r : router_records) {
+    obs::TraceEvent ev;
+    ev.kind = obs::EventKind::kSpan;
+    ev.name = "bench:" + r.bench + ":n=" + std::to_string(r.n) +
+              ":B=" + std::to_string(r.batch);
+    ev.category = "bench";
+    ev.ts_us = bench_recorder.now_us();
+    ev.dur_us = static_cast<std::uint64_t>(r.wall_seconds * 1e6);
+    ev.args = {{"n", static_cast<double>(r.n)},
+               {"batch", static_cast<double>(r.batch)},
+               {"wall_seconds", r.wall_seconds},
+               {"qps", r.qps},
+               {"passes", static_cast<double>(r.passes)},
+               {"ratio_vs_off", r.ratio_vs_off},
+               {"router_retired_seq", static_cast<double>(r.retired_seq)},
+               {"router_probed", static_cast<double>(r.probed)},
+               {"router_to_plan", static_cast<double>(r.to_plan)}};
     bench_recorder.emit(std::move(ev));
   }
   {
@@ -828,6 +1029,10 @@ int main(int argc, char** argv) {
     }
     if (!json_well_formed(out5_path, backend_records.size())) {
       std::fprintf(stderr, "FAIL: %s is not well-formed JSON\n", out5_path.c_str());
+      return 1;
+    }
+    if (!json_well_formed(out6_path, router_records.size())) {
+      std::fprintf(stderr, "FAIL: %s is not well-formed JSON\n", out6_path.c_str());
       return 1;
     }
     // The aggregate must have seen every re-emitted record plus the traced
@@ -932,6 +1137,25 @@ int main(int argc, char** argv) {
       std::fprintf(stderr,
                    "FAIL: %s process backend %.2fx thread backend > 2x\n", algo,
                    overhead);
+      return 1;
+    }
+  }
+
+  // ---- BENCH_PR8 router gate: >= 3x qps on the skewed batch. ----
+  // Most of the batch retires before pass 1 (near-duplicate probes are
+  // O(n + k*n/w) work), so the router must beat the full escalation ladder
+  // by a wide margin or its cost model is mispriced.
+  {
+    double router_ratio = 0.0;
+    for (const RouterRecord& r : router_records) {
+      if (r.bench == "edit_router_auto") router_ratio = r.ratio_vs_off;
+    }
+    std::printf("router-auto qps on skewed batch (n=2000, B=32): %.2fx "
+                "router-off (gate: >= 3x)\n",
+                router_ratio);
+    if (!(router_ratio >= 3.0)) {
+      std::fprintf(stderr, "FAIL: router-auto qps %.2fx router-off < 3x\n",
+                   router_ratio);
       return 1;
     }
   }

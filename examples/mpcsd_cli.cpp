@@ -3,6 +3,7 @@
 //   mpcsd_cli ulam <file_a> <file_b> [--x 0.33] [--eps 0.5] [--seed 7]
 //   mpcsd_cli edit <file_a> <file_b> [--x 0.25] [--eps 1.0] [--exact-unit]
 //   mpcsd_cli batch <ulam|edit> <pairs_file> [--x X] [--eps E] [--seed S]
+//                    [--mode {parallel,throughput}] [--router {off,auto,always-seq}]
 //   mpcsd_cli demo [--n 20000] [--edits 300]
 //
 // Files are read as whitespace-separated integer symbols if every token is
@@ -90,6 +91,36 @@ mpc::BackendKind flag_backend(int argc, char** argv) {
   return *kind;
 }
 
+/// Parses `--router {off,auto,always-seq}` (default: resolve the
+/// MPCSD_ROUTER environment variable; unset means off).  Exits with a
+/// message on an unrecognized value.
+core::RouterPolicy flag_router(int argc, char** argv) {
+  const char* value = flag_string(argc, argv, "--router", nullptr);
+  if (value == nullptr) return core::RouterPolicy::kDefault;
+  const auto policy = core::router_policy_from_string(value);
+  if (!policy.has_value()) {
+    std::fprintf(
+        stderr,
+        "error: --router must be 'off', 'auto', or 'always-seq', got '%s'\n",
+        value);
+    std::exit(2);
+  }
+  return *policy;
+}
+
+/// Parses `--mode {parallel,throughput}` for batch runs (default:
+/// parallel, the paper-literal semantics).
+core::BatchMode flag_batch_mode(int argc, char** argv) {
+  const char* value = flag_string(argc, argv, "--mode", nullptr);
+  if (value == nullptr) return core::BatchMode::kParallelGuess;
+  if (std::strcmp(value, "parallel") == 0) return core::BatchMode::kParallelGuess;
+  if (std::strcmp(value, "throughput") == 0) return core::BatchMode::kThroughput;
+  std::fprintf(stderr,
+               "error: --mode must be 'parallel' or 'throughput', got '%s'\n",
+               value);
+  std::exit(2);
+}
+
 /// The CLI's trace attachment: parses `--trace-out` / `--trace-format`,
 /// owns the recorder + sink for the run, and writes the file at the end.
 class TraceOutput {
@@ -150,11 +181,15 @@ int usage() {
                "  mpcsd_cli ulam <file_a> <file_b> [--x X] [--eps E] [--seed S]\n"
                "  mpcsd_cli edit <file_a> <file_b> [--x X] [--eps E] [--exact-unit]\n"
                "  mpcsd_cli batch <ulam|edit> <pairs_file> [--x X] [--eps E] [--seed S]\n"
+               "      [--mode {parallel,throughput}] [--router {off,auto,always-seq}]\n"
                "  mpcsd_cli demo [--n N] [--edits K]\n"
                "common flags:\n"
                "  --backend {thread,process}   execution backend for the machine\n"
                "      bodies (default: thread, or the MPCSD_BACKEND env var);\n"
                "      'process' runs bodies in forked, memory-isolated workers\n"
+               "  --router {off,auto,always-seq}   query router for edit batches in\n"
+               "      throughput mode (default: off, or the MPCSD_ROUTER env var);\n"
+               "      'auto' retires near-duplicates on the sequential fast path\n"
                "  --trace-out <file> [--trace-format {jsonl,chrome}]   write an\n"
                "      observability trace (chrome format opens in ui.perfetto.dev)\n");
   return 2;
@@ -179,6 +214,8 @@ int run_batch(int argc, char** argv) {
     request.edit.seed =
         static_cast<std::uint64_t>(flag_value(argc, argv, "--seed", 7));
     request.edit.backend = flag_backend(argc, argv);
+    request.mode = flag_batch_mode(argc, argv);
+    request.router = flag_router(argc, argv);
   } else {
     std::fprintf(stderr, "error: batch algorithm must be 'ulam' or 'edit'\n");
     return 2;

@@ -1,0 +1,86 @@
+// Differential fuzz harness for the output-sensitive solver portfolio:
+// the banded doubling driver, the bounded probe, and the router prefilter
+// must agree with the scalar reference engines on every input — across
+// every ISA level the host can run, since the wide-band regime dispatches
+// into the SIMD kernel family.
+//
+// Pinned invariants, any violation aborts:
+//   * edit_distance_output_sensitive == seq::edit_distance
+//   * edit_distance_output_sensitive_bounded == edit_distance_bounded
+//   * edit_distance_myers_banded verdict == edit_distance_banded
+//   * prefilter_query lower bound <= the exact distance; equal iff d == 0
+//
+// Input layout (little-endian):
+//   bytes 0-1  base length - 1    (mod 900, walks the 64-symbol boundaries)
+//   bytes 2-3  alphabet size - 2  (mod 999, so sigma in 2..1000)
+//   byte  4    bounded-probe cap  (mod 128)
+//   byte  5    pair mode: even = planted near-duplicate (low nibble edits),
+//              odd = independent random second string
+//   byte  6+   symbol entropy: seeds the deterministic stream that fills
+//              the strings.
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <optional>
+
+#include "common/cpu.hpp"
+#include "common/hash.hpp"
+#include "common/rng.hpp"
+#include "core/router.hpp"
+#include "core/workload.hpp"
+#include "seq/edit_distance.hpp"
+#include "seq/edit_distance_os.hpp"
+#include "seq/myers.hpp"
+#include "seq/types.hpp"
+
+namespace {
+
+using namespace mpcsd;
+
+std::uint16_t u16_at(const std::uint8_t* data, std::size_t i) {
+  return static_cast<std::uint16_t>(data[i] |
+                                    (static_cast<unsigned>(data[i + 1]) << 8));
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  if (size < 7) return 0;
+  const std::size_t n = 1 + u16_at(data, 0) % 900;
+  const auto sigma = static_cast<Symbol>(2 + u16_at(data, 2) % 999);
+  const std::int64_t cap = data[4] % 128;
+  const bool planted = data[5] % 2 == 0;
+  const std::int64_t edits = data[5] >> 4;
+
+  const std::uint64_t seed =
+      hash_bytes(data + 6, size - 6, hash_mix(kFnvOffset, size));
+  const auto a = core::random_string(static_cast<std::int64_t>(n), sigma, seed);
+  const auto b =
+      planted ? core::plant_edits(a, edits, seed + 1, false, sigma).text
+              : core::random_string(static_cast<std::int64_t>(n / 2 + 1), sigma,
+                                    seed + 2);
+
+  const std::int64_t ref = seq::edit_distance(a, b);
+  const std::optional<std::int64_t> ref_bounded =
+      seq::edit_distance_bounded(a, b, cap);
+  const std::optional<std::int64_t> ref_banded =
+      seq::edit_distance_banded(a, b, cap);
+
+  // Prefilter soundness is ISA-independent; check it once.
+  const core::QueryPrefilter pf = core::prefilter_query(a, b);
+  if (pf.lower_bound > ref) std::abort();
+  if (pf.equal != (ref == 0)) std::abort();
+
+  const Isa entry = active_isa();
+  for (const Isa level : {Isa::kScalar, Isa::kAvx2, Isa::kAvx512}) {
+    if (force_isa(level) != level) continue;  // host lacks the level
+    if (seq::edit_distance_output_sensitive(a, b) != ref) std::abort();
+    if (seq::edit_distance_output_sensitive_bounded(a, b, cap) != ref_bounded) {
+      std::abort();
+    }
+    if (seq::edit_distance_myers_banded(a, b, cap) != ref_banded) std::abort();
+  }
+  force_isa(entry);
+  return 0;
+}

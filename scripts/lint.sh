@@ -102,6 +102,16 @@ hits=$(grep -rnE '\b(fork|vfork|mmap|munmap|memfd_create|shm_open|shm_unlink)\s*
   | grep -v '^src/mpc/backend_process\.cpp:' || true)
 [ -n "$hits" ] && fail "process/shared-memory primitives outside src/mpc/backend_process.cpp; keep isolation in the backend boundary" "$hits"
 
+# --- Rule 9: router heuristics and cost-model constants are confined to
+# src/core/router.* — every kRouter* knob (nanosecond coefficients, the
+# probe margin, the histogram span cutoff) lives behind one reviewable
+# boundary.  A kRouter identifier anywhere else is a second copy of the
+# cost model drifting out of calibration, or a caller hard-coding a
+# heuristic the router owns.
+hits=$(grep -rnE '\bkRouter[A-Za-z0-9_]*' "${sources[@]}" --include='*.hpp' --include='*.cpp' \
+  | grep -v '^src/core/router\.' || true)
+[ -n "$hits" ] && fail "kRouter* constant outside src/core/router.*; cost-model knobs stay in the router boundary" "$hits"
+
 if [ $status -ne 0 ]; then
   echo "lint: invariant rules failed" >&2
   exit 1

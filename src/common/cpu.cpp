@@ -1,8 +1,10 @@
 #include "common/cpu.hpp"
 
 #include <atomic>
-#include <cstdio>
 #include <cstdlib>
+#include <string>
+
+#include "common/env.hpp"
 
 namespace mpcsd {
 
@@ -30,12 +32,10 @@ Isa env_forced(Isa detected) {
   const IsaOverride resolved = resolve_isa_override(env, detected);
   if (!resolved.recognised) {
     static std::atomic<bool> warned{false};
-    if (!warned.exchange(true, std::memory_order_relaxed)) {
-      std::fprintf(stderr,
-                   "mpcsd: MPCSD_FORCE_ISA='%s' is not one of "
-                   "scalar|avx2|avx512; using detected level '%s'\n",
-                   env, isa_name(detected));
-    }
+    const std::string fallback =
+        std::string("using detected level '") + isa_name(detected) + "'";
+    warn_env_once(warned, "MPCSD_FORCE_ISA", env, "scalar|avx2|avx512",
+                  fallback.c_str());
   }
   return resolved.level;
 }

@@ -1,0 +1,16 @@
+#include "common/env.hpp"
+
+#include <cstdio>
+
+namespace mpcsd {
+
+bool warn_env_once(std::atomic<bool>& guard, const char* var,
+                   const char* value, const char* expected,
+                   const char* fallback) {
+  if (guard.exchange(true, std::memory_order_relaxed)) return false;
+  std::fprintf(stderr, "mpcsd: %s='%s' is not one of %s; %s\n", var,
+               value != nullptr ? value : "", expected, fallback);
+  return true;
+}
+
+}  // namespace mpcsd

@@ -1,0 +1,32 @@
+// Shared handling for environment-variable overrides.
+//
+// Every override knob (MPCSD_FORCE_ISA, MPCSD_BACKEND, MPCSD_ROUTER, ...)
+// follows one policy: a pure `resolve_*` function maps (requested value,
+// env string) to an effective setting so the fallback logic is testable
+// without touching the process environment, and an unrecognised value
+// fails loudly exactly once per process — a typo'd override silently
+// running the default would fake a CI leg that believes it exercised the
+// overridden configuration.  The warn-once bookkeeping used to be copied
+// into every resolver; this helper is that one pattern, extracted.
+#pragma once
+
+#include <atomic>
+
+namespace mpcsd {
+
+/// Prints the standard one-line diagnostic for an unrecognised
+/// environment-override value, at most once per `guard` (process
+/// lifetime, thread-safe):
+///
+///   mpcsd: VAR='value' is not one of EXPECTED; FALLBACK
+///
+/// `guard` lives at the call site (one per variable) so each knob warns
+/// independently.  `value` may be null (prints as empty).  Returns true
+/// when this call emitted the warning, false when an earlier call already
+/// claimed it — callers that need side effects exactly once can branch on
+/// it.
+bool warn_env_once(std::atomic<bool>& guard, const char* var,
+                   const char* value, const char* expected,
+                   const char* fallback);
+
+}  // namespace mpcsd

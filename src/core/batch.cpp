@@ -565,14 +565,89 @@ BatchResult run_edit_batch(const BatchRequest& request) {
   }
 
   // ---- BatchMode::kThroughput: adaptive guess escalation. ----
+  // The router triages live queries before pass 1 (core/router.hpp): under
+  // kAuto the prefilters + capped sequential probe either retire a query
+  // with its exact distance or prove a lower bound that picks its starting
+  // rung; kOff leaves every query exactly where the pre-router engine
+  // started it.  Decisions depend only on query content, batch occupancy,
+  // and the worker count — never on the execution backend — so the batch
+  // trace hash stays backend-independent under every policy.
+  const RouterPolicy policy = resolved_router_policy(request.router);
+  std::vector<RouteDecision> decisions(meta.size());
+  if (policy == RouterPolicy::kAuto || policy == RouterPolicy::kAlwaysSeq) {
+    std::vector<std::uint32_t> live;
+    for (std::uint32_t q = 0; q < meta.size(); ++q) {
+      if (!meta[q].degenerate) live.push_back(q);
+    }
+    obs::Recorder* rec = request.recorder;
+    const bool tracing = rec != nullptr && rec->enabled();
+    obs::Span router_span(rec, "batch:edit:router", "router");
+    router_span.arg("live", static_cast<double>(live.size()));
+    const std::size_t workers = driver.cluster().pool().worker_count();
+    driver.cluster().pool().parallel_for(
+        live.size(),
+        [&](std::size_t i) {
+          const std::uint32_t q = live[i];
+          const BatchQuery& query = request.queries[q];
+          decisions[q] = route_query(SymView(query.s), SymView(query.t),
+                                     policy, live.size(), workers);
+        },
+        /*grain=*/1);
+    std::uint64_t retired = 0;
+    std::uint64_t probed = 0;
+    std::uint64_t lower_bounded = 0;
+    for (const std::uint32_t q : live) {
+      const RouteDecision& d = decisions[q];
+      retired += d.retire ? 1 : 0;
+      probed += d.probed ? 1 : 0;
+      lower_bounded += (!d.retire && d.lower_bound > 0) ? 1 : 0;
+      if (tracing) {
+        rec->instant("router:decision", "router",
+                     {{"query", static_cast<double>(q)},
+                      {"retired", d.retire ? 1.0 : 0.0},
+                      {"probed", d.probed ? 1.0 : 0.0},
+                      {"k_cap", static_cast<double>(d.k_cap)},
+                      {"lower_bound", static_cast<double>(d.lower_bound)}},
+                     q + 1);
+      }
+    }
+    if (tracing) {
+      rec->counter("router.examined", "router", static_cast<double>(live.size()));
+      rec->counter("router.retired_seq", "router", static_cast<double>(retired));
+      rec->counter("router.probed", "router", static_cast<double>(probed));
+      rec->counter("router.lower_bounded", "router",
+                   static_cast<double>(lower_bounded));
+      rec->counter("router.to_plan", "router",
+                   static_cast<double>(live.size() - retired));
+    }
+    router_span.arg("retired", static_cast<double>(retired));
+  }
+
   std::vector<std::uint32_t> unresolved;
   std::vector<std::size_t> rung(meta.size(), 0);
   for (std::uint32_t q = 0; q < meta.size(); ++q) {
     if (meta[q].degenerate) continue;
+    if (decisions[q].retire) {
+      // Routed to the sequential fast path: exact distance, no rungs, no
+      // share of any shared round (accepted_guess stays 0, like a query the
+      // ladder could not certify — exactness is the stronger guarantee).
+      result.queries[q].distance = decisions[q].distance;
+      continue;
+    }
     if (plans[q].guesses.empty()) {
       result.queries[q].distance = best[q];  // no rung in regime: trivial bound
       continue;
     }
+    // A routed lower bound skips rungs that could never self-certify:
+    // answer >= ed >= lb, so a rung with accept_threshold(guess) < lb
+    // cannot satisfy the accept condition.  Clamp to the last rung.
+    std::size_t start = 0;
+    while (start + 1 < plans[q].guesses.size() &&
+           edit_mpc::accept_threshold(plans[q].guesses[start], params.epsilon) <
+               decisions[q].lower_bound) {
+      ++start;
+    }
+    rung[q] = start;
     unresolved.push_back(q);
   }
 

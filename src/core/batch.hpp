@@ -41,6 +41,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/router.hpp"
 #include "edit_mpc/solver.hpp"
 #include "mpc/stats.hpp"
 #include "obs/recorder.hpp"
@@ -78,6 +79,16 @@ struct BatchRequest {
   ulam_mpc::UlamMpcParams ulam;
   /// Solver settings for kEdit batches (x, epsilon, unit, seed, ...).
   edit_mpc::EditMpcParams edit;
+  /// Query-router policy (kEdit + kThroughput only; other combinations
+  /// ignore it).  `kOff` keeps the engine byte-identical to the pre-router
+  /// behavior.  Under `kAuto`/`kAlwaysSeq` a routed-away query *retires*
+  /// with its exact sequential distance: accepted_guess = 0, rungs_run = 0,
+  /// an empty per-query trace, and no share of any shared round; a routed
+  /// lower bound instead makes the query enter the ladder at the first
+  /// rung whose accept threshold it could certify (skipped rungs are never
+  /// executed and do not count in rungs_run).  `kDefault` resolves
+  /// MPCSD_ROUTER (unset = off).  See core/router.hpp.
+  RouterPolicy router = RouterPolicy::kDefault;
   /// Observability recorder (null = detached).  The shared rounds emit
   /// round/stage spans through the cluster; the batch driver additionally
   /// emits one span per escalation pass and, on track `query id + 1`, one

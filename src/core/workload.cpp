@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <iterator>
 #include <numeric>
 #include <vector>
 
@@ -135,6 +136,48 @@ PlantedResult burst_edits(SymView base, std::int64_t bursts,
       ++out.edits_applied;
       if (pos + 1 < out.text.size()) ++pos;
     }
+  }
+  return out;
+}
+
+std::vector<QueryPair> near_duplicate_pairs(std::int64_t n, std::size_t count,
+                                            double near_fraction,
+                                            std::int64_t tail_edits,
+                                            std::uint64_t seed,
+                                            Symbol alphabet) {
+  MPCSD_EXPECTS(n >= 0 && near_fraction >= 0.0 && near_fraction <= 1.0);
+  MPCSD_EXPECTS(tail_edits >= 0);
+  // The four planted distances the near-duplicate mass cycles through:
+  // exact hits, single-character fixes, and small touch-ups.
+  constexpr std::int64_t kNearEdits[] = {0, 1, 2, 8};
+  std::vector<QueryPair> out;
+  out.reserve(count);
+  // Fractional accumulation interleaves near and tail pairs at the exact
+  // requested ratio with no RNG in the schedule: pair i is near iff the
+  // running near-quota crosses the next integer at i.
+  double quota = 0.0;
+  std::size_t near_emitted = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    quota += near_fraction;
+    const bool near = quota >= static_cast<double>(near_emitted + 1);
+    if (near) ++near_emitted;
+    const std::uint64_t pair_seed =
+        seed + static_cast<std::uint64_t>(i) * 0x9e3779b97f4a7c15ULL;
+    QueryPair pair;
+    pair.s = random_string(n, alphabet, pair_seed);
+    // Cycle the near ladder by near-pair ordinal, not global index, so the
+    // {0, 1, 2, 8} mix stays uniform at every near_fraction.
+    const std::int64_t edits =
+        near ? kNearEdits[(near_emitted - 1) % std::size(kNearEdits)]
+             : tail_edits;
+    if (edits == 0) {
+      pair.t = pair.s;
+    } else {
+      auto planted = plant_edits(pair.s, edits, pair_seed + 1, false, alphabet);
+      pair.t = std::move(planted.text);
+      pair.planted = planted.edits_applied;
+    }
+    out.push_back(std::move(pair));
   }
   return out;
 }

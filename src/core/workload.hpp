@@ -8,7 +8,9 @@
 // as the scale knob elsewhere).
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
+#include <vector>
 
 #include "seq/types.hpp"
 
@@ -57,5 +59,25 @@ SymString zipf_text(std::int64_t n, Symbol vocabulary, double skew,
 PlantedResult burst_edits(SymView base, std::int64_t bursts,
                           std::int64_t per_burst, std::uint64_t seed,
                           bool repeat_free, Symbol alphabet = 4);
+
+/// One query pair of a skewed batch workload.
+struct QueryPair {
+  SymString s;
+  SymString t;
+  std::int64_t planted = 0;  ///< edits applied; ed(s, t) <= planted
+};
+
+/// The serving-system workload the query router targets: `count` pairs of
+/// which a `near_fraction` are near-duplicates (planted distance drawn
+/// uniformly from {0, 1, 2, 8}) and the rest form a heavy tail of
+/// `tail_edits` planted edits each.  Near and tail pairs are interleaved
+/// deterministically (fractional accumulation, no RNG in the schedule), and
+/// each pair derives its own stream from `seed` — dropping or reordering
+/// pairs never changes the others.
+std::vector<QueryPair> near_duplicate_pairs(std::int64_t n, std::size_t count,
+                                            double near_fraction,
+                                            std::int64_t tail_edits,
+                                            std::uint64_t seed,
+                                            Symbol alphabet = 4);
 
 }  // namespace mpcsd::core

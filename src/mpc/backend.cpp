@@ -1,10 +1,10 @@
 #include "mpc/backend.hpp"
 
 #include <atomic>
-#include <cstdio>
 #include <cstdlib>
 #include <stdexcept>
 
+#include "common/env.hpp"
 #include "mpc/backend_process.hpp"
 #include "mpc/backend_thread.hpp"
 
@@ -49,12 +49,8 @@ std::unique_ptr<ExecutionBackend> make_backend(BackendKind kind,
     // Fail loudly, once per process: a typo'd override silently running the
     // thread backend would fake a process-isolation CI leg.
     static std::atomic<bool> warned{false};
-    if (!warned.exchange(true)) {
-      std::fprintf(stderr,
-                   "mpcsd: MPCSD_BACKEND='%s' is not one of thread|process; "
-                   "using the thread backend\n",
-                   env);
-    }
+    warn_env_once(warned, "MPCSD_BACKEND", env, "thread|process",
+                  "using the thread backend");
   }
   if (resolved.kind == BackendKind::kProcess) {
 #if defined(__linux__)

@@ -9,11 +9,7 @@
 
 namespace mpcsd::seq {
 
-namespace {
-
-/// Modelled cells of a half-width-k band over a rows x cols DP:
-/// sum over i = 1..rows of |[max(0, i-k), min(cols, i+k)]|.  Piecewise
-/// linear in i, so the sum has a closed form.
+/// Piecewise linear in i, so the sum has a closed form.
 std::uint64_t band_cells(std::int64_t rows, std::int64_t cols, std::int64_t k) {
   if (rows <= 0 || cols < 0) return 0;
   const std::int64_t c1 = std::clamp<std::int64_t>(cols - k, 0, rows);
@@ -22,6 +18,8 @@ std::uint64_t band_cells(std::int64_t rows, std::int64_t cols, std::int64_t k) {
   const std::int64_t sum_lo = c2 * (c2 + 1) / 2;
   return static_cast<std::uint64_t>(sum_hi - sum_lo + rows);
 }
+
+namespace {
 
 std::int64_t cell_product(SymView a, SymView b) {
   return static_cast<std::int64_t>(a.size()) * static_cast<std::int64_t>(b.size());

@@ -61,6 +61,12 @@ std::optional<std::int64_t> edit_distance_bounded_fast(SymView a, SymView b,
                                                        std::int64_t limit,
                                                        std::uint64_t* work = nullptr);
 
+/// Modelled cells of a half-width-k Ukkonen band over a rows x cols DP:
+/// sum over i = 1..rows of |[max(0, i-k), min(cols, i+k)]|.  The charge
+/// unit every bit-parallel entry point converts its word counts back to;
+/// shared with the output-sensitive driver (edit_distance_os.hpp).
+std::uint64_t band_cells(std::int64_t rows, std::int64_t cols, std::int64_t k);
+
 /// The kernel `edit_distance_fast(a, b)` would run.
 EditKernel edit_distance_fast_kernel(SymView a, SymView b);
 

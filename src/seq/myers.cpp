@@ -79,6 +79,90 @@ std::optional<std::int64_t> scalar_run(const MyersMasks& masks, SymView b,
   return score;
 }
 
+/// Banded form of the blocked recurrence: processes only the blocks whose
+/// rows intersect [j+1-k, j+1+k] at text column j+1.  See the contract and
+/// exactness argument in myers.hpp.  The score is anchored at the bottom
+/// row of the window's last block and re-anchored (+64 per block, all-+1
+/// deltas) as the window extends downward; the window moves by at most one
+/// block per column, so the anchor never skips a block.
+std::int64_t scalar_banded_run(const MyersMasks& masks, SymView b,
+                               std::int64_t k, std::uint64_t* work) {
+  const std::int64_t m = masks.m;
+  const auto n = static_cast<std::int64_t>(b.size());
+  const std::size_t blocks = masks.blocks;
+
+  std::vector<std::uint64_t> pv(blocks, 0);
+  std::vector<std::uint64_t> mv(blocks, 0);
+  const std::uint64_t last_bit = 1ULL << ((m - 1) & 63);
+
+  // Initial window: the blocks covering rows [1, min(m, 1+k)] at column 1.
+  std::size_t last = std::min<std::size_t>(
+      blocks - 1,
+      static_cast<std::size_t>((std::min(m, 1 + k) - 1) / 64));
+  for (std::size_t t = 0; t <= last; ++t) pv[t] = ~0ULL;
+  std::int64_t anchor = std::min<std::int64_t>(m, 64 * static_cast<std::int64_t>(last + 1));
+  std::int64_t score = anchor;  // D[anchor][0] = anchor
+  std::uint64_t words = 0;
+
+  for (std::int64_t j = 0; j < n; ++j) {
+    const std::int64_t col = j + 1;
+    const std::int64_t bot_row = std::min<std::int64_t>(m, col + k);
+    const auto nl = static_cast<std::size_t>((bot_row - 1) / 64);
+    if (nl > last) {
+      // One new block enters at the bottom; all-+1 vertical deltas are the
+      // Lipschitz upper bound on its column-(j) values.
+      pv[nl] = ~0ULL;
+      mv[nl] = 0;
+      const std::int64_t next_anchor =
+          std::min<std::int64_t>(m, 64 * static_cast<std::int64_t>(nl + 1));
+      score += next_anchor - anchor;
+      anchor = next_anchor;
+      last = nl;
+    }
+    const std::int64_t top_row = std::max<std::int64_t>(1, col - k);
+    const auto first = static_cast<std::size_t>((top_row - 1) / 64);
+
+    const std::uint64_t* eqv = masks.row(b[static_cast<std::size_t>(j)]);
+    int hin = 1;  // window-top boundary: +1 is exact at row 0, an upper
+                  // bound (the max horizontal delta) below it
+    for (std::size_t t = first; t <= last; ++t) {
+      std::uint64_t eq = eqv[t];
+      const std::uint64_t pvk = pv[t];
+      const std::uint64_t mvk = mv[t];
+      const std::uint64_t xv = eq | mvk;
+      if (hin < 0) eq |= 1ULL;
+      const std::uint64_t xh = (((eq & pvk) + pvk) ^ pvk) | eq;
+      std::uint64_t ph = mvk | ~(xh | pvk);
+      std::uint64_t mh = pvk & xh;
+
+      const std::uint64_t top = (t + 1 == blocks) ? last_bit : (1ULL << 63U);
+      int hout = 0;
+      if (ph & top) {
+        hout = 1;
+      } else if (mh & top) {
+        hout = -1;
+      }
+
+      ph <<= 1U;
+      mh <<= 1U;
+      if (hin > 0) {
+        ph |= 1ULL;
+      } else if (hin < 0) {
+        mh |= 1ULL;
+      }
+      pv[t] = mh | ~(xv | ph);
+      mv[t] = ph & xv;
+      hin = hout;
+    }
+    score += hin;
+    words += last - first + 1;
+  }
+  if (work != nullptr) *work += words;
+  // m <= n + k (caller-checked gap), so the window bottom reached row m and
+  // the anchor is m: score is the (upper-bounded) value at cell (m, n).
+  return score;
+}
+
 /// Kernel selection: the widest compiled + host-supported + profitable
 /// level.  A pure function of (active_isa(), blocks); every kernel returns
 /// identical values and charges identical work, so the choice can never
@@ -174,6 +258,21 @@ std::optional<std::int64_t> edit_distance_myers_bounded(SymView a, SymView b,
   const auto d = myers_run(a, b, k, work);
   if (!d.has_value() || *d > k) return std::nullopt;
   return d;
+}
+
+std::optional<std::int64_t> edit_distance_myers_banded(SymView a, SymView b,
+                                                       std::int64_t k,
+                                                       std::uint64_t* work) {
+  if (a.size() > b.size()) std::swap(a, b);  // a = pattern (fewer blocks)
+  const auto m = static_cast<std::int64_t>(a.size());
+  const auto n = static_cast<std::int64_t>(b.size());
+  if (k < 0) return std::nullopt;
+  if (n - m > k) return std::nullopt;  // length gap lower bound
+  if (m == 0) return n;
+  const std::shared_ptr<const MyersMasks> masks = masks_for(a);
+  const std::int64_t score = scalar_banded_run(*masks, b, k, work);
+  if (score > k) return std::nullopt;
+  return score;
 }
 
 }  // namespace mpcsd::seq

@@ -45,6 +45,34 @@ std::optional<std::int64_t> edit_distance_myers_bounded(SymView a, SymView b,
                                                         std::int64_t k,
                                                         std::uint64_t* work = nullptr);
 
+/// Banded variant: the exact distance when it is <= k, std::nullopt
+/// otherwise, touching only the word blocks that cover the Ukkonen band
+/// |i - j| <= k — O((|b| + 1) * (2k/64 + 2)) word ops instead of the full
+/// ceil(|a|/64) per column.  This is what makes the output-sensitive
+/// doubling driver (edit_distance_os.hpp) O(n + k*n/w) rather than
+/// O(n*m/w) per attempt.
+///
+/// The kernel slides a block window [first, last] down the pattern as the
+/// text column advances.  Out-of-window state is replaced by cellwise
+/// *upper bounds*: the window's top boundary feeds a +1 horizontal delta
+/// (the largest the DP admits), and a block entering at the bottom is
+/// initialised to all-+1 vertical deltas (D[i+1][j] <= D[i][j] + 1).  The
+/// recurrence is the min-DP, monotone in its inputs, so every computed
+/// value is >= the true one; and any cell with true value <= k has an
+/// optimal path confined to the band (|i - j| <= value), which the window
+/// always covers, so such cells compute exactly.  Hence final score <= k
+/// iff the true distance is <= k, and then they are equal — the same
+/// argument as Ukkonen's band, run on blocks.
+///
+/// Shares the thread-local pattern mask cache with the full-width kernels;
+/// the window walk itself is scalar (the SIMD stripes want all blocks of a
+/// column, exactly what the band avoids touching).  `work` accumulates
+/// words processed: window width per column, a pure function of
+/// (|a|, |b|, k) — deterministic across hosts and ISA levels.
+std::optional<std::int64_t> edit_distance_myers_banded(SymView a, SymView b,
+                                                       std::int64_t k,
+                                                       std::uint64_t* work = nullptr);
+
 /// The ISA level the blocked engine dispatches to for a pattern of
 /// `pattern_len` symbols under the current `active_isa()`.  Introspection
 /// for tests and benches; a pure function of (active level, pattern size).

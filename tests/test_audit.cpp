@@ -232,6 +232,9 @@ TEST(Audit, BatchPipelinesConformUnderAudit) {
   core::BatchRequest request;
   request.algorithm = core::BatchAlgorithm::kEdit;
   request.mode = core::BatchMode::kThroughput;
+  // Auditing the *plan* requires the plan to run; a routed-away batch
+  // would make this test vacuous under MPCSD_ROUTER=auto.
+  request.router = core::RouterPolicy::kOff;
   for (std::uint64_t q = 0; q < 3; ++q) {
     const auto s = core::random_string(200, 6, 10 + q);
     core::BatchQuery query;

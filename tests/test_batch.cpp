@@ -5,6 +5,7 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <cstdlib>
 #include <vector>
 
 #include "core/api.hpp"
@@ -189,6 +190,7 @@ std::uint64_t trace_work(const mpc::ExecutionTrace& trace) {
 TEST(BatchThroughput, GuaranteeAndRoundShape) {
   auto request = edit_request(6, 192, 19);
   request.mode = core::BatchMode::kThroughput;
+  request.router = core::RouterPolicy::kOff;  // asserts ladder shape
   const auto result = core::distance_batch(request);
   // Escalation runs one round-pair per pass; every live query retires on
   // the self-certifying accept, so rounds stay even and passes match.
@@ -215,6 +217,7 @@ TEST(BatchThroughput, SameAnswersAsParallelGuessUpToAccept) {
   auto parallel = edit_request(5, 160, 29);
   auto escalated = parallel;
   escalated.mode = core::BatchMode::kThroughput;
+  escalated.router = core::RouterPolicy::kOff;  // asserts ladder shape
   const auto pr = core::distance_batch(parallel);
   const auto er = core::distance_batch(escalated);
   for (std::size_t q = 0; q < pr.queries.size(); ++q) {
@@ -287,6 +290,84 @@ TEST(BatchThroughput, DegenerateQueriesRunZeroPasses) {
   EXPECT_EQ(result.queries[1].distance, 0);
   EXPECT_EQ(result.passes, 0u);
   EXPECT_EQ(result.trace.round_count(), 0u);
+}
+
+TEST(BatchRouter, AutoAnswersAtLeastExactAndAtMostOff) {
+  // Routed retirement is exact and rung-skipping only removes rungs that
+  // could never certify, so `auto` answers stay within the same envelope:
+  // >= the exact distance, <= the router-off answer.
+  auto off = edit_request(6, 192, 43);
+  off.mode = core::BatchMode::kThroughput;
+  off.router = core::RouterPolicy::kOff;
+  auto routed = off;
+  routed.router = core::RouterPolicy::kAuto;
+  const auto ro = core::distance_batch(off);
+  const auto rr = core::distance_batch(routed);
+  for (std::size_t q = 0; q < off.queries.size(); ++q) {
+    const auto exact = seq::edit_distance(SymView(off.queries[q].s),
+                                          SymView(off.queries[q].t));
+    EXPECT_GE(rr.queries[q].distance, exact) << "query " << q;
+    EXPECT_LE(rr.queries[q].distance, ro.queries[q].distance) << "query " << q;
+    EXPECT_LE(rr.queries[q].rungs_run, ro.queries[q].rungs_run) << "query " << q;
+  }
+}
+
+TEST(BatchRouter, AlwaysSeqRetiresEverythingExactly) {
+  auto request = edit_request(5, 160, 47);
+  request.mode = core::BatchMode::kThroughput;
+  request.router = core::RouterPolicy::kAlwaysSeq;
+  const auto result = core::distance_batch(request);
+  EXPECT_EQ(result.passes, 0u);
+  EXPECT_EQ(result.trace.round_count(), 0u);
+  for (std::size_t q = 0; q < request.queries.size(); ++q) {
+    EXPECT_EQ(result.queries[q].distance,
+              seq::edit_distance(SymView(request.queries[q].s),
+                                 SymView(request.queries[q].t)))
+        << "query " << q;
+    EXPECT_EQ(result.queries[q].accepted_guess, 0) << "query " << q;
+    EXPECT_EQ(result.queries[q].rungs_run, 0u) << "query " << q;
+    EXPECT_EQ(result.queries[q].trace.round_count(), 0u) << "query " << q;
+  }
+}
+
+TEST(BatchRouter, RetiredQueriesOwnNoMachines) {
+  // A mixed batch: near-duplicates retire, a far pair climbs the ladder.
+  // Attribution must still sum exactly over the queries that ran.
+  auto request = edit_request(4, 192, 53);
+  request.mode = core::BatchMode::kThroughput;
+  request.router = core::RouterPolicy::kAuto;
+  // Make queries 0 and 2 near-duplicates the prefilter trims to nothing.
+  request.queries[0].t = request.queries[0].s;
+  request.queries[0].t.push_back(Symbol{1});
+  request.queries[2].t = request.queries[2].s;
+  const auto result = core::distance_batch(request);
+  EXPECT_EQ(result.queries[0].distance, 1);
+  EXPECT_EQ(result.queries[0].trace.round_count(), 0u);
+  EXPECT_EQ(result.queries[2].distance, 0);
+  std::uint64_t work = 0;
+  for (const auto& qr : result.queries) work += trace_work(qr.trace);
+  EXPECT_EQ(work, trace_work(result.trace));
+}
+
+TEST(BatchRouter, OffMatchesDefaultWhenEnvUnset) {
+  if (std::getenv("MPCSD_ROUTER") != nullptr) {
+    GTEST_SKIP() << "MPCSD_ROUTER is set; default is not off here";
+  }
+  auto off = edit_request(4, 160, 59);
+  off.mode = core::BatchMode::kThroughput;
+  off.router = core::RouterPolicy::kOff;
+  auto def = off;
+  def.router = core::RouterPolicy::kDefault;
+  const auto ro = core::distance_batch(off);
+  const auto rd = core::distance_batch(def);
+  ASSERT_EQ(ro.queries.size(), rd.queries.size());
+  for (std::size_t q = 0; q < ro.queries.size(); ++q) {
+    EXPECT_EQ(ro.queries[q].distance, rd.queries[q].distance);
+    EXPECT_EQ(ro.queries[q].accepted_guess, rd.queries[q].accepted_guess);
+    EXPECT_EQ(ro.queries[q].rungs_run, rd.queries[q].rungs_run);
+  }
+  EXPECT_EQ(trace_work(ro.trace), trace_work(rd.trace));
+  EXPECT_EQ(ro.trace.round_count(), rd.trace.round_count());
 }
 
 TEST(BatchThroughput, UlamIgnoresMode) {

@@ -8,6 +8,7 @@
 #include "core/workload.hpp"
 #include "seq/edit_distance.hpp"
 #include "seq/edit_distance_fast.hpp"
+#include "seq/edit_distance_os.hpp"
 #include "seq/myers.hpp"
 #include "seq/types.hpp"
 
@@ -209,6 +210,123 @@ TEST(FastDispatch, ChargesModelledCellsNotWords) {
   std::uint64_t work = 0;
   edit_distance_fast(a, b, &work);
   EXPECT_EQ(work, 2000u * 2000u);  // full-DP cells, not ~n*blocks words
+}
+
+TEST(MyersBanded, KnownValues) {
+  using Opt = std::optional<std::int64_t>;
+  EXPECT_EQ(edit_distance_myers_banded(to_symbols("kitten"), to_symbols("sitting"), 3),
+            Opt(3));
+  EXPECT_EQ(edit_distance_myers_banded(to_symbols("kitten"), to_symbols("sitting"), 2),
+            std::nullopt);
+  EXPECT_EQ(edit_distance_myers_banded(to_symbols("abc"), to_symbols("abc"), 0), Opt(0));
+  EXPECT_EQ(edit_distance_myers_banded(SymString{}, to_symbols("xy"), 1), std::nullopt);
+  EXPECT_EQ(edit_distance_myers_banded(SymString{}, to_symbols("xy"), 2), Opt(2));
+  EXPECT_EQ(edit_distance_myers_banded(to_symbols("a"), to_symbols("a"), 5), Opt(0));
+}
+
+TEST(MyersBanded, MatchesBandedAcrossAlphabetsAndLengths) {
+  // The exactness argument says the windowed kernel's verdict must equal
+  // the scalar band's for every cap, narrow through slack, either
+  // orientation; lengths straddle the block boundaries where the window
+  // slides mid-stripe.
+  const std::int64_t lengths[] = {0, 1, 2, 63, 64, 65, 127, 129, 320, 1000};
+  const Symbol alphabets[] = {2, 4, 26, 1000};
+  for (const Symbol sigma : alphabets) {
+    for (const std::int64_t n : lengths) {
+      for (std::uint64_t seed = 0; seed < 3; ++seed) {
+        const auto a =
+            core::random_string(n, sigma, seed * 11 + static_cast<std::uint64_t>(n));
+        const auto b =
+            seed % 2 == 0
+                ? core::plant_edits(a, n / 12 + static_cast<std::int64_t>(seed),
+                                    seed + 29, false, sigma)
+                      .text
+                : core::random_string(
+                      std::max<std::int64_t>(0, n + static_cast<std::int64_t>(seed) - 1),
+                      sigma, seed + 77);
+        for (const std::int64_t k : {std::int64_t{0}, std::int64_t{1}, std::int64_t{7},
+                                     n / 16 + 1, n / 3 + 1, n + 4}) {
+          ASSERT_EQ(edit_distance_myers_banded(a, b, k), edit_distance_banded(a, b, k))
+              << "sigma=" << sigma << " n=" << n << " seed=" << seed << " k=" << k;
+        }
+      }
+    }
+  }
+}
+
+TEST(MyersBanded, WorkIsWindowWordsAndDeterministic) {
+  // A narrow band over a multi-block pattern must touch far fewer words
+  // than the full-width kernel, and the count must be a pure function of
+  // the shapes (re-run identical).
+  const auto a = core::random_string(2000, 4, 21);
+  const auto b = core::plant_edits(a, 12, 22, false, 4).text;
+  std::uint64_t banded = 0;
+  std::uint64_t banded2 = 0;
+  std::uint64_t full = 0;
+  const auto d = edit_distance_myers_banded(a, b, 64, &banded);
+  edit_distance_myers_banded(a, b, 64, &banded2);
+  edit_distance_myers(a, b, &full);
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(banded, banded2);
+  // 2000-symbol pattern = 32 blocks/column full-width; the k=64 window
+  // holds <= 4 blocks.
+  EXPECT_LT(banded, full / 6);
+}
+
+TEST(OutputSensitive, MatchesScalarOnManyRandomCases) {
+  for (std::uint64_t c = 0; c < 3000; ++c) {
+    const auto sigma = static_cast<Symbol>(2 + (c * 37) % 999);
+    const auto na = static_cast<std::int64_t>((c * 131) % 150);
+    const auto nb = static_cast<std::int64_t>((c * 61 + 31) % 150);
+    const auto a = core::random_string(na, sigma, c);
+    const auto b = c % 3 == 0
+                       ? core::plant_edits(a, nb / 8 + 1, c + 1, false, sigma).text
+                       : core::random_string(nb, sigma, c + 10007);
+    ASSERT_EQ(edit_distance_output_sensitive(a, b), edit_distance(a, b))
+        << "case=" << c << " sigma=" << sigma;
+  }
+}
+
+TEST(OutputSensitive, BoundedVerdictMatchesScalar) {
+  for (std::uint64_t c = 0; c < 600; ++c) {
+    const auto sigma = static_cast<Symbol>(2 + (c * 13) % 200);
+    const auto n = static_cast<std::int64_t>(40 + (c * 97) % 400);
+    const auto a = core::random_string(n, sigma, c);
+    const auto b = core::plant_edits(a, static_cast<std::int64_t>(c % 60), c + 3,
+                                     false, sigma)
+                       .text;
+    const auto limit = static_cast<std::int64_t>(c * 31 % 80);
+    ASSERT_EQ(edit_distance_output_sensitive_bounded(a, b, limit),
+              edit_distance_bounded(a, b, limit))
+        << "case=" << c << " limit=" << limit;
+  }
+}
+
+TEST(OutputSensitive, TrimEdgeCases) {
+  using Opt = std::optional<std::int64_t>;
+  // Identical, shared-prefix, shared-suffix, and fully-nested pairs: the
+  // trim must never change the answer.
+  const auto base = core::random_string(512, 4, 5);
+  EXPECT_EQ(edit_distance_output_sensitive(base, base), 0);
+  EXPECT_EQ(edit_distance_output_sensitive_bounded(base, base, 0), Opt(0));
+  auto ins = base;
+  ins.insert(ins.begin() + 200, Symbol{99});
+  EXPECT_EQ(edit_distance_output_sensitive(base, ins), 1);
+  EXPECT_EQ(edit_distance_output_sensitive_bounded(base, ins, 0), std::nullopt);
+  SymString prefix(base.begin(), base.begin() + 100);
+  EXPECT_EQ(edit_distance_output_sensitive(base, prefix), 412);
+  EXPECT_EQ(edit_distance_output_sensitive(SymString{}, SymString{}), 0);
+  EXPECT_EQ(edit_distance_output_sensitive(SymString{}, base), 512);
+}
+
+TEST(OutputSensitive, NearDuplicateWorkIsOutputSensitive) {
+  // The point of the ladder: on a near-duplicate pair the modelled charge
+  // must be a sliver of the full DP.
+  const auto a = core::random_string(4000, 4, 9);
+  const auto b = core::plant_edits(a, 4, 10, false, 4).text;
+  std::uint64_t work = 0;
+  ASSERT_EQ(edit_distance_output_sensitive(a, b, &work), edit_distance(a, b));
+  EXPECT_LT(work, 4000u * 4000u / 50u);
 }
 
 }  // namespace

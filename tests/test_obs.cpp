@@ -444,6 +444,9 @@ core::BatchRequest make_batch_request(core::BatchMode mode) {
   core::BatchRequest request;
   request.algorithm = core::BatchAlgorithm::kEdit;
   request.mode = mode;
+  // The assertions below require the ladder to actually run (rung spans);
+  // keep MPCSD_ROUTER from retiring the queries.
+  request.router = core::RouterPolicy::kOff;
   request.edit.x = 0.25;
   request.edit.epsilon = 1.0;
   request.edit.seed = 5;

@@ -1,0 +1,234 @@
+// Query router: policy resolution, prefilter lower bounds (proven, never
+// above the exact distance), cost-model budget shape, and routing
+// decisions including censored probes.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <optional>
+
+#include "core/router.hpp"
+#include "core/workload.hpp"
+#include "seq/edit_distance.hpp"
+#include "seq/edit_distance_fast.hpp"
+#include "seq/types.hpp"
+
+namespace mpcsd::core {
+namespace {
+
+TEST(RouterPolicyNames, ParseAndPrintRoundTrip) {
+  EXPECT_EQ(router_policy_from_string("off"), RouterPolicy::kOff);
+  EXPECT_EQ(router_policy_from_string("auto"), RouterPolicy::kAuto);
+  EXPECT_EQ(router_policy_from_string("always-seq"), RouterPolicy::kAlwaysSeq);
+  EXPECT_EQ(router_policy_from_string("on"), std::nullopt);
+  EXPECT_EQ(router_policy_from_string(""), std::nullopt);
+  EXPECT_EQ(router_policy_from_string("default"), std::nullopt);
+  for (const RouterPolicy p :
+       {RouterPolicy::kOff, RouterPolicy::kAuto, RouterPolicy::kAlwaysSeq}) {
+    EXPECT_EQ(router_policy_from_string(router_policy_name(p)), p);
+  }
+  EXPECT_STREQ(router_policy_name(RouterPolicy::kDefault), "default");
+}
+
+TEST(RouterPolicyResolution, ExplicitRequestWinsOverEnv) {
+  for (const RouterPolicy p :
+       {RouterPolicy::kOff, RouterPolicy::kAuto, RouterPolicy::kAlwaysSeq}) {
+    const auto r = resolve_router_policy(p, "always-seq");
+    EXPECT_EQ(r.policy, p);
+    EXPECT_TRUE(r.recognised);
+  }
+}
+
+TEST(RouterPolicyResolution, DefaultResolvesEnv) {
+  EXPECT_EQ(resolve_router_policy(RouterPolicy::kDefault, nullptr).policy,
+            RouterPolicy::kOff);
+  EXPECT_EQ(resolve_router_policy(RouterPolicy::kDefault, "auto").policy,
+            RouterPolicy::kAuto);
+  EXPECT_EQ(resolve_router_policy(RouterPolicy::kDefault, "always-seq").policy,
+            RouterPolicy::kAlwaysSeq);
+  EXPECT_EQ(resolve_router_policy(RouterPolicy::kDefault, "off").policy,
+            RouterPolicy::kOff);
+  const auto bad = resolve_router_policy(RouterPolicy::kDefault, "maybe");
+  EXPECT_EQ(bad.policy, RouterPolicy::kOff);
+  EXPECT_FALSE(bad.recognised);
+}
+
+TEST(Prefilter, EqualAndTrim) {
+  const auto s = core::random_string(300, 8, 1);
+  const auto eq = prefilter_query(s, s);
+  EXPECT_TRUE(eq.equal);
+  EXPECT_EQ(eq.core_n_bar, 0);
+  EXPECT_EQ(eq.lower_bound, 0);
+
+  auto t = s;
+  t[150] = t[150] + 1;  // one substitution in the middle
+  const auto pf = prefilter_query(s, t);
+  EXPECT_FALSE(pf.equal);
+  EXPECT_EQ(pf.prefix, 150);
+  EXPECT_EQ(pf.suffix, 149);
+  EXPECT_EQ(pf.core_n, 1);
+  EXPECT_EQ(pf.core_n_bar, 1);
+  EXPECT_GE(pf.lower_bound, 1);
+}
+
+TEST(Prefilter, LengthGapAndHistogramBounds) {
+  // Pure-insertion pair: lower bound must reach the length gap.
+  const auto s = core::random_string(64, 4, 3);
+  const auto t = core::random_string(64 + 40, 4, 9);
+  EXPECT_GE(prefilter_query(s, t).lower_bound, 40);
+
+  // Same lengths, disjoint symbol counts: the histogram bound fires where
+  // the gap bound is zero.  [1 x 8] vs [2 x 8]: every count moves by 8.
+  const SymString ones(8, Symbol{1});
+  const SymString twos(8, Symbol{2});
+  const auto pf = prefilter_query(ones, twos);
+  EXPECT_EQ(pf.lower_bound, 8);  // = ceil((8 + 8) / 2), and exact here
+}
+
+TEST(Prefilter, LowerBoundNeverExceedsExactDistance) {
+  // The property that makes rung-skipping sound.
+  for (std::uint64_t c = 0; c < 2000; ++c) {
+    const auto sigma = static_cast<Symbol>(2 + (c * 37) % 2000);
+    const auto na = static_cast<std::int64_t>((c * 131) % 100);
+    const auto nb = static_cast<std::int64_t>((c * 61 + 31) % 100);
+    const auto a = core::random_string(na, sigma, c);
+    const auto b = c % 3 == 0
+                       ? core::plant_edits(a, nb / 8 + 1, c + 1, false, sigma).text
+                       : core::random_string(nb, sigma, c + 999);
+    const auto pf = prefilter_query(a, b);
+    const auto exact = seq::edit_distance(a, b);
+    ASSERT_LE(pf.lower_bound, exact) << "case=" << c;
+    if (exact == 0) {
+      ASSERT_TRUE(pf.equal) << "case=" << c;
+    }
+    if (pf.equal) {
+      ASSERT_EQ(exact, 0) << "case=" << c;
+    }
+  }
+}
+
+TEST(RouterBudgetModel, ShapeAndMonotonicity) {
+  const auto base = router_budget(2000, 2000, 32, 4);
+  EXPECT_GT(base.plan_ns, 0.0);
+  EXPECT_GE(base.k_cap, 0);
+  EXPECT_LE(base.k_cap, 2000);
+
+  // A busier batch amortises the shared pass cost over more queries, and
+  // more workers make the plan cheaper per query: both shrink (or hold)
+  // the sequential budget, never grow it.
+  EXPECT_LE(router_budget(2000, 2000, 64, 4).k_cap, base.k_cap + 1);
+  EXPECT_LE(router_budget(2000, 2000, 32, 16).k_cap, base.k_cap);
+
+  // Small queries: one plan rung costs far more than solving outright, so
+  // the budget covers the whole string.
+  EXPECT_EQ(router_budget(2000, 2000, 1, 1).k_cap, 2000);
+  // Huge queries: the budget is a narrow band, not the whole string.
+  EXPECT_LT(router_budget(1000000, 1000000, 32, 8).k_cap, 10000);
+}
+
+TEST(RouteQuery, OffIsInert) {
+  const auto s = core::random_string(100, 4, 1);
+  const auto t = core::random_string(100, 4, 2);
+  for (const RouterPolicy p : {RouterPolicy::kOff, RouterPolicy::kDefault}) {
+    const auto d = route_query(s, t, p, 8, 4);
+    EXPECT_FALSE(d.retire);
+    EXPECT_FALSE(d.probed);
+    EXPECT_EQ(d.lower_bound, 0);
+  }
+}
+
+TEST(RouteQuery, DegeneratePairsRetireFree) {
+  const auto s = core::random_string(500, 4, 7);
+  const auto eq = route_query(s, s, RouterPolicy::kAuto, 8, 4);
+  EXPECT_TRUE(eq.retire);
+  EXPECT_EQ(eq.distance, 0);
+
+  // t = s + tail: the prefix trim empties one core, distance = |tail|.
+  auto t = s;
+  const auto tail = core::random_string(37, 4, 8);
+  t.insert(t.end(), tail.begin(), tail.end());
+  const auto ext = route_query(s, t, RouterPolicy::kAuto, 8, 4);
+  EXPECT_TRUE(ext.retire);
+  EXPECT_EQ(ext.distance, 37);
+  EXPECT_FALSE(ext.probed);  // no DP needed
+}
+
+TEST(RouteQuery, AlwaysSeqIsExact) {
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    const auto s = core::random_string(200, 6, seed);
+    const auto t = core::plant_edits(s, static_cast<std::int64_t>(seed), seed + 1,
+                                     false, 6)
+                       .text;
+    const auto d = route_query(s, t, RouterPolicy::kAlwaysSeq, 8, 4);
+    EXPECT_TRUE(d.retire);
+    EXPECT_EQ(d.distance, seq::edit_distance(s, t)) << "seed=" << seed;
+  }
+}
+
+TEST(RouteQuery, AutoRetiresNearDuplicatesExactly) {
+  const auto s = core::random_string(2000, 4, 11);
+  const auto t = core::plant_edits(s, 5, 12, false, 4).text;
+  const auto d = route_query(s, t, RouterPolicy::kAuto, 32, 4);
+  EXPECT_TRUE(d.retire);
+  EXPECT_EQ(d.distance, seq::edit_distance(s, t));
+}
+
+TEST(RouteQuery, AutoCensoredProbeProvesLowerBound) {
+  // Far pair, long enough that the cost model caps the probe well below
+  // the true distance: the censored probe must convert into ed > k_cap.
+  const auto s = core::random_string(200000, 2, 21);
+  const auto t = core::random_string(200000, 2, 22);
+  const auto d = route_query(s, t, RouterPolicy::kAuto, 32, 8);
+  if (!d.retire) {
+    EXPECT_GT(d.k_cap, 0);
+    // Either the probe censored (lb = cap + 1) or the prefilters already
+    // proved a bound past the cap; both hand the ladder a real floor.
+    EXPECT_GT(d.lower_bound, d.k_cap);
+    if (d.probed) {
+      EXPECT_EQ(d.lower_bound, d.k_cap + 1);
+    }
+  } else {
+    // Machine fast enough that the model solved it outright — still exact.
+    EXPECT_EQ(d.distance, seq::edit_distance_fast(s, t));
+  }
+}
+
+TEST(RouteQuery, AutoSkipsProbeWhenPrefilterAlreadyExceedsCap) {
+  // Huge length gap with unequal cores: lb = gap > k_cap, so no DP runs.
+  auto s = core::random_string(1000, 1000, 31);
+  auto t = core::random_string(200000, 1000, 32);
+  s.front() = Symbol{-1};  // block prefix trim
+  t.front() = Symbol{-2};
+  s.back() = Symbol{-3};  // block suffix trim
+  t.back() = Symbol{-4};
+  const auto d = route_query(s, t, RouterPolicy::kAuto, 4, 4);
+  ASSERT_FALSE(d.retire);
+  EXPECT_FALSE(d.probed);
+  EXPECT_GE(d.lower_bound, 199000);
+  EXPECT_GT(d.lower_bound, d.k_cap);
+}
+
+TEST(RouteQuery, AutoDecisionsAreSoundOnRandomCases) {
+  // retire => exact; !retire => the lower bound never exceeds the truth.
+  for (std::uint64_t c = 0; c < 400; ++c) {
+    const auto sigma = static_cast<Symbol>(2 + (c * 13) % 500);
+    const auto n = static_cast<std::int64_t>(20 + (c * 97) % 300);
+    const auto s = core::random_string(n, sigma, c);
+    const auto t = c % 2 == 0
+                       ? core::plant_edits(s, static_cast<std::int64_t>(c % 40),
+                                           c + 3, false, sigma)
+                             .text
+                       : core::random_string(n + 5, sigma, c + 777);
+    const auto d = route_query(s, t, RouterPolicy::kAuto,
+                               1 + c % 64, 1 + c % 8);
+    const auto exact = seq::edit_distance(s, t);
+    if (d.retire) {
+      ASSERT_EQ(d.distance, exact) << "case=" << c;
+    } else {
+      ASSERT_LE(d.lower_bound, exact) << "case=" << c;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mpcsd::core

@@ -93,5 +93,46 @@ TEST(BurstEdits, ZeroBurstsIdentity) {
   EXPECT_EQ(burst.edits_applied, 0);
 }
 
+TEST(NearDuplicatePairs, MixMatchesFractionAndPlantBounds) {
+  const auto pairs = near_duplicate_pairs(400, 64, 0.75, 120, 17);
+  ASSERT_EQ(pairs.size(), 64u);
+  std::size_t near = 0;
+  for (const auto& p : pairs) {
+    ASSERT_EQ(p.s.size(), 400u);
+    const auto exact = seq::edit_distance(p.s, p.t);
+    EXPECT_LE(exact, p.planted);
+    if (p.planted <= 8) ++near;
+  }
+  // 75% of 64 = 48 near pairs, up to rounding of the accumulator.
+  EXPECT_GE(near, 47u);
+  EXPECT_LE(near, 49u);
+  // The near mass cycles {0, 1, 2, 8}: exact duplicates must appear.
+  EXPECT_TRUE(std::any_of(pairs.begin(), pairs.end(),
+                          [](const QueryPair& p) { return p.s == p.t; }));
+}
+
+TEST(NearDuplicatePairs, DeterministicAndPerPairIndependent) {
+  const auto a = near_duplicate_pairs(200, 16, 0.5, 60, 23);
+  const auto b = near_duplicate_pairs(200, 16, 0.5, 60, 23);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].s, b[i].s) << i;
+    EXPECT_EQ(a[i].t, b[i].t) << i;
+  }
+  // Per-pair seed derivation: a longer run reproduces the shorter prefix.
+  const auto longer = near_duplicate_pairs(200, 32, 0.5, 60, 23);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(longer[i].s, a[i].s) << i;
+    EXPECT_EQ(longer[i].t, a[i].t) << i;
+  }
+}
+
+TEST(NearDuplicatePairs, ExtremeFractions) {
+  const auto all_near = near_duplicate_pairs(100, 12, 1.0, 500, 29);
+  for (const auto& p : all_near) EXPECT_LE(p.planted, 8);
+  const auto all_tail = near_duplicate_pairs(100, 12, 0.0, 30, 31);
+  for (const auto& p : all_tail) EXPECT_EQ(p.planted, 30);
+}
+
 }  // namespace
 }  // namespace mpcsd::core
