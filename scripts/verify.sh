@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # Tier-1 verification: build + ctest under one or more CMake presets.
 # Usage: scripts/verify.sh [preset ...]   (default: release asan)
-# Supported presets: default, release, asan, tsan (tsan's test preset
-# excludes the perf label — wall-clock gates are meaningless under TSan).
+# Supported presets: default, release, asan, ubsan, tsan (tsan's test
+# preset excludes the perf label — wall-clock gates are meaningless under
+# TSan; ubsan builds with -fno-sanitize-recover=all so any UB aborts).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 

@@ -168,11 +168,13 @@ BatchResult run_ulam_batch(const BatchRequest& request) {
 
   const double eps_prime = params.epsilon / 2.0;
   const mpc::Stage<UlamBatchTask> candidates_stage{
-      "batch:ulam:candidates", [&](mpc::StageContext<UlamBatchTask>& ctx) {
+      "batch:ulam:candidates",
+      [meta, eps_prime, theta_constant = params.theta_constant](
+          mpc::StageContext<UlamBatchTask>& ctx) {
         const QueryMeta& m = meta[ctx.in().query];
         ulam_mpc::CandidateParams cp;
         cp.eps_prime = eps_prime;
-        cp.theta_constant = params.theta_constant;
+        cp.theta_constant = theta_constant;
         cp.n = m.n;
         cp.n_bar = m.n_bar;
         ulam_mpc::CandidateStats st;
@@ -202,7 +204,9 @@ BatchResult run_ulam_batch(const BatchRequest& request) {
 
   using TupleInbox = mpc::Inbox<std::vector<seq::Tuple>>;
   const mpc::Stage<TupleInbox> combine_stage{
-      "batch:ulam:combine", [&](mpc::StageContext<TupleInbox>& ctx) {
+      "batch:ulam:combine",
+      [meta, combine_query,
+       combine_gap = params.combine_gap](mpc::StageContext<TupleInbox>& ctx) {
         const std::uint32_t q = combine_query[ctx.machine_id()];
         const QueryMeta& m = meta[q];
         std::uint64_t work = 0;
@@ -212,7 +216,7 @@ BatchResult run_ulam_batch(const BatchRequest& request) {
         }
         const std::size_t tuple_count = tuples.size();
         seq::CombineOptions copts;
-        copts.gap = params.combine_gap;
+        copts.gap = combine_gap;
         const std::int64_t answer =
             seq::combine_tuples(std::move(tuples), m.n, m.n_bar, copts, &work);
         ctx.charge_work(work);
@@ -364,7 +368,7 @@ std::vector<std::int64_t> run_edit_round_pair(
   }
 
   const mpc::Stage<EditBatchTask> distances_stage{
-      "batch:edit:distances", [&](mpc::StageContext<EditBatchTask>& ctx) {
+      "batch:edit:distances", [&cells](mpc::StageContext<EditBatchTask>& ctx) {
         const EditCell& cell = cells[ctx.in().cell];
         std::uint64_t work = 0;
         const auto tuples = edit_mpc::small_task_tuples(ctx.in().task, cell.params,
@@ -393,7 +397,7 @@ std::vector<std::int64_t> run_edit_round_pair(
 
   using TupleInbox = mpc::Inbox<std::vector<seq::Tuple>>;
   const mpc::Stage<TupleInbox> combine_stage{
-      "batch:edit:combine", [&](mpc::StageContext<TupleInbox>& ctx) {
+      "batch:edit:combine", [&meta, &cells](mpc::StageContext<TupleInbox>& ctx) {
         const auto c = static_cast<std::uint32_t>(ctx.machine_id());
         const QueryMeta& m = meta[cells[c].query];
         std::uint64_t work = 0;

@@ -278,7 +278,7 @@ LargeDistanceResult run_large_distance(SymView s, SymView t,
   }
 
   const mpc::Stage<RepVsNodes> representatives_stage{
-      "edit:large:representatives", [&](mpc::StageContext<RepVsNodes>& ctx) {
+      "edit:large:representatives", [taus, nb](mpc::StageContext<RepVsNodes>& ctx) {
         std::uint64_t work = 0;
         std::vector<RepTuple> tuples;
         for (const IdSyms& z : ctx.in().reps) {
@@ -356,12 +356,17 @@ LargeDistanceResult run_large_distance(SymView s, SymView t,
     const std::size_t b1 = std::min(nb, b0 + blocks_per_pairing_machine);
     PairingInput input;
     input.blocks.reserve(b1 - b0);
-    std::unordered_set<std::int32_t> reps_needed;
+    // Sorted dedupe (not a hash set): a bucket-order sweep would shard the
+    // rep lists in hash order and shift the golden trace across libraries.
+    std::vector<std::int32_t> reps_needed;
     for (std::size_t b = b0; b < b1; ++b) {
       input.blocks.push_back(BlockObsList{universe.blocks[b].begin,
                                           universe.blocks[b].end, btups[b]});
-      for (const BlockObservation& o : btups[b]) reps_needed.insert(o.rep);
+      for (const BlockObservation& o : btups[b]) reps_needed.push_back(o.rep);
     }
+    std::sort(reps_needed.begin(), reps_needed.end());
+    reps_needed.erase(std::unique(reps_needed.begin(), reps_needed.end()),
+                      reps_needed.end());
     input.reps.reserve(reps_needed.size());
     for (const std::int32_t z : reps_needed) {
       RepCsList list;
@@ -411,7 +416,9 @@ LargeDistanceResult run_large_distance(SymView s, SymView t,
   result.sampled_blocks = sampled_blocks;
 
   const mpc::Stage<ClassifyInput> classify_stage{
-      "edit:large:classify", [&](mpc::StageContext<ClassifyInput>& ctx) {
+      "edit:large:classify",
+      [taus, geo, cap, max_extend, block, larger_block, n,
+       n_bar](mpc::StageContext<ClassifyInput>& ctx) {
         std::uint64_t work = 0;
         if (const auto* pairing = std::get_if<PairingInput>(&ctx.in())) {
           // Pairing machine: join b-tuples with cs-tuples on the rep.
@@ -421,8 +428,10 @@ LargeDistanceResult run_large_distance(SymView s, SymView t,
           }
           std::vector<seq::Tuple> tuples;
           for (const BlockObsList& info : pairing->blocks) {
-            // Keep the best estimate per window.
-            std::unordered_map<std::uint64_t, std::int64_t> best;
+            // Keep the best estimate per window.  Sorted sweep (not a hash
+            // map): the tuple stream feeds metered mailboxes, so its byte
+            // order must not depend on the standard library's hash layout.
+            std::vector<std::pair<std::uint64_t, std::int64_t>> bounds;
             for (const BlockObservation& o : info.obs) {
               const auto it = cs_by_rep.find(o.rep);
               if (it == cs_by_rep.end()) continue;
@@ -432,11 +441,13 @@ LargeDistanceResult run_large_distance(SymView s, SymView t,
                 const std::uint64_t key =
                     (static_cast<std::uint64_t>(e.begin) << 32U) |
                     static_cast<std::uint64_t>(e.end - e.begin);
-                auto [bit, inserted] = best.emplace(key, bound);
-                if (!inserted && bound < bit->second) bit->second = bound;
+                bounds.emplace_back(key, bound);
               }
             }
-            for (const auto& [key, bound] : best) {
+            std::sort(bounds.begin(), bounds.end());
+            for (std::size_t i = 0; i < bounds.size(); ++i) {
+              if (i > 0 && bounds[i].first == bounds[i - 1].first) continue;
+              const auto [key, bound] = bounds[i];  // min: sorted pair order
               const auto begin = static_cast<std::int64_t>(key >> 32U);
               const auto len = static_cast<std::int64_t>(key & 0xffffffffULL);
               tuples.push_back(
@@ -550,7 +561,7 @@ LargeDistanceResult run_large_distance(SymView s, SymView t,
   // Stage 3 (Algorithm 7): evaluate extension requests exactly.
   // ------------------------------------------------------------------
   const mpc::Stage<ExtendBatch> extend_stage{
-      "edit:large:extend", [&](mpc::StageContext<ExtendBatch>& ctx) {
+      "edit:large:extend", [cap](mpc::StageContext<ExtendBatch>& ctx) {
         std::uint64_t work = 0;
         std::vector<seq::Tuple> tuples;
         for (const ExtendJob& job : ctx.in().jobs) {
@@ -577,7 +588,7 @@ LargeDistanceResult run_large_distance(SymView s, SymView t,
   all_tuples.add(mpc::gather_view(mail3, kTuples.mailbox));
   using TupleInbox = mpc::Inbox<std::vector<seq::Tuple>>;
   const mpc::Stage<TupleInbox> combine_stage{
-      "edit:large:combine", [&](mpc::StageContext<TupleInbox>& ctx) {
+      "edit:large:combine", [n, n_bar](mpc::StageContext<TupleInbox>& ctx) {
         std::uint64_t work = 0;
         std::vector<seq::Tuple> tuples;
         for (auto& batch : ctx.in().messages) {

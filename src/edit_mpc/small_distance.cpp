@@ -168,7 +168,7 @@ PipelineResult run_small_distance(SymView s, SymView t,
 
   // ---- Stage 1 (Algorithm 3): block-vs-candidate distances. ----
   const mpc::Stage<SmallTask> distances_stage{
-      "edit:small:distances", [&](mpc::StageContext<SmallTask>& ctx) {
+      "edit:small:distances", [params, geo](mpc::StageContext<SmallTask>& ctx) {
         std::uint64_t work = 0;
         const auto tuples = small_task_tuples(ctx.in(), params, geo, &work);
         ctx.charge_work(work);
@@ -184,7 +184,7 @@ PipelineResult run_small_distance(SymView s, SymView t,
   // writes are invisible (mpc/backend.hpp).
   using TupleInbox = mpc::Inbox<std::vector<seq::Tuple>>;
   const mpc::Stage<TupleInbox> combine_stage{
-      "edit:small:combine", [&](mpc::StageContext<TupleInbox>& ctx) {
+      "edit:small:combine", [n, n_bar](mpc::StageContext<TupleInbox>& ctx) {
         std::uint64_t work = 0;
         std::vector<seq::Tuple> tuples;
         for (auto& batch : ctx.in().messages) {

@@ -51,7 +51,7 @@ SortResult mpc_sort(Cluster& cluster, std::vector<KeyValue> records,
 
   // ---- Round 1: sample candidate splitters. ----
   const auto chunks = chunk_records(records, machines);
-  const auto mail1 = cluster.run_round("sort:sample", chunks, [&](MachineContext& ctx) {
+  const auto mail1 = cluster.run_round("sort:sample", chunks, [rate](MachineContext& ctx) {
     auto r = ctx.reader();
     const auto recs = r.get_vector<KeyValue>();
     std::vector<KeyValue> sample;
@@ -65,7 +65,7 @@ SortResult mpc_sort(Cluster& cluster, std::vector<KeyValue> records,
   });
 
   // ---- Round 2: one coordinator picks machines-1 splitters. ----
-  const auto mail2 = cluster.run_round_views("sort:splitters", {gather_view(mail1, 0)}, [&](MachineContext& ctx) {
+  const auto mail2 = cluster.run_round_views("sort:splitters", {gather_view(mail1, 0)}, [machines](MachineContext& ctx) {
     std::vector<KeyValue> sample;
     auto r = ctx.reader();
     while (!r.exhausted()) {
@@ -106,7 +106,7 @@ SortResult mpc_sort(Cluster& cluster, std::vector<KeyValue> records,
     round3_inputs[i].add(ByteSpan(chunks[i]));
   }
   const auto mail3 =
-      cluster.run_round_views("sort:partition", round3_inputs, [&](MachineContext& ctx) {
+      cluster.run_round_views("sort:partition", round3_inputs, [machines](MachineContext& ctx) {
         auto r = ctx.reader();
         const auto splits = r.get_vector<KeyValue>();
         const auto recs = r.get_vector<KeyValue>();
@@ -130,7 +130,7 @@ SortResult mpc_sort(Cluster& cluster, std::vector<KeyValue> records,
     round4_inputs.push_back(gather_view(mail3, static_cast<std::uint32_t>(p)));
   }
   const auto mail4 =
-      cluster.run_round_views("sort:local", round4_inputs, [&](MachineContext& ctx) {
+      cluster.run_round_views("sort:local", round4_inputs, [](MachineContext& ctx) {
         std::vector<KeyValue> recs;
         auto r = ctx.reader();
         while (!r.exhausted()) {
@@ -178,7 +178,7 @@ std::vector<JoinedRecord> mpc_hash_join(Cluster& cluster,
   const auto right_inputs = tag_inputs(right, 1);
   inputs.insert(inputs.end(), right_inputs.begin(), right_inputs.end());
 
-  const auto mail1 = cluster.run_round("join:partition", inputs, [&](MachineContext& ctx) {
+  const auto mail1 = cluster.run_round("join:partition", inputs, [machines](MachineContext& ctx) {
     auto r = ctx.reader();
     const auto tag = static_cast<std::uint8_t>(r.get<std::byte>());
     const auto recs = r.get_vector<KeyValue>();
@@ -201,7 +201,7 @@ std::vector<JoinedRecord> mpc_hash_join(Cluster& cluster,
   for (std::size_t p = 0; p < machines; ++p) {
     round2_inputs.push_back(gather_view(mail1, static_cast<std::uint32_t>(p)));
   }
-  const auto mail2 = cluster.run_round_views("join:match", round2_inputs, [&](MachineContext& ctx) {
+  const auto mail2 = cluster.run_round_views("join:match", round2_inputs, [](MachineContext& ctx) {
     std::vector<KeyValue> lefts;
     std::unordered_map<std::int64_t, std::int64_t> rights;
     auto r = ctx.reader();

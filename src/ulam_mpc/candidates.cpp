@@ -147,14 +147,20 @@ std::vector<Tuple> build_block_candidates(std::int64_t block_begin,
           1.0, params.theta_constant *
                    std::log(static_cast<double>(std::max<std::int64_t>(params.n, 3))) /
                    (eps * static_cast<double>(b_len)));
-      std::unordered_set<std::int64_t> anchor_diagonals;
+      // Unchanged characters in the same aligned run share a diagonal and
+      // hence an identical candidate set; dedupe on the diagonal.  Sorted
+      // dedupe (not a hash set) so the candidate stream cannot depend on
+      // the standard library's bucket order.
+      std::vector<std::int64_t> anchor_diagonals;
       for (const seq::MatchPoint& m : eval.points()) {
         if (!rng.bernoulli(theta)) continue;
         if (stats != nullptr) ++stats->anchors_sampled;
-        // Unchanged characters in the same aligned run share a diagonal and
-        // hence an identical candidate set; dedupe on the diagonal.
-        anchor_diagonals.insert(m.q - m.p);
+        anchor_diagonals.push_back(m.q - m.p);
       }
+      std::sort(anchor_diagonals.begin(), anchor_diagonals.end());
+      anchor_diagonals.erase(
+          std::unique(anchor_diagonals.begin(), anchor_diagonals.end()),
+          anchor_diagonals.end());
       if (stats != nullptr) stats->anchors_distinct += anchor_diagonals.size();
       for (const std::int64_t diag : anchor_diagonals) {
         const std::int64_t gamma2 = diag;          // q - p

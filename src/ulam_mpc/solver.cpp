@@ -130,10 +130,12 @@ UlamMpcResult ulam_distance_mpc(SymView s, SymView t, const UlamMpcParams& param
   // shared host array: machine bodies may run in forked worker processes
   // whose writes to host memory are invisible (mpc/backend.hpp).
   const mpc::Stage<BlockTask> candidates_stage{
-      "ulam:candidates", [&](mpc::StageContext<BlockTask>& ctx) {
+      "ulam:candidates",
+      [eps_prime, n, n_bar, theta_constant = params.theta_constant](
+          mpc::StageContext<BlockTask>& ctx) {
         CandidateParams cp;
         cp.eps_prime = eps_prime;
-        cp.theta_constant = params.theta_constant;
+        cp.theta_constant = theta_constant;
         cp.n = n;
         cp.n_bar = n_bar;
         CandidateStats st{};
@@ -163,7 +165,9 @@ UlamMpcResult ulam_distance_mpc(SymView s, SymView t, const UlamMpcParams& param
   // (zero-copy); its metered input is still the full mailbox byte count.
   using TupleInbox = mpc::Inbox<std::vector<seq::Tuple>>;
   const mpc::Stage<TupleInbox> combine_stage{
-      "ulam:combine", [&](mpc::StageContext<TupleInbox>& ctx) {
+      "ulam:combine",
+      [n, n_bar, keep_tuples = params.keep_tuples,
+       combine_gap = params.combine_gap](mpc::StageContext<TupleInbox>& ctx) {
         std::uint64_t work = 0;
         std::vector<seq::Tuple> tuples;
         for (auto& batch : ctx.in().messages) {
@@ -171,9 +175,9 @@ UlamMpcResult ulam_distance_mpc(SymView s, SymView t, const UlamMpcParams& param
         }
         const auto tuple_count = static_cast<std::uint64_t>(tuples.size());
         std::vector<seq::Tuple> kept;
-        if (params.keep_tuples) kept = tuples;
+        if (keep_tuples) kept = tuples;
         seq::CombineOptions options;
-        options.gap = params.combine_gap;
+        options.gap = combine_gap;
         const std::int64_t answer =
             seq::combine_tuples(std::move(tuples), n, n_bar, options, &work);
         ctx.charge_work(work);
@@ -182,7 +186,7 @@ UlamMpcResult ulam_distance_mpc(SymView s, SymView t, const UlamMpcParams& param
         // Diagnostics ride the stash; the answer rides the mailbox.  The
         // stash layout (count, then tuples iff keep_tuples) is decoded below.
         ctx.stash(tuple_count);
-        if (params.keep_tuples) ctx.stash(kept);
+        if (keep_tuples) ctx.stash(kept);
       }};
   std::vector<Bytes> stage2_stash;
   mpc::RoundOptions stage2_options;

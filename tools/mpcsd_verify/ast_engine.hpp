@@ -1,0 +1,28 @@
+// mpcsd-verify: the clang LibTooling engine (optional).
+//
+// Compiled only when the container has clang development libraries
+// (MPCSD_HAVE_CLANG_TOOLING); otherwise a stub TU reports the engine as
+// unavailable and the CLI falls back to the token engine.  Both engines
+// emit the same diagnostic catalog and are pinned to identical verdicts on
+// the fixture corpus by --self-test.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "diagnostics.hpp"
+
+namespace mpcsd_verify {
+
+/// True when this binary was built against clang LibTooling.
+[[nodiscard]] bool ast_engine_available();
+
+/// Analyzes `files` with the AST engine.  `compdb_dir` points at the
+/// directory holding compile_commands.json; when empty, a fixed C++20
+/// command line is used (fixture mode).  Appends findings to `out`.
+/// Returns false on a hard failure (engine unavailable, no parsable TU).
+[[nodiscard]] bool analyze_files_ast(const std::vector<std::string>& files,
+                                     const std::string& compdb_dir,
+                                     Diagnostics* out);
+
+}  // namespace mpcsd_verify

@@ -1,0 +1,13 @@
+// Stub AST engine for containers without clang development libraries.
+#include "ast_engine.hpp"
+
+namespace mpcsd_verify {
+
+bool ast_engine_available() { return false; }
+
+bool analyze_files_ast(const std::vector<std::string>&, const std::string&,
+                       Diagnostics*) {
+  return false;
+}
+
+}  // namespace mpcsd_verify

@@ -1,0 +1,18 @@
+// Fixture: raw intrinsics header outside the SIMD kernel TUs and the CPU
+// dispatch boundary.
+#include <immintrin.h>  // mpcsd-expect: conf-intrinsics
+
+#include <cstdint>
+
+namespace mpcsd {
+
+std::uint64_t popcount_word(std::uint64_t w) {
+  std::uint64_t count = 0;
+  while (w != 0) {
+    w &= w - 1;
+    ++count;
+  }
+  return count;
+}
+
+}  // namespace mpcsd

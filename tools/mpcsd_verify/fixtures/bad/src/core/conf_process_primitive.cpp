@@ -1,0 +1,11 @@
+// Fixture: process/shared-memory primitive outside backend_process.cpp.
+// Isolation machinery lives behind the backend boundary only.
+#include <unistd.h>
+
+namespace mpcsd {
+
+int spawn_helper() {
+  return fork();  // mpcsd-expect: conf-process-primitive
+}
+
+}  // namespace mpcsd

@@ -1,0 +1,12 @@
+// Fixture: reinterpret_cast outside the serialization boundary
+// (common/bytes.hpp) and the SIMD kernel TUs.
+#include <cstdint>
+#include <vector>
+
+namespace mpcsd {
+
+std::uint32_t first_word(const std::vector<std::uint8_t>& bytes) {
+  return *reinterpret_cast<const std::uint32_t*>(bytes.data());  // mpcsd-expect: conf-reinterpret-cast
+}
+
+}  // namespace mpcsd

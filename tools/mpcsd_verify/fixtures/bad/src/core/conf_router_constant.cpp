@@ -1,0 +1,13 @@
+// Fixture: a kRouter* cost-model constant declared outside
+// src/core/router.* — the router owns every knob the query planner reads.
+#include <cstdint>
+
+namespace mpcsd {
+
+inline constexpr double kRouterCrossoverSlope = 1.75;  // mpcsd-expect: conf-router-constant
+
+double score(double candidate_cost) {
+  return candidate_cost * kRouterCrossoverSlope;  // mpcsd-expect: conf-router-constant
+}
+
+}  // namespace mpcsd

@@ -1,0 +1,20 @@
+// Fixture: unordered iteration in driver code (file-wide determinism
+// scope: everything under src/edit_mpc/ shapes machine inputs).
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+namespace mpcsd {
+
+std::vector<std::int32_t> collect_representatives(
+    const std::vector<std::int32_t>& blocks) {
+  std::unordered_set<std::int32_t> reps_needed;
+  for (const std::int32_t b : blocks) reps_needed.insert(b / 2);
+  std::vector<std::int32_t> out;
+  for (const std::int32_t r : reps_needed) {  // mpcsd-expect: det-unordered-iter
+    out.push_back(r);
+  }
+  return out;
+}
+
+}  // namespace mpcsd

@@ -1,0 +1,19 @@
+// Clean fixture: mirrors src/common/bytes.hpp, the one header allowed to
+// reinterpret_cast (the serialization boundary).  Must produce no findings.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+namespace mpcsd {
+
+inline std::uint32_t load_u32(const std::uint8_t* p) {
+  return *reinterpret_cast<const std::uint32_t*>(p);
+}
+
+inline void store_u32(std::uint8_t* p, std::uint32_t v) {
+  std::memcpy(p, reinterpret_cast<const std::uint8_t*>(&v), sizeof(v));
+}
+
+}  // namespace mpcsd

@@ -1,0 +1,12 @@
+// Clean fixture: mirrors src/core/router.hpp, the owner of kRouter*
+// cost-model constants.  Must produce no findings.
+#pragma once
+
+namespace mpcsd {
+
+inline constexpr double kRouterCrossoverSlope = 1.75;
+inline constexpr double kRouterProbeBudget = 64.0;
+
+inline double router_score(double cost) { return cost * kRouterCrossoverSlope; }
+
+}  // namespace mpcsd

@@ -1,0 +1,19 @@
+// Clean fixture: mirrors src/mpc/backend_process.cpp, the only TU allowed
+// process and shared-memory primitives.  Must produce no findings.
+#include <sys/mman.h>
+#include <unistd.h>
+
+#include <cstddef>
+
+namespace mpc {
+
+void* map_shared(std::size_t bytes) {
+  return mmap(nullptr, bytes, PROT_READ | PROT_WRITE,
+              MAP_SHARED | MAP_ANONYMOUS, -1, 0);
+}
+
+int spawn_worker() { return fork(); }
+
+void unmap_shared(void* p, std::size_t bytes) { munmap(p, bytes); }
+
+}  // namespace mpc

@@ -1,0 +1,15 @@
+// Clean fixture: mirrors a SIMD kernel TU (src/seq/*_simd*.cpp), which is
+// allowed both the intrinsics header and reinterpret_cast over its own
+// buffers.  Must produce no findings.
+#include <immintrin.h>
+
+#include <cstdint>
+
+namespace mpcsd {
+
+std::uint64_t lane_bytes(const std::uint64_t* words) {
+  const auto* bytes = reinterpret_cast<const std::uint8_t*>(words);
+  return static_cast<std::uint64_t>(bytes[0]);
+}
+
+}  // namespace mpcsd

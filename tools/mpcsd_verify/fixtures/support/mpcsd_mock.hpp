@@ -1,0 +1,49 @@
+// Fixture scaffolding: just enough of the mpcsd MPC surface for the
+// fixtures to compile standalone under the clang AST engine.  The token
+// engine never includes headers, so this file is invisible to it; the
+// directory name "support" is skipped by the fixture walker.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mpc {
+
+struct MachineContext {
+  int machine_id = 0;
+  void emit(int dst, const std::vector<std::uint8_t>& bytes);
+  void charge_work(std::uint64_t units);
+  void stash_append(const std::vector<std::uint8_t>& bytes);
+};
+
+template <typename In>
+struct StageContext {
+  int machine_id = 0;
+  const std::vector<In>& inputs() const;
+  void emit(int dst, const In& value);
+};
+
+struct RoundReport {
+  double wall_seconds = 0.0;
+  std::uint64_t total_work = 0;
+};
+
+/// Accepts any machine/stage body (fixtures only exercise the signature).
+template <typename Body>
+void run_machines(int machines, Body body) {
+  MachineContext ctx;
+  for (int i = 0; i < machines; ++i) {
+    ctx.machine_id = i;
+    body(ctx);
+  }
+}
+
+template <typename In, typename Body>
+void run_stage(const std::vector<In>& inputs, Body body) {
+  StageContext<In> ctx;
+  (void)inputs;
+  body(ctx);
+}
+
+}  // namespace mpc

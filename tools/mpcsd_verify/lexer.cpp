@@ -1,0 +1,269 @@
+#include "lexer.hpp"
+
+#include <cctype>
+
+namespace mpcsd_verify {
+namespace {
+
+[[nodiscard]] bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+[[nodiscard]] bool ident_cont(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+/// Multi-character punctuators, longest first within each head character.
+/// (Only the ones that matter for maximal munch correctness; anything else
+/// falls back to a single character.)
+[[nodiscard]] std::size_t punct_len(std::string_view s) {
+  static constexpr std::string_view kThree[] = {"<<=", ">>=", "...", "->*"};
+  static constexpr std::string_view kTwo[] = {
+      "::", "->", "++", "--", "<<", ">>", "<=", ">=", "==", "!=", "&&",
+      "||", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "##", "<=>",
+  };
+  for (const auto p : kThree) {
+    if (s.substr(0, 3) == p) return 3;
+  }
+  if (s.substr(0, 3) == "<=>") return 3;
+  for (const auto p : kTwo) {
+    if (s.substr(0, 2) == p) return 2;
+  }
+  return 1;
+}
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view src) : src_(src) {}
+
+  std::vector<Tok> run() {
+    while (pos_ < src_.size()) {
+      const char c = src_[pos_];
+      if (c == '\n') {
+        ++line_;
+        ++pos_;
+        at_line_start_ = true;
+        continue;
+      }
+      if (c == ' ' || c == '\t' || c == '\r' || c == '\v' || c == '\f') {
+        ++pos_;
+        continue;
+      }
+      if (c == '\\' && pos_ + 1 < src_.size() && is_newline_at(pos_ + 1)) {
+        skip_continuation();
+        continue;
+      }
+      if (c == '/' && peek(1) == '/') {
+        skip_line_comment();
+        continue;
+      }
+      if (c == '/' && peek(1) == '*') {
+        skip_block_comment();
+        continue;
+      }
+      if (c == '#' && at_line_start_) {
+        lex_directive();
+        continue;
+      }
+      at_line_start_ = false;
+      if (ident_start(c)) {
+        lex_ident_or_prefixed_literal();
+        continue;
+      }
+      if (std::isdigit(static_cast<unsigned char>(c)) != 0 ||
+          (c == '.' && std::isdigit(static_cast<unsigned char>(peek(1))) != 0)) {
+        lex_number();
+        continue;
+      }
+      if (c == '"') {
+        lex_string(pos_);
+        continue;
+      }
+      if (c == '\'') {
+        lex_char(pos_);
+        continue;
+      }
+      const std::size_t len = punct_len(src_.substr(pos_));
+      push(TokKind::kPunct, pos_, pos_ + len);
+      pos_ += len;
+    }
+    return std::move(toks_);
+  }
+
+ private:
+  [[nodiscard]] char peek(std::size_t off) const {
+    return pos_ + off < src_.size() ? src_[pos_ + off] : '\0';
+  }
+  [[nodiscard]] bool is_newline_at(std::size_t p) const {
+    if (p >= src_.size()) return false;
+    if (src_[p] == '\n') return true;
+    return src_[p] == '\r' && p + 1 < src_.size() && src_[p + 1] == '\n';
+  }
+  void skip_continuation() {
+    ++pos_;  // backslash
+    if (pos_ < src_.size() && src_[pos_] == '\r') ++pos_;
+    if (pos_ < src_.size() && src_[pos_] == '\n') {
+      ++pos_;
+      ++line_;
+    }
+  }
+
+  void push(TokKind kind, std::size_t begin, std::size_t end, unsigned line = 0) {
+    toks_.push_back(
+        Tok{kind, std::string(src_.substr(begin, end - begin)), line ? line : line_});
+  }
+
+  void skip_line_comment() {
+    while (pos_ < src_.size() && src_[pos_] != '\n') {
+      if (src_[pos_] == '\\' && is_newline_at(pos_ + 1)) {
+        skip_continuation();
+        continue;
+      }
+      ++pos_;
+    }
+  }
+
+  void skip_block_comment() {
+    pos_ += 2;
+    while (pos_ < src_.size()) {
+      if (src_[pos_] == '\n') ++line_;
+      if (src_[pos_] == '*' && peek(1) == '/') {
+        pos_ += 2;
+        return;
+      }
+      ++pos_;
+    }
+  }
+
+  void lex_directive() {
+    const std::size_t begin = pos_;
+    const unsigned line = line_;
+    std::string text;
+    while (pos_ < src_.size() && src_[pos_] != '\n') {
+      if (src_[pos_] == '\\' && is_newline_at(pos_ + 1)) {
+        skip_continuation();
+        text += ' ';
+        continue;
+      }
+      if (src_[pos_] == '/' && peek(1) == '/') {
+        skip_line_comment();
+        break;
+      }
+      if (src_[pos_] == '/' && peek(1) == '*') {
+        skip_block_comment();
+        text += ' ';
+        continue;
+      }
+      text += src_[pos_++];
+    }
+    (void)begin;
+    toks_.push_back(Tok{TokKind::kDirective, std::move(text), line});
+    at_line_start_ = true;  // the trailing '\n' is consumed by the main loop
+  }
+
+  void lex_ident_or_prefixed_literal() {
+    const std::size_t begin = pos_;
+    while (pos_ < src_.size() && ident_cont(src_[pos_])) ++pos_;
+    const std::string_view id = src_.substr(begin, pos_ - begin);
+    // String/char prefixes: u8R"(..)", LR"(..)", u"..", L'c' ...
+    if (pos_ < src_.size() && (src_[pos_] == '"' || src_[pos_] == '\'')) {
+      const bool raw = !id.empty() && id.back() == 'R';
+      const bool prefix =
+          id == "R" || id == "L" || id == "u" || id == "U" || id == "u8" ||
+          id == "LR" || id == "uR" || id == "UR" || id == "u8R";
+      if (prefix) {
+        if (src_[pos_] == '"') {
+          if (raw) {
+            lex_raw_string(begin);
+          } else {
+            lex_string(begin);
+          }
+        } else {
+          lex_char(begin);
+        }
+        return;
+      }
+    }
+    push(TokKind::kIdent, begin, pos_);
+  }
+
+  void lex_number() {
+    const std::size_t begin = pos_;
+    while (pos_ < src_.size()) {
+      const char c = src_[pos_];
+      if (ident_cont(c) || c == '.' || c == '\'') {
+        ++pos_;
+        continue;
+      }
+      if ((c == '+' || c == '-') && pos_ > begin) {
+        const char prev = src_[pos_ - 1];
+        if (prev == 'e' || prev == 'E' || prev == 'p' || prev == 'P') {
+          ++pos_;
+          continue;
+        }
+      }
+      break;
+    }
+    push(TokKind::kNumber, begin, pos_);
+  }
+
+  void lex_string(std::size_t begin) {
+    const unsigned line = line_;
+    ++pos_;  // opening quote
+    while (pos_ < src_.size() && src_[pos_] != '"') {
+      if (src_[pos_] == '\\' && pos_ + 1 < src_.size()) {
+        if (src_[pos_ + 1] == '\n') ++line_;
+        pos_ += 2;
+        continue;
+      }
+      if (src_[pos_] == '\n') {  // unterminated; stop at line end
+        break;
+      }
+      ++pos_;
+    }
+    if (pos_ < src_.size() && src_[pos_] == '"') ++pos_;
+    push(TokKind::kString, begin, pos_, line);
+  }
+
+  void lex_raw_string(std::size_t begin) {
+    const unsigned line = line_;
+    ++pos_;  // opening quote
+    std::string delim;
+    while (pos_ < src_.size() && src_[pos_] != '(') delim += src_[pos_++];
+    const std::string close = ")" + delim + "\"";
+    const std::size_t found = src_.find(close, pos_);
+    const std::size_t end =
+        found == std::string_view::npos ? src_.size() : found + close.size();
+    for (std::size_t i = pos_; i < end && i < src_.size(); ++i) {
+      if (src_[i] == '\n') ++line_;
+    }
+    pos_ = end;
+    push(TokKind::kString, begin, pos_, line);
+  }
+
+  void lex_char(std::size_t begin) {
+    const unsigned line = line_;
+    ++pos_;  // opening quote
+    while (pos_ < src_.size() && src_[pos_] != '\'') {
+      if (src_[pos_] == '\\' && pos_ + 1 < src_.size()) {
+        pos_ += 2;
+        continue;
+      }
+      if (src_[pos_] == '\n') break;
+      ++pos_;
+    }
+    if (pos_ < src_.size() && src_[pos_] == '\'') ++pos_;
+    push(TokKind::kChar, begin, pos_, line);
+  }
+
+  std::string_view src_;
+  std::size_t pos_ = 0;
+  unsigned line_ = 1;
+  bool at_line_start_ = true;
+  std::vector<Tok> toks_;
+};
+
+}  // namespace
+
+std::vector<Tok> lex(std::string_view source) { return Lexer(source).run(); }
+
+}  // namespace mpcsd_verify

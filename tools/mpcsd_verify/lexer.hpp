@@ -1,0 +1,41 @@
+// mpcsd-verify: a small C++ lexer.
+//
+// Produces the token stream the portable engine analyzes: comments are
+// dropped (so prose cannot trip keyword rules the way it can trip grep),
+// string/char literals are single tokens (so "fork(" in a log message is
+// not a call), raw strings and line continuations are handled, and each
+// preprocessor directive is one token carrying its full (continued) text
+// (so `#include <immintrin.h>` is matchable as a unit).
+//
+// This is not a preprocessor: macros are not expanded and headers are not
+// included.  The analysis is per translation-unit *file*, which is exactly
+// the granularity the confinement rules are stated at.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mpcsd_verify {
+
+enum class TokKind {
+  kIdent,     ///< identifiers and keywords
+  kNumber,    ///< numeric literal (pp-number)
+  kString,    ///< string literal, including raw strings and prefixes
+  kChar,      ///< character literal
+  kPunct,     ///< operator/punctuator, maximal munch
+  kDirective, ///< whole preprocessor directive, continuations folded
+};
+
+struct Tok {
+  TokKind kind;
+  std::string text;
+  unsigned line = 0;  ///< 1-based line of the token's first character
+};
+
+/// Tokenizes `source`.  Never throws on malformed input: unterminated
+/// literals/comments simply end at EOF (the engine analyzes what it saw).
+[[nodiscard]] std::vector<Tok> lex(std::string_view source);
+
+}  // namespace mpcsd_verify

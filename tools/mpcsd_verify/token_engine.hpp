@@ -1,0 +1,31 @@
+// mpcsd-verify: the portable token-level engine.
+//
+// Always built (no dependency beyond the standard library), so the
+// conformance gate runs on minimal containers without clang dev libraries.
+// It analyzes one file at a time over the lexed token stream with enough
+// structure recovered to be AST-grade for this codebase's idioms: lambda
+// introducers and capture lists are parsed, machine/stage bodies are
+// identified by their context parameter types (`MachineContext&`,
+// `StageContext<T>&`), declaration scanning resolves const-ness and
+// unordered-container names, and every literal/comment is already out of
+// the stream (the lexer dropped them), which is precisely what the grep
+// rules could not do.
+//
+// The clang AST engine (ast_engine.hpp) implements the same catalog with
+// real semantic types; the fixture self-test pins both to identical
+// verdicts.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "diagnostics.hpp"
+
+namespace mpcsd_verify {
+
+/// Analyzes one file's contents.  `path` is used for scope policy; it is
+/// normalized internally.  Never throws on malformed input.
+[[nodiscard]] Diagnostics analyze_file_tokens(std::string_view path,
+                                              std::string_view source);
+
+}  // namespace mpcsd_verify
