@@ -7,6 +7,7 @@
 #include "common/env.hpp"
 #include "mpc/backend_process.hpp"
 #include "mpc/backend_thread.hpp"
+#include "mpc/transport_socket.hpp"
 
 namespace mpcsd::mpc {
 
@@ -14,6 +15,7 @@ std::optional<BackendKind> backend_from_string(std::string_view name) {
   if (name == "auto") return BackendKind::kAuto;
   if (name == "thread") return BackendKind::kThread;
   if (name == "process") return BackendKind::kProcess;
+  if (name == "socket") return BackendKind::kSocket;
   return std::nullopt;
 }
 
@@ -23,6 +25,8 @@ const char* backend_kind_name(BackendKind kind) noexcept {
       return "thread";
     case BackendKind::kProcess:
       return "process";
+    case BackendKind::kSocket:
+      return "socket";
     case BackendKind::kAuto:
       break;
   }
@@ -49,7 +53,7 @@ std::unique_ptr<ExecutionBackend> make_backend(BackendKind kind,
     // Fail loudly, once per process: a typo'd override silently running the
     // thread backend would fake a process-isolation CI leg.
     static std::atomic<bool> warned{false};
-    warn_env_once(warned, "MPCSD_BACKEND", env, "thread|process",
+    warn_env_once(warned, "MPCSD_BACKEND", env, "thread|process|socket",
                   "using the thread backend");
   }
   if (resolved.kind == BackendKind::kProcess) {
@@ -58,6 +62,14 @@ std::unique_ptr<ExecutionBackend> make_backend(BackendKind kind,
 #else
     throw std::runtime_error(
         "the process execution backend requires Linux (fork + memfd)");
+#endif
+  }
+  if (resolved.kind == BackendKind::kSocket) {
+#if defined(__linux__)
+    return std::make_unique<SocketBackend>(std::move(pool), recorder);
+#else
+    throw std::runtime_error(
+        "the socket execution backend requires Linux (fork + TCP loopback)");
 #endif
   }
   (void)recorder;

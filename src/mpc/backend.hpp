@@ -6,7 +6,7 @@
 //   * machine-body execution (this layer) — how the per-machine bodies of
 //     one round actually run and how their outputs come back.
 //
-// Two backends implement the contract:
+// Three backends implement the contract:
 //   * `ThreadBackend`  — the seed path: bodies run on the cluster's shared
 //     thread pool inside one address space.  Extracted verbatim; pinned
 //     byte-identical by the golden traces.
@@ -14,10 +14,18 @@
 //     body gets a copy-on-write snapshot of the host state; its writes are
 //     invisible to the host and to sibling machines, so a stray pointer
 //     physically cannot corrupt another machine's fragment.  Results travel
-//     back through per-worker shared-memory arenas (memfd) with round
-//     barriers and envelope headers over pipes.  See docs/BACKENDS.md.
+//     back through per-worker shared-memory arenas (memfd) carrying the
+//     shared machine-result records, with framed round barriers over pipes.
+//   * `SocketBackend`  — bodies run in forked workers that connect back to
+//     the host's TCP coordinator and stream the same records as
+//     length-prefixed frames (transport_socket.hpp).  See docs/BACKENDS.md.
 //
-// The determinism contract both backends must satisfy: given the same
+// Every backend owns a `Transport` (mpc/transport.hpp): the one framed
+// record layer all cross-machine bytes go through, with uniform
+// frames/bytes/flushes/barrier counters the cluster surfaces on the obs
+// spine after each round.
+//
+// The determinism contract every backend must satisfy: given the same
 // (inputs, body, seed, round), the per-machine outboxes (envelope order,
 // destinations, payload bytes), reports, and stash bytes are identical —
 // `ExecutionTrace::structural_hash()` and all metering cannot depend on the
@@ -34,24 +42,26 @@
 #include "common/bytes.hpp"
 #include "common/thread_pool.hpp"
 #include "mpc/stats.hpp"
+#include "mpc/transport.hpp"
 #include "obs/recorder.hpp"
 
 namespace mpcsd::mpc {
 
-struct Envelope;
 class MachineContext;
 
 enum class BackendKind : std::uint8_t {
   kAuto = 0,     ///< resolve from MPCSD_BACKEND (default: thread)
   kThread = 1,   ///< shared-address-space thread pool (seed semantics)
   kProcess = 2,  ///< forked worker processes + shared-memory result arenas
+  kSocket = 3,   ///< forked workers streaming frames over localhost TCP
 };
 
 /// Parses a `MPCSD_BACKEND` / `--backend` value; nullopt if unrecognised.
 [[nodiscard]] std::optional<BackendKind> backend_from_string(
     std::string_view name);
 
-/// Lower-case kind name ("auto" | "thread" | "process"), for logs/flags.
+/// Lower-case kind name ("auto" | "thread" | "process" | "socket"), for
+/// logs/flags.
 [[nodiscard]] const char* backend_kind_name(BackendKind kind) noexcept;
 
 /// Pure resolution of a requested kind against an environment override —
@@ -99,6 +109,10 @@ class ExecutionBackend {
   [[nodiscard]] virtual bool isolates_machine_memory() const noexcept = 0;
 
   [[nodiscard]] virtual const char* name() const noexcept = 0;
+
+  /// The transport carrying this backend's cross-machine bytes; its
+  /// counters feed the `transport.*` obs counters after every round.
+  [[nodiscard]] virtual const Transport& transport() const noexcept = 0;
 };
 
 /// Builds the backend for `kind` (resolving kAuto through MPCSD_BACKEND,

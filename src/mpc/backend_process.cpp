@@ -12,57 +12,19 @@
 #include <unistd.h>
 
 #include <algorithm>
-#include <array>
 #include <cerrno>
 #include <cstring>
 #include <stdexcept>
 #include <string>
 
-#include "common/rng.hpp"
-#include "common/timer.hpp"
+#include "common/io.hpp"
 #include "mpc/cluster.hpp"
+#include "mpc/transport.hpp"
 #include "obs/trace.hpp"
 
 namespace mpcsd::mpc {
 
 namespace {
-
-/// Fixed-size round barrier each worker writes to its pipe: status byte,
-/// arena byte count, body wall seconds (u8 + u64 + double, packed by
-/// ByteWriter — no struct padding on the wire).
-constexpr std::size_t kBarrierBytes = 1 + 8 + 8;
-
-/// Worker status values carried in the barrier.
-constexpr std::uint8_t kWorkerOk = 0;
-constexpr std::uint8_t kWorkerBodyThrew = 1;
-constexpr std::uint8_t kWorkerArenaFailed = 2;
-
-bool write_all(int fd, const std::byte* data, std::size_t n) {
-  while (n > 0) {
-    const ssize_t w = ::write(fd, data, n);
-    if (w < 0) {
-      if (errno == EINTR) continue;
-      return false;
-    }
-    data += w;
-    n -= static_cast<std::size_t>(w);
-  }
-  return true;
-}
-
-bool read_all(int fd, std::byte* data, std::size_t n) {
-  while (n > 0) {
-    const ssize_t r = ::read(fd, data, n);
-    if (r < 0) {
-      if (errno == EINTR) continue;
-      return false;
-    }
-    if (r == 0) return false;  // EOF: the worker died before the barrier
-    data += r;
-    n -= static_cast<std::size_t>(r);
-  }
-  return true;
-}
 
 std::string errno_detail(const char* what) {
   return std::string(what) + ": " + std::strerror(errno);
@@ -75,70 +37,41 @@ ProcessBackend::ProcessBackend(std::shared_ptr<ThreadPool> pool,
     : pool_(std::move(pool)), recorder_(recorder) {}
 
 ProcessBackend::~ProcessBackend() {
-  for (const int fd : arena_fds_) {
-    if (fd >= 0) ::close(fd);
-  }
+  for (int& fd : arena_fds_) io::close_fd(fd);
 }
 
 void ProcessBackend::run_worker(const RoundWork& work, std::size_t begin,
                                 std::size_t end, int arena_fd, int pipe_fd) {
   // The forked child: pool threads did not survive the fork, so the
-  // partition runs serially.  Everything the bodies read (inputs, captured
+  // partition runs serially (run_round_partition, shared with the socket
+  // backend's workers).  Everything the bodies read (inputs, captured
   // driver state) is a copy-on-write snapshot of the host at fork time;
   // everything they produce leaves only through the arena below.
   ByteWriter out;
-  std::uint8_t status = kWorkerOk;
-  const Stopwatch body_wall;
-  try {
-    for (std::size_t i = begin; i < end; ++i) {
-      std::vector<Envelope> outbox;
-      Bytes stash;
-      MachineContext ctx(i, &(*work.inputs)[i],
-                         derive_stream(work.seed, work.round, i), &outbox,
-                         &stash);
-      ctx.report_.input_bytes = (*work.inputs)[i].total_bytes();
-      (*work.body)(ctx);
-      out.put(ctx.report_);
-      out.put_vector(stash);
-      out.put<std::uint64_t>(outbox.size());
-      for (const Envelope& env : outbox) {
-        out.put<std::uint32_t>(env.dest);
-        out.put_vector(env.payload);
-      }
-    }
-  } catch (const std::exception& e) {
-    status = kWorkerBodyThrew;
-    out = ByteWriter{};
-    out.put_string(e.what());
-  } catch (...) {
-    status = kWorkerBodyThrew;
-    out = ByteWriter{};
-    out.put_string("non-standard exception in machine body");
-  }
-  const double seconds = body_wall.seconds();
+  BarrierRecord barrier = run_round_partition(work, begin, end, out);
 
   // Publish the results through the shared-memory arena: size it to this
   // round, map, copy, unmap.  The fd (and so the shm object) outlives the
   // worker — the host maps the same object to read the bytes back.
   const Bytes& payload = out.bytes();
   if (::ftruncate(arena_fd, static_cast<off_t>(payload.size())) != 0) {
-    status = kWorkerArenaFailed;
+    barrier.status = kWorkerPublishFailed;
   } else if (!payload.empty()) {
     void* map = ::mmap(nullptr, payload.size(), PROT_READ | PROT_WRITE,
                        MAP_SHARED, arena_fd, 0);
     if (map == MAP_FAILED) {
-      status = kWorkerArenaFailed;
+      barrier.status = kWorkerPublishFailed;
     } else {
       std::memcpy(map, payload.data(), payload.size());
       ::munmap(map, payload.size());
     }
   }
+  if (barrier.status == kWorkerPublishFailed) barrier.result_bytes = 0;
 
-  ByteWriter barrier;
-  barrier.put<std::uint8_t>(status);
-  barrier.put<std::uint64_t>(status == kWorkerArenaFailed ? 0 : payload.size());
-  barrier.put<double>(seconds);
-  (void)write_all(pipe_fd, barrier.bytes().data(), barrier.bytes().size());
+  ByteWriter record;
+  encode_barrier(record, barrier);
+  FrameStream stream(pipe_fd);
+  (void)stream.send(FrameTag::kBarrier, ByteSpan(record.bytes()));
 }
 
 void ProcessBackend::execute(const RoundWork& work) {
@@ -181,35 +114,51 @@ void ProcessBackend::execute(const RoundWork& work) {
     const pid_t pid = ::fork();
     if (pid < 0) {
       failure = errno_detail("process backend: fork");
-      ::close(fds[0]);
-      ::close(fds[1]);
+      io::close_fd(fds[0]);
+      io::close_fd(fds[1]);
       break;
     }
     if (pid == 0) {
       // Child: run the partition, publish, and _exit — never unwind into
       // the host's destructors (the inherited pool object has no threads).
-      ::close(fds[0]);
+      io::close_fd(fds[0]);
       run_worker(work, begin, end, arena_fds_[w], fds[1]);
       ::_exit(0);
     }
     // Host: drop the write end now, so a worker that dies before the
     // barrier turns into pipe EOF instead of a hang.
-    ::close(fds[1]);
+    io::close_fd(fds[1]);
     live.push_back(Worker{pid, fds[0], begin, end});
   }
 
   // Round barrier: collect every forked worker (even after a failure, so
   // no zombies or dangling pipes survive the throw below).
+  TransportCounters& counters = transport_.counters();
   for (std::size_t w = 0; w < live.size(); ++w) {
-    const Worker& worker = live[w];
-    std::array<std::byte, kBarrierBytes> barrier_buf{};
-    const bool got_barrier =
-        read_all(worker.pipe_fd, barrier_buf.data(), barrier_buf.size());
-    ::close(worker.pipe_fd);
+    Worker& worker = live[w];
+    FrameStream stream(worker.pipe_fd, &counters);
+    BarrierRecord barrier;
+    bool got_barrier = false;
+    std::string frame_error;
+    try {
+      const auto frame = stream.recv();
+      if (frame.has_value() && frame->tag == FrameTag::kBarrier) {
+        ByteReader r(frame->payload);
+        barrier = decode_barrier(r);
+        got_barrier = true;
+      }
+    } catch (const std::exception& e) {
+      frame_error = e.what();
+    }
+    io::close_fd(worker.pipe_fd);
     int wait_status = 0;
     while (::waitpid(worker.pid, &wait_status, 0) < 0 && errno == EINTR) {
     }
     if (!failure.empty()) continue;  // already failing; just reap
+    if (!frame_error.empty()) {
+      failure = "process backend: corrupt round barrier: " + frame_error;
+      continue;
+    }
     if (!got_barrier) {
       failure = "process backend: worker for machines [" +
                 std::to_string(worker.begin) + ", " +
@@ -219,17 +168,15 @@ void ProcessBackend::execute(const RoundWork& work) {
                      : "");
       continue;
     }
-    ByteReader barrier(barrier_buf.data(), barrier_buf.size());
-    const auto status = barrier.get<std::uint8_t>();
-    const auto arena_bytes = barrier.get<std::uint64_t>();
-    const double body_seconds = barrier.get<double>();
-    if (status == kWorkerArenaFailed) {
+    ++counters.barrier_waits;
+    if (barrier.status == kWorkerPublishFailed) {
       failure = "process backend: worker could not publish its result arena";
       continue;
     }
 
-    // Map the worker's arena and parse results back into the cluster's
-    // round arenas, in machine order.
+    // Map the worker's arena and parse the shared machine-result records
+    // back into the cluster's round arenas, in machine order.
+    const std::uint64_t arena_bytes = barrier.result_bytes;
     void* map = nullptr;
     if (arena_bytes > 0) {
       map = ::mmap(nullptr, arena_bytes, PROT_READ, MAP_SHARED, arena_fds_[w],
@@ -241,21 +188,13 @@ void ProcessBackend::execute(const RoundWork& work) {
     }
     try {
       ByteReader r(static_cast<const std::byte*>(map), arena_bytes);
-      if (status == kWorkerBodyThrew) {
+      if (barrier.status == kWorkerBodyThrew) {
         failure = "machine body failed in worker process: " + r.get_string();
       } else {
-        for (std::size_t i = worker.begin; i < worker.end; ++i) {
-          (*work.reports)[i] = r.get<MachineReport>();
-          (*work.stashes)[i] = r.get_vector<std::byte>();
-          std::vector<Envelope>& outbox = (*work.outboxes)[i];
-          outbox.clear();
-          const auto count = r.get<std::uint64_t>();
-          outbox.reserve(count);
-          for (std::uint64_t e = 0; e < count; ++e) {
-            const auto dest = r.get<std::uint32_t>();
-            outbox.push_back(Envelope{dest, r.get_vector<std::byte>()});
-          }
-        }
+        decode_partition_results(r, work, worker.begin, worker.end);
+        ++counters.frames_received;  // one published arena of records
+        counters.bytes_received += arena_bytes;
+        ++counters.flushes;
       }
     } catch (const std::exception& e) {
       failure = std::string("process backend: corrupt result arena: ") +
@@ -269,7 +208,7 @@ void ProcessBackend::execute(const RoundWork& work) {
       ev.category = "backend";
       ev.track = w + 1;  // per-worker-process tracks, merged into one trace
       ev.ts_us = round_start_us;
-      ev.dur_us = static_cast<std::uint64_t>(body_seconds * 1e6);
+      ev.dur_us = static_cast<std::uint64_t>(barrier.body_seconds * 1e6);
       ev.args = {{"machines", static_cast<double>(worker.end - worker.begin)},
                  {"pid", static_cast<double>(worker.pid)}};
       recorder_->emit(std::move(ev));

@@ -8,15 +8,16 @@
 //     count); worker w owns the contiguous machine partition
 //     [w*M/W, (w+1)*M/W) and runs its bodies serially (forked children
 //     do not inherit pool threads);
-//   * each worker serializes its machines' outboxes/reports/stashes into a
-//     long-lived per-worker shared-memory arena (memfd, one per slot,
-//     created on first use and remapped to the round's size), then reports
-//     a fixed-size round barrier — status, arena byte count, body wall
-//     seconds — over a pipe;
-//   * the host maps each arena read-only, parses the envelope headers and
-//     payloads back into the cluster's arenas in machine order, reaps the
-//     worker, and (with a recorder attached) emits one span per worker
-//     process on its own track id, merged into the one trace.
+//   * each worker serializes its machines' outboxes/reports/stashes as the
+//     shared machine-result records (mpc/transport.hpp) into a long-lived
+//     per-worker shared-memory arena (memfd, one per slot, created on
+//     first use and remapped to the round's size), then sends a framed
+//     `BarrierRecord` — status, arena byte count, body wall seconds —
+//     over a pipe;
+//   * the host maps each arena read-only, decodes the records back into
+//     the cluster's arenas in machine order (decode_partition_results),
+//     reaps the worker, and (with a recorder attached) emits one span per
+//     worker process on its own track id, merged into the one trace.
 //
 // A body exception inside a worker serializes its message into the arena
 // (status byte distinguishes it) and is rethrown host-side; a crashed
@@ -54,15 +55,23 @@ class ProcessBackend final : public ExecutionBackend {
 
   [[nodiscard]] const char* name() const noexcept override { return "process"; }
 
+  /// Shared-memory wire: a frame is one published result arena; the
+  /// barrier frames travel over the per-worker pipes.
+  [[nodiscard]] const Transport& transport() const noexcept override {
+    return transport_;
+  }
+
  private:
-  /// Child-side: runs machines [begin, end) serially, serializes results
-  /// into the arena fd, writes the round barrier to the pipe.  Never
-  /// returns control to the cluster — the caller `_exit`s.
+  /// Child-side: runs machines [begin, end) serially (run_round_partition),
+  /// publishes the result records into the arena fd, sends the framed
+  /// round barrier over the pipe.  Never returns control to the cluster —
+  /// the caller `_exit`s.
   static void run_worker(const RoundWork& work, std::size_t begin,
                          std::size_t end, int arena_fd, int pipe_fd);
 
   std::shared_ptr<ThreadPool> pool_;
   obs::Recorder* recorder_;
+  CountingTransport transport_{"shm"};
   /// One memfd per worker slot, created lazily and kept across rounds so
   /// steady-state rounds reuse the same shared-memory object.
   std::vector<int> arena_fds_;

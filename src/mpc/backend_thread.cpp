@@ -19,6 +19,23 @@ void ThreadBackend::execute(const RoundWork& work) {
         (*work.reports)[i] = ctx.report_;
       },
       work.grain);
+
+  // Transport accounting after the join (reads only; results untouched):
+  // in-process, every envelope is "sent" and "received" in the same move,
+  // and the parallel_for join is the round barrier.
+  TransportCounters& c = transport_.counters();
+  std::uint64_t envelopes = 0;
+  std::uint64_t bytes = 0;
+  for (std::size_t i = 0; i < work.machines; ++i) {
+    envelopes += (*work.outboxes)[i].size();
+    bytes += (*work.reports)[i].output_bytes;
+  }
+  c.frames_sent += envelopes;
+  c.frames_received += envelopes;
+  c.bytes_sent += bytes;
+  c.bytes_received += bytes;
+  ++c.flushes;
+  ++c.barrier_waits;
 }
 
 }  // namespace mpcsd::mpc

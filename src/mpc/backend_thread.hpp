@@ -27,8 +27,15 @@ class ThreadBackend final : public ExecutionBackend {
 
   [[nodiscard]] const char* name() const noexcept override { return "thread"; }
 
+  /// In-process "wire": a frame is one envelope handed to the router, a
+  /// flush is the round's arena handoff, the barrier is the pool join.
+  [[nodiscard]] const Transport& transport() const noexcept override {
+    return transport_;
+  }
+
  private:
   std::shared_ptr<ThreadPool> pool_;
+  CountingTransport transport_{"inproc"};
 };
 
 }  // namespace mpcsd::mpc

@@ -348,6 +348,21 @@ Mail Cluster::run_round_views(const std::string& label,
                 static_cast<double>(pc.indices_claimed));
     rec.counter("pool.peak_queue_depth", "pool",
                 static_cast<double>(pc.peak_queue_depth));
+    // Per-transport counters (cumulative, like the pool's): what one
+    // "frame" means per backend is documented in docs/BACKENDS.md.
+    const TransportCounters& tc = backend_->transport().counters();
+    rec.counter("transport.frames_sent", "transport",
+                static_cast<double>(tc.frames_sent));
+    rec.counter("transport.frames_received", "transport",
+                static_cast<double>(tc.frames_received));
+    rec.counter("transport.bytes_sent", "transport",
+                static_cast<double>(tc.bytes_sent));
+    rec.counter("transport.bytes_received", "transport",
+                static_cast<double>(tc.bytes_received));
+    rec.counter("transport.flushes", "transport",
+                static_cast<double>(tc.flushes));
+    rec.counter("transport.barrier_waits", "transport",
+                static_cast<double>(tc.barrier_waits));
   }
   maybe_decay_arenas(machines, mail.msgs_.size());
   return mail;

@@ -75,11 +75,8 @@ class MemoryLimitExceeded : public std::runtime_error {
   using std::runtime_error::runtime_error;
 };
 
-/// One routed message: destination mailbox and its (owned) payload.
-struct Envelope {
-  std::uint32_t dest = 0;
-  Bytes payload;
-};
+// `Envelope` — one routed message — lives in mpc/transport.hpp now: it is
+// the transport layer's data unit (included here via mpc/backend.hpp).
 
 /// The merged mail of one round: a flat vector of envelopes, stable-sorted
 /// by destination (within a mailbox: machine id order, then emission order —
@@ -139,7 +136,11 @@ class MachineContext {
  private:
   friend class Cluster;
   friend class ThreadBackend;
-  friend class ProcessBackend;
+  /// The worker side of the isolating backends (process, socket) builds
+  /// contexts through the shared partition runner in transport.cpp.
+  friend BarrierRecord run_round_partition(const RoundWork& work,
+                                           std::size_t begin, std::size_t end,
+                                           ByteWriter& out);
   MachineContext(std::size_t id, const ByteChain* input, Pcg32 rng,
                  std::vector<Envelope>* outbox, Bytes* stash)
       : id_(id), input_(input), rng_(rng), outbox_(outbox), stash_(stash) {}

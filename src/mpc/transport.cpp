@@ -1,0 +1,219 @@
+#include "mpc/transport.hpp"
+
+#include <algorithm>
+#include <array>
+
+#include "common/io.hpp"
+#include "common/rng.hpp"
+#include "common/timer.hpp"
+#include "mpc/backend.hpp"
+#include "mpc/cluster.hpp"
+
+namespace mpcsd::mpc {
+
+// --- frame protocol ---------------------------------------------------
+
+void encode_frame_header(ByteWriter& w, FrameTag tag,
+                         std::uint64_t payload_bytes) {
+  w.put<std::uint32_t>(kFrameMagic);
+  w.put<std::uint8_t>(kFrameVersion);
+  w.put<std::uint8_t>(static_cast<std::uint8_t>(tag));
+  w.put<std::uint64_t>(payload_bytes);
+}
+
+FrameHeader decode_frame_header(const std::byte* data, std::size_t size) {
+  if (size < kFrameHeaderBytes) {
+    throw FrameError("truncated frame header: " + std::to_string(size) +
+                     " of " + std::to_string(kFrameHeaderBytes) + " bytes");
+  }
+  ByteReader r(data, kFrameHeaderBytes);
+  const auto magic = r.get<std::uint32_t>();
+  if (magic != kFrameMagic) {
+    throw FrameError("bad frame magic " + std::to_string(magic));
+  }
+  const auto version = r.get<std::uint8_t>();
+  if (version != kFrameVersion) {
+    throw FrameError("unsupported frame version " + std::to_string(version));
+  }
+  const auto tag = r.get<std::uint8_t>();
+  if (tag < static_cast<std::uint8_t>(FrameTag::kHello) ||
+      tag > static_cast<std::uint8_t>(FrameTag::kPong)) {
+    throw FrameError("unknown frame tag " + std::to_string(tag));
+  }
+  const auto payload_bytes = r.get<std::uint64_t>();
+  if (payload_bytes > kMaxFramePayload) {
+    throw FrameError("oversized frame payload: " +
+                     std::to_string(payload_bytes) + " > " +
+                     std::to_string(kMaxFramePayload) + " bytes");
+  }
+  return FrameHeader{static_cast<FrameTag>(tag), payload_bytes};
+}
+
+bool FrameStream::send(FrameTag tag, ByteSpan payload) {
+  ByteWriter header;
+  header.reserve(kFrameHeaderBytes);
+  encode_frame_header(header, tag, payload.size());
+  const bool ok =
+      medium_ == Medium::kSocket
+          ? io::write_full_nosignal(fd_, header.bytes().data(),
+                                    header.bytes().size()) &&
+                io::write_full_nosignal(fd_, payload.data(), payload.size())
+          : io::write_full(fd_, header.bytes().data(),
+                           header.bytes().size()) &&
+                io::write_full(fd_, payload.data(), payload.size());
+  if (ok && counters_ != nullptr) {
+    ++counters_->frames_sent;
+    counters_->bytes_sent += kFrameHeaderBytes + payload.size();
+    ++counters_->flushes;  // one kernel handoff per frame (unbuffered)
+  }
+  return ok;
+}
+
+std::optional<Frame> FrameStream::recv() {
+  std::array<std::byte, kFrameHeaderBytes> header{};
+  if (!io::read_full(fd_, header.data(), header.size())) {
+    return std::nullopt;  // peer closed before (or mid) header
+  }
+  const FrameHeader h = decode_frame_header(header.data(), header.size());
+  Frame frame;
+  frame.tag = h.tag;
+  frame.payload.resize(h.payload_bytes);
+  if (h.payload_bytes > 0 &&
+      !io::read_full(fd_, frame.payload.data(), frame.payload.size())) {
+    throw FrameError("frame payload cut short: peer closed mid-message");
+  }
+  if (counters_ != nullptr) {
+    ++counters_->frames_received;
+    counters_->bytes_received += kFrameHeaderBytes + h.payload_bytes;
+  }
+  return frame;
+}
+
+// --- wire records ------------------------------------------------------
+
+void encode_barrier(ByteWriter& w, const BarrierRecord& record) {
+  w.put<std::uint8_t>(record.status);
+  w.put<std::uint64_t>(record.result_bytes);
+  w.put<double>(record.body_seconds);
+}
+
+BarrierRecord decode_barrier(ByteReader& r) {
+  BarrierRecord record;
+  record.status = r.get<std::uint8_t>();
+  if (record.status > kWorkerPublishFailed) {
+    throw FrameError("unknown worker status " +
+                     std::to_string(record.status) + " in barrier record");
+  }
+  record.result_bytes = r.get<std::uint64_t>();
+  record.body_seconds = r.get<double>();
+  return record;
+}
+
+void encode_hello(ByteWriter& w, const HelloRecord& record) {
+  w.put<std::uint32_t>(record.slot);
+  w.put<std::uint8_t>(record.body_affinity);
+  w.put<std::uint64_t>(record.round);
+}
+
+HelloRecord decode_hello(ByteReader& r) {
+  HelloRecord record;
+  record.slot = r.get<std::uint32_t>();
+  record.body_affinity = r.get<std::uint8_t>();
+  if (record.body_affinity > 1) {
+    throw FrameError("bad body-affinity flag " +
+                     std::to_string(record.body_affinity) + " in hello");
+  }
+  record.round = r.get<std::uint64_t>();
+  return record;
+}
+
+void encode_assign(ByteWriter& w, const AssignRecord& record) {
+  w.put<std::uint64_t>(record.round);
+  w.put<std::uint64_t>(record.seed);
+  w.put<std::uint64_t>(record.begin);
+  w.put<std::uint64_t>(record.end);
+}
+
+AssignRecord decode_assign(ByteReader& r) {
+  AssignRecord record;
+  record.round = r.get<std::uint64_t>();
+  record.seed = r.get<std::uint64_t>();
+  record.begin = r.get<std::uint64_t>();
+  record.end = r.get<std::uint64_t>();
+  if (record.begin > record.end) {
+    throw FrameError("inverted machine range [" +
+                     std::to_string(record.begin) + ", " +
+                     std::to_string(record.end) + ") in assign record");
+  }
+  return record;
+}
+
+void encode_machine_result(ByteWriter& w, const MachineReport& report,
+                           const Bytes& stash,
+                           const std::vector<Envelope>& outbox) {
+  w.put(report);
+  w.put_vector(stash);
+  w.put<std::uint64_t>(outbox.size());
+  for (const Envelope& env : outbox) {
+    w.put<std::uint32_t>(env.dest);
+    w.put_vector(env.payload);
+  }
+}
+
+void decode_machine_result(ByteReader& r, MachineReport* report, Bytes* stash,
+                           std::vector<Envelope>* outbox) {
+  *report = r.get<MachineReport>();
+  *stash = r.get_vector<std::byte>();
+  outbox->clear();
+  const auto count = r.get<std::uint64_t>();
+  // Cap the speculative reserve: a corrupt count cannot force a huge
+  // allocation — each envelope costs >= 12 wire bytes, so the reader will
+  // underflow (ContractViolation) long before a capped vector regrows.
+  constexpr std::uint64_t kReserveCap = 1u << 16;
+  outbox->reserve(static_cast<std::size_t>(std::min(count, kReserveCap)));
+  for (std::uint64_t e = 0; e < count; ++e) {
+    const auto dest = r.get<std::uint32_t>();
+    outbox->push_back(Envelope{dest, r.get_vector<std::byte>()});
+  }
+}
+
+// --- worker-side round execution ---------------------------------------
+
+BarrierRecord run_round_partition(const RoundWork& work, std::size_t begin,
+                                  std::size_t end, ByteWriter& out) {
+  BarrierRecord record;
+  const Stopwatch body_wall;
+  try {
+    for (std::size_t i = begin; i < end; ++i) {
+      std::vector<Envelope> outbox;
+      Bytes stash;
+      MachineContext ctx(i, &(*work.inputs)[i],
+                         derive_stream(work.seed, work.round, i), &outbox,
+                         &stash);
+      ctx.report_.input_bytes = (*work.inputs)[i].total_bytes();
+      (*work.body)(ctx);
+      encode_machine_result(out, ctx.report_, stash, outbox);
+    }
+  } catch (const std::exception& e) {
+    record.status = kWorkerBodyThrew;
+    out = ByteWriter{};
+    out.put_string(e.what());
+  } catch (...) {
+    record.status = kWorkerBodyThrew;
+    out = ByteWriter{};
+    out.put_string("non-standard exception in machine body");
+  }
+  record.body_seconds = body_wall.seconds();
+  record.result_bytes = out.bytes().size();
+  return record;
+}
+
+void decode_partition_results(ByteReader& r, const RoundWork& work,
+                              std::size_t begin, std::size_t end) {
+  for (std::size_t i = begin; i < end; ++i) {
+    decode_machine_result(r, &(*work.reports)[i], &(*work.stashes)[i],
+                          &(*work.outboxes)[i]);
+  }
+}
+
+}  // namespace mpcsd::mpc

@@ -1,0 +1,142 @@
+// The TCP socket transport and its execution backend.
+//
+// `SocketTransport` is the coordinator side: one listening TCP socket
+// (localhost by default, `MPCSD_SOCKET_LISTEN=host:port` to override,
+// port 0 = ephemeral) accepting workers that speak the framed protocol of
+// mpc/transport.hpp.  Every socket/bind/listen/accept/connect syscall in
+// the codebase lives in transport_socket.cpp — one reviewable boundary,
+// enforced by lint Rule 8 and mpcsd_verify.
+//
+// `SocketBackend` runs a round as: fork one worker per pool slot (machine
+// bodies are C++ closures, so workers must share the host's address-space
+// snapshot — the same copy-on-write affinity the process backend uses);
+// each worker connects back to the coordinator and the two sides speak
+// frames end to end:
+//
+//   worker -> kHello   {slot, body_affinity=1, round}
+//   host   -> kAssign  {round, seed, begin, end}   (echo-validated)
+//   worker -> kResults machine-result records for [begin, end)
+//             (or kError with the body's exception message)
+//   worker -> kBarrier {status, result bytes, body wall seconds}
+//
+// Results and metering are byte-identical to the thread and process
+// backends (same records, same decode path); only the wire differs.
+//
+// `mpcsd_cli --worker host:port[,host:port...]` runs `run_socket_worker`:
+// a standalone protocol worker that connects to a coordinator, announces
+// body_affinity=0, and serves control frames (ping/pong, shutdown).  A
+// coordinator turns such workers away from closure rounds — shipping
+// registered plans to remote workers is the ROADMAP's next step; the
+// handshake, framing, and host:port plumbing here are its scaffolding.
+// See docs/BACKENDS.md.
+//
+// Linux-only (fork + TCP loopback); `make_backend` refuses the kind
+// elsewhere.  `parse_host_port_list` is portable and always available.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+#include "mpc/backend.hpp"
+#include "mpc/transport.hpp"
+#include "obs/recorder.hpp"
+
+namespace mpcsd::mpc {
+
+struct HostPort {
+  std::string host;
+  std::uint16_t port = 0;
+};
+
+/// Parses "host:port" or a comma-separated list of them ("127.0.0.1:7000,
+/// 10.0.0.2:7000").  Throws std::invalid_argument on an empty list, a
+/// missing colon, or a port outside [0, 65535].
+[[nodiscard]] std::vector<HostPort> parse_host_port_list(
+    std::string_view text);
+
+#if defined(__linux__)
+
+/// Coordinator side of the TCP transport: owns the listening socket and
+/// the frame/byte counters for everything that crosses it.
+class SocketTransport final : public Transport {
+ public:
+  /// Remembers the listen address; no syscalls until `ensure_listening`.
+  explicit SocketTransport(HostPort listen);
+  ~SocketTransport() override;
+
+  SocketTransport(const SocketTransport&) = delete;
+  SocketTransport& operator=(const SocketTransport&) = delete;
+
+  [[nodiscard]] const char* name() const noexcept override { return "tcp"; }
+
+  /// Binds and listens on first call (resolving an ephemeral port); no-op
+  /// after.  Throws std::runtime_error on bind/listen failure.
+  void ensure_listening();
+
+  /// The bound address; port is the resolved one once listening.
+  [[nodiscard]] const HostPort& address() const noexcept { return bound_; }
+
+  /// Waits up to `timeout_ms` for one inbound connection; returns the
+  /// accepted fd or -1 on timeout.  Throws on poll/accept errors.
+  [[nodiscard]] int accept_connection(int timeout_ms);
+
+  /// Client side: blocking TCP connect to `target` ("localhost" maps to
+  /// 127.0.0.1).  Returns the connected fd, or -1 on failure.
+  [[nodiscard]] static int connect_to(const HostPort& target);
+
+ private:
+  HostPort bound_;
+  int listen_fd_ = -1;
+};
+
+/// Execution backend running machine bodies in forked workers that stream
+/// their results back over the coordinator's TCP socket.
+class SocketBackend final : public ExecutionBackend {
+ public:
+  SocketBackend(std::shared_ptr<ThreadPool> pool, obs::Recorder* recorder);
+
+  SocketBackend(const SocketBackend&) = delete;
+  SocketBackend& operator=(const SocketBackend&) = delete;
+
+  void execute(const RoundWork& work) override;
+
+  /// Forked bodies write copy-on-write pages, exactly like the process
+  /// backend; the TCP hop changes the wire, not the isolation.
+  [[nodiscard]] bool isolates_machine_memory() const noexcept override {
+    return true;
+  }
+
+  [[nodiscard]] const char* name() const noexcept override { return "socket"; }
+
+  [[nodiscard]] const Transport& transport() const noexcept override {
+    return *transport_;
+  }
+
+ private:
+  /// Child-side: connect back, handshake, run machines [begin, end)
+  /// (run_round_partition), stream results + barrier.  Caller `_exit`s.
+  static void run_worker(const RoundWork& work, std::uint32_t slot,
+                         std::size_t begin, std::size_t end,
+                         const HostPort& coordinator);
+
+  std::shared_ptr<ThreadPool> pool_;
+  obs::Recorder* recorder_;
+  std::unique_ptr<SocketTransport> transport_;
+};
+
+/// Standalone protocol worker (`mpcsd_cli --worker`): connects to the
+/// first reachable coordinator in `coordinators`, announces itself with
+/// body_affinity=0, then serves control frames until kShutdown or the
+/// coordinator disconnects.  Progress goes to `log` (e.g. stderr).
+/// Returns a process exit code (0 on an orderly shutdown/disconnect).
+int run_socket_worker(const std::vector<HostPort>& coordinators,
+                      std::FILE* log);
+
+#endif  // defined(__linux__)
+
+}  // namespace mpcsd::mpc

@@ -1,6 +1,7 @@
 // The pluggable execution-backend layer: kind parsing / resolution policy,
-// thread-vs-process byte equivalence on raw cluster rounds, the unmetered
-// stash side channel, and worker-failure propagation from forked bodies.
+// thread/process/socket byte equivalence on raw cluster rounds, the
+// unmetered stash side channel, and worker-failure propagation from forked
+// bodies (via shared-memory arenas and TCP frames alike).
 #include <gtest/gtest.h>
 
 #include <cstdint>
@@ -24,13 +25,14 @@ Bytes payload_of(std::uint64_t v) {
 }
 
 TEST(Backend, KindParsingRoundTrips) {
-  for (const auto kind :
-       {BackendKind::kAuto, BackendKind::kThread, BackendKind::kProcess}) {
+  for (const auto kind : {BackendKind::kAuto, BackendKind::kThread,
+                          BackendKind::kProcess, BackendKind::kSocket}) {
     const auto parsed = backend_from_string(backend_kind_name(kind));
     ASSERT_TRUE(parsed.has_value());
     EXPECT_EQ(*parsed, kind);
   }
   EXPECT_FALSE(backend_from_string("fork").has_value());
+  EXPECT_FALSE(backend_from_string("tcp").has_value());
   EXPECT_FALSE(backend_from_string("Thread").has_value());
   EXPECT_FALSE(backend_from_string("").has_value());
 }
@@ -38,18 +40,23 @@ TEST(Backend, KindParsingRoundTrips) {
 TEST(Backend, ResolutionPolicy) {
   // An explicit request wins outright; the environment is not consulted.
   for (const char* env : {static_cast<const char*>(nullptr), "process",
-                          "thread", "bogus"}) {
+                          "thread", "socket", "bogus"}) {
     EXPECT_EQ(resolve_backend(BackendKind::kThread, env).kind,
               BackendKind::kThread);
     EXPECT_EQ(resolve_backend(BackendKind::kProcess, env).kind,
               BackendKind::kProcess);
+    EXPECT_EQ(resolve_backend(BackendKind::kSocket, env).kind,
+              BackendKind::kSocket);
     EXPECT_TRUE(resolve_backend(BackendKind::kProcess, env).recognised);
+    EXPECT_TRUE(resolve_backend(BackendKind::kSocket, env).recognised);
   }
   // kAuto resolves through the environment, defaulting to thread.
   EXPECT_EQ(resolve_backend(BackendKind::kAuto, nullptr).kind,
             BackendKind::kThread);
   EXPECT_EQ(resolve_backend(BackendKind::kAuto, "process").kind,
             BackendKind::kProcess);
+  EXPECT_EQ(resolve_backend(BackendKind::kAuto, "socket").kind,
+            BackendKind::kSocket);
   EXPECT_EQ(resolve_backend(BackendKind::kAuto, "thread").kind,
             BackendKind::kThread);
   // An unrecognised env value falls back to thread and is flagged so the
@@ -72,6 +79,24 @@ TEST(Backend, MakeBackendReportsIsolation) {
       make_backend(BackendKind::kProcess, pool, nullptr);
   EXPECT_STREQ(process_backend->name(), "process");
   EXPECT_TRUE(process_backend->isolates_machine_memory());
+  const auto socket_backend = make_backend(BackendKind::kSocket, pool, nullptr);
+  EXPECT_STREQ(socket_backend->name(), "socket");
+  EXPECT_TRUE(socket_backend->isolates_machine_memory());
+}
+
+TEST(Backend, BackendsExposeTheirTransport) {
+  // Every backend owns a metered transport; the names pin the wire each
+  // one uses (see docs/BACKENDS.md).
+  auto pool = std::make_shared<ThreadPool>(2);
+  EXPECT_STREQ(
+      make_backend(BackendKind::kThread, pool, nullptr)->transport().name(),
+      "inproc");
+  EXPECT_STREQ(
+      make_backend(BackendKind::kProcess, pool, nullptr)->transport().name(),
+      "shm");
+  EXPECT_STREQ(
+      make_backend(BackendKind::kSocket, pool, nullptr)->transport().name(),
+      "tcp");
 }
 
 TEST(Backend, ProcessRoundByteIdenticalToThreadRound) {
@@ -116,7 +141,8 @@ TEST(Backend, ProcessRoundByteIdenticalToThreadRound) {
                            cluster.trace().structural_hash());
   };
   const auto base = run(BackendKind::kThread, 1);
-  for (const auto backend : {BackendKind::kThread, BackendKind::kProcess}) {
+  for (const auto backend : {BackendKind::kThread, BackendKind::kProcess,
+                             BackendKind::kSocket}) {
     for (const std::size_t workers : {1ul, 3ul, 8ul}) {
       const auto got = run(backend, workers);
       EXPECT_EQ(std::get<0>(got), std::get<0>(base))
@@ -130,7 +156,8 @@ TEST(Backend, ProcessRoundByteIdenticalToThreadRound) {
 }
 
 TEST(Backend, StashRoundTripThroughPlanDriver) {
-  for (const auto backend : {BackendKind::kThread, BackendKind::kProcess}) {
+  for (const auto backend : {BackendKind::kThread, BackendKind::kProcess,
+                             BackendKind::kSocket}) {
     ClusterConfig cfg;
     cfg.workers = 2;
     cfg.backend = backend;
@@ -154,46 +181,55 @@ TEST(Backend, StashRoundTripThroughPlanDriver) {
   }
 }
 
-TEST(Backend, ProcessBackendPropagatesBodyFailure) {
-  ClusterConfig cfg;
-  cfg.workers = 2;
-  cfg.backend = BackendKind::kProcess;
-  Cluster cluster(cfg);
-  std::vector<Bytes> inputs;
-  for (std::uint64_t i = 0; i < 8; ++i) inputs.push_back(payload_of(i));
-  try {
-    cluster.run_round("doomed", inputs, [](MachineContext& ctx) {
-      auto r = ctx.reader();
-      if (r.get<std::uint64_t>() == 5) {
-        throw std::runtime_error("machine 5 exploded");
-      }
-    });
-    FAIL() << "expected the worker failure to propagate";
-  } catch (const std::runtime_error& e) {
-    const std::string what = e.what();
-    EXPECT_NE(what.find("machine body failed in worker process"),
-              std::string::npos)
-        << what;
-    EXPECT_NE(what.find("machine 5 exploded"), std::string::npos) << what;
+TEST(Backend, IsolatingBackendsPropagateBodyFailure) {
+  // A body exception inside a forked worker must surface host-side with
+  // the same message whether the record travelled through a shared-memory
+  // arena (process) or a TCP frame (socket).
+  for (const auto backend : {BackendKind::kProcess, BackendKind::kSocket}) {
+    ClusterConfig cfg;
+    cfg.workers = 2;
+    cfg.backend = backend;
+    Cluster cluster(cfg);
+    std::vector<Bytes> inputs;
+    for (std::uint64_t i = 0; i < 8; ++i) inputs.push_back(payload_of(i));
+    try {
+      cluster.run_round("doomed", inputs, [](MachineContext& ctx) {
+        auto r = ctx.reader();
+        if (r.get<std::uint64_t>() == 5) {
+          throw std::runtime_error("machine 5 exploded");
+        }
+      });
+      FAIL() << "expected the worker failure to propagate on "
+             << backend_kind_name(backend);
+    } catch (const std::runtime_error& e) {
+      const std::string what = e.what();
+      EXPECT_NE(what.find("machine body failed in worker process"),
+                std::string::npos)
+          << backend_kind_name(backend) << ": " << what;
+      EXPECT_NE(what.find("machine 5 exploded"), std::string::npos)
+          << backend_kind_name(backend) << ": " << what;
+    }
   }
 }
 
-TEST(Backend, ProcessWritesToCapturedHostStateAreInvisible) {
+TEST(Backend, IsolatedWritesToCapturedHostStateAreInvisible) {
   // The documented isolation property: a body that scribbles on captured
   // host memory has no effect on the host (on the thread backend this same
   // body would be a model violation the auditor has to catch with
-  // canaries; process isolation makes it physically inert).
-  ClusterConfig cfg;
-  cfg.workers = 2;
-  cfg.backend = BackendKind::kProcess;
-  Cluster cluster(cfg);
-  std::vector<Bytes> inputs{payload_of(1), payload_of(2)};
-  std::uint64_t host_state = 42;
-  cluster.run_round("scribble", inputs, [&host_state](MachineContext& ctx) {
-    (void)ctx;
-    host_state = 999;  // lands in the child's COW copy only
-  });
-  EXPECT_EQ(host_state, 42u);
+  // canaries; fork isolation makes it physically inert).
+  for (const auto backend : {BackendKind::kProcess, BackendKind::kSocket}) {
+    ClusterConfig cfg;
+    cfg.workers = 2;
+    cfg.backend = backend;
+    Cluster cluster(cfg);
+    std::vector<Bytes> inputs{payload_of(1), payload_of(2)};
+    std::uint64_t host_state = 42;
+    cluster.run_round("scribble", inputs, [&host_state](MachineContext& ctx) {
+      (void)ctx;
+      host_state = 999;  // lands in the child's COW copy only
+    });
+    EXPECT_EQ(host_state, 42u) << backend_kind_name(backend);
+  }
 }
 
 }  // namespace

@@ -136,10 +136,11 @@ TEST(Determinism, UlamTraceHashIndependentOfIsaLevel) {
 }
 
 TEST(Determinism, UlamTraceHashIndependentOfExecutionBackend) {
-  // The execution backend (thread pool vs forked worker processes) is an
-  // implementation detail of where machine bodies run; the metered model —
-  // distance, per-round stats, structural trace hash — must be
-  // byte-identical across {thread, process} x worker counts.
+  // The execution backend (thread pool, forked worker processes, or forked
+  // workers streaming TCP frames) is an implementation detail of where
+  // machine bodies run; the metered model — distance, per-round stats,
+  // structural trace hash — must be byte-identical across
+  // {thread, process, socket} x worker counts.
   const auto s = core::random_permutation(600, 61);
   const auto t = core::plant_edits(s, 40, 62, true).text;
   auto run = [&](mpc::BackendKind backend, std::size_t workers) {
@@ -149,8 +150,9 @@ TEST(Determinism, UlamTraceHashIndependentOfExecutionBackend) {
     return ulam_mpc::ulam_distance_mpc(s, t, params);
   };
   const auto base = run(mpc::BackendKind::kThread, 1);
-  for (const auto backend :
-       {mpc::BackendKind::kThread, mpc::BackendKind::kProcess}) {
+  for (const auto backend : {mpc::BackendKind::kThread,
+                             mpc::BackendKind::kProcess,
+                             mpc::BackendKind::kSocket}) {
     for (const std::size_t workers : {1ul, 2ul, 5ul}) {
       const auto r = run(backend, workers);
       EXPECT_EQ(r.distance, base.distance)
@@ -171,8 +173,9 @@ TEST(Determinism, EditTraceHashIndependentOfExecutionBackend) {
     return edit_mpc::edit_distance_mpc(s, t, params);
   };
   const auto base = run(mpc::BackendKind::kThread, 1);
-  for (const auto backend :
-       {mpc::BackendKind::kThread, mpc::BackendKind::kProcess}) {
+  for (const auto backend : {mpc::BackendKind::kThread,
+                             mpc::BackendKind::kProcess,
+                             mpc::BackendKind::kSocket}) {
     for (const std::size_t workers : {1ul, 2ul, 5ul}) {
       const auto r = run(backend, workers);
       EXPECT_EQ(r.distance, base.distance)
@@ -203,12 +206,19 @@ TEST(Determinism, BatchTraceHashIndependentOfExecutionBackend) {
     return core::distance_batch(r);
   };
   const auto threaded = run(mpc::BackendKind::kThread);
-  const auto forked = run(mpc::BackendKind::kProcess);
-  ASSERT_EQ(forked.queries.size(), threaded.queries.size());
-  for (std::size_t q = 0; q < threaded.queries.size(); ++q) {
-    EXPECT_EQ(forked.queries[q].distance, threaded.queries[q].distance) << q;
+  for (const auto backend :
+       {mpc::BackendKind::kProcess, mpc::BackendKind::kSocket}) {
+    const auto isolated = run(backend);
+    ASSERT_EQ(isolated.queries.size(), threaded.queries.size())
+        << mpc::backend_kind_name(backend);
+    for (std::size_t q = 0; q < threaded.queries.size(); ++q) {
+      EXPECT_EQ(isolated.queries[q].distance, threaded.queries[q].distance)
+          << mpc::backend_kind_name(backend) << " query " << q;
+    }
+    EXPECT_EQ(isolated.trace.structural_hash(),
+              threaded.trace.structural_hash())
+        << mpc::backend_kind_name(backend);
   }
-  EXPECT_EQ(forked.trace.structural_hash(), threaded.trace.structural_hash());
 }
 
 TEST(Determinism, StructuralHashIgnoresWallClockOnly) {

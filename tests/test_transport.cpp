@@ -1,0 +1,354 @@
+// The transport layer: frame header validation, wire-record round trips
+// (barrier / hello / assign / machine results), FrameStream over real fds,
+// the EINTR-safe io helpers, host:port parsing, and the standalone socket
+// worker's control-frame protocol against a mock coordinator.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/contracts.hpp"
+#include "common/io.hpp"
+#include "mpc/stats.hpp"
+#include "mpc/transport.hpp"
+#include "mpc/transport_socket.hpp"
+
+namespace mpcsd::mpc {
+namespace {
+
+Bytes header_bytes(FrameTag tag, std::uint64_t payload_bytes) {
+  ByteWriter w;
+  encode_frame_header(w, tag, payload_bytes);
+  return std::move(w).take();
+}
+
+TEST(Frame, HeaderRoundTripsEveryTag) {
+  for (const auto tag :
+       {FrameTag::kHello, FrameTag::kAssign, FrameTag::kResults,
+        FrameTag::kBarrier, FrameTag::kError, FrameTag::kShutdown,
+        FrameTag::kPing, FrameTag::kPong}) {
+    const Bytes raw = header_bytes(tag, 12345);
+    ASSERT_EQ(raw.size(), kFrameHeaderBytes);
+    const FrameHeader h = decode_frame_header(raw.data(), raw.size());
+    EXPECT_EQ(h.tag, tag);
+    EXPECT_EQ(h.payload_bytes, 12345u);
+  }
+}
+
+TEST(Frame, TruncatedHeaderThrows) {
+  const Bytes raw = header_bytes(FrameTag::kHello, 0);
+  for (std::size_t n = 0; n < kFrameHeaderBytes; ++n) {
+    EXPECT_THROW((void)decode_frame_header(raw.data(), n), FrameError) << n;
+  }
+}
+
+TEST(Frame, BadMagicThrows) {
+  Bytes raw = header_bytes(FrameTag::kHello, 0);
+  raw[0] ^= std::byte{0xFF};
+  EXPECT_THROW((void)decode_frame_header(raw.data(), raw.size()), FrameError);
+}
+
+TEST(Frame, UnsupportedVersionThrows) {
+  Bytes raw = header_bytes(FrameTag::kHello, 0);
+  raw[4] = std::byte{kFrameVersion + 1};
+  EXPECT_THROW((void)decode_frame_header(raw.data(), raw.size()), FrameError);
+}
+
+TEST(Frame, UnknownTagThrows) {
+  for (const std::uint8_t tag : {std::uint8_t{0}, std::uint8_t{9},
+                                 std::uint8_t{0xFF}}) {
+    Bytes raw = header_bytes(FrameTag::kHello, 0);
+    raw[5] = std::byte{tag};
+    EXPECT_THROW((void)decode_frame_header(raw.data(), raw.size()), FrameError)
+        << unsigned(tag);
+  }
+}
+
+TEST(Frame, OversizedPayloadThrows) {
+  const Bytes raw = header_bytes(FrameTag::kResults, kMaxFramePayload + 1);
+  EXPECT_THROW((void)decode_frame_header(raw.data(), raw.size()), FrameError);
+  // The cap itself is allowed.
+  const Bytes ok = header_bytes(FrameTag::kResults, kMaxFramePayload);
+  EXPECT_EQ(decode_frame_header(ok.data(), ok.size()).payload_bytes,
+            kMaxFramePayload);
+}
+
+TEST(Records, BarrierRoundTripsAndIsPinnedTo17Bytes) {
+  const BarrierRecord in{kWorkerBodyThrew, 987654321, 1.5};
+  ByteWriter w;
+  encode_barrier(w, in);
+  // The former process-backend pipe barrier layout, byte for byte.
+  ASSERT_EQ(w.bytes().size(), kBarrierRecordBytes);
+  ByteReader r(w.bytes().data(), w.bytes().size());
+  const BarrierRecord out = decode_barrier(r);
+  EXPECT_EQ(out.status, in.status);
+  EXPECT_EQ(out.result_bytes, in.result_bytes);
+  EXPECT_EQ(out.body_seconds, in.body_seconds);
+}
+
+TEST(Records, BarrierRejectsUnknownStatus) {
+  ByteWriter w;
+  encode_barrier(w, BarrierRecord{});
+  Bytes raw(w.bytes().begin(), w.bytes().end());
+  raw[0] = std::byte{kWorkerPublishFailed + 1};
+  ByteReader r(raw.data(), raw.size());
+  EXPECT_THROW((void)decode_barrier(r), FrameError);
+}
+
+TEST(Records, HelloAndAssignRoundTrip) {
+  ByteWriter w;
+  encode_hello(w, HelloRecord{7, 1, 42});
+  ByteReader r(w.bytes().data(), w.bytes().size());
+  const HelloRecord hello = decode_hello(r);
+  EXPECT_EQ(hello.slot, 7u);
+  EXPECT_EQ(hello.body_affinity, 1);
+  EXPECT_EQ(hello.round, 42u);
+
+  ByteWriter w2;
+  encode_assign(w2, AssignRecord{42, 0xDEADBEEF, 3, 11});
+  ByteReader r2(w2.bytes().data(), w2.bytes().size());
+  const AssignRecord assign = decode_assign(r2);
+  EXPECT_EQ(assign.round, 42u);
+  EXPECT_EQ(assign.seed, 0xDEADBEEFu);
+  EXPECT_EQ(assign.begin, 3u);
+  EXPECT_EQ(assign.end, 11u);
+}
+
+TEST(Records, HelloRejectsBadAffinityAssignRejectsInvertedRange) {
+  ByteWriter w;
+  encode_hello(w, HelloRecord{1, 1, 0});
+  Bytes raw(w.bytes().begin(), w.bytes().end());
+  raw[4] = std::byte{2};  // affinity is a boolean on the wire
+  ByteReader r(raw.data(), raw.size());
+  EXPECT_THROW((void)decode_hello(r), FrameError);
+
+  ByteWriter w2;
+  encode_assign(w2, AssignRecord{0, 0, /*begin=*/9, /*end=*/3});
+  ByteReader r2(w2.bytes().data(), w2.bytes().size());
+  EXPECT_THROW((void)decode_assign(r2), FrameError);
+}
+
+TEST(Records, MachineResultRoundTrips) {
+  MachineReport report;
+  report.input_bytes = 100;
+  report.output_bytes = 200;
+  report.scratch_bytes = 300;
+  report.work = 400;
+  Bytes stash{std::byte{1}, std::byte{2}, std::byte{3}};
+  std::vector<Envelope> outbox;
+  for (std::uint32_t i = 0; i < 5; ++i) {
+    outbox.push_back(Envelope{i * 7, Bytes(i, std::byte{0xAB})});
+  }
+  ByteWriter w;
+  encode_machine_result(w, report, stash, outbox);
+
+  MachineReport report2;
+  Bytes stash2;
+  std::vector<Envelope> outbox2;
+  ByteReader r(w.bytes().data(), w.bytes().size());
+  decode_machine_result(r, &report2, &stash2, &outbox2);
+  EXPECT_EQ(report2.input_bytes, report.input_bytes);
+  EXPECT_EQ(report2.output_bytes, report.output_bytes);
+  EXPECT_EQ(report2.scratch_bytes, report.scratch_bytes);
+  EXPECT_EQ(report2.work, report.work);
+  EXPECT_EQ(stash2, stash);
+  ASSERT_EQ(outbox2.size(), outbox.size());
+  for (std::size_t i = 0; i < outbox.size(); ++i) {
+    EXPECT_EQ(outbox2[i].dest, outbox[i].dest) << i;
+    EXPECT_EQ(outbox2[i].payload, outbox[i].payload) << i;
+  }
+}
+
+TEST(Records, MachineResultRejectsTruncationWithoutHugeAllocation) {
+  // A corrupt outbox count must fail on reader underflow, not allocate.
+  MachineReport report;
+  ByteWriter w;
+  w.put(report);
+  w.put_vector(Bytes{});
+  w.put<std::uint64_t>(std::uint64_t{1} << 60);  // absurd envelope count
+  Bytes raw(w.bytes().begin(), w.bytes().end());
+  MachineReport report2;
+  Bytes stash2;
+  std::vector<Envelope> outbox2;
+  ByteReader r(raw.data(), raw.size());
+  EXPECT_THROW(decode_machine_result(r, &report2, &stash2, &outbox2),
+               ContractViolation);
+}
+
+TEST(FrameStream, RoundTripsOverAPipeAndMeters) {
+  int fds[2] = {-1, -1};
+  ASSERT_EQ(::pipe(fds), 0);
+  TransportCounters tx;
+  TransportCounters rx;
+  FrameStream writer(fds[1], &tx);
+  FrameStream reader(fds[0], &rx);
+
+  ByteWriter payload;
+  payload.put_string("the payload");
+  ASSERT_TRUE(writer.send(FrameTag::kPing, ByteSpan(payload.bytes())));
+  const auto frame = reader.recv();
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_EQ(frame->tag, FrameTag::kPing);
+  ByteReader r(frame->payload);
+  EXPECT_EQ(r.get_string(), "the payload");
+
+  EXPECT_EQ(tx.frames_sent, 1u);
+  EXPECT_EQ(tx.bytes_sent, kFrameHeaderBytes + payload.bytes().size());
+  EXPECT_EQ(tx.flushes, 1u);
+  EXPECT_EQ(rx.frames_received, 1u);
+  EXPECT_EQ(rx.bytes_received, kFrameHeaderBytes + payload.bytes().size());
+
+  // Peer closing before a header is a clean EOF, not an error.
+  io::close_fd(fds[1]);
+  EXPECT_FALSE(reader.recv().has_value());
+  io::close_fd(fds[0]);
+}
+
+TEST(FrameStream, PayloadCutShortIsAFrameError) {
+  int fds[2] = {-1, -1};
+  ASSERT_EQ(::pipe(fds), 0);
+  // A header promising 64 bytes, then only 3 bytes before EOF.
+  const Bytes head = header_bytes(FrameTag::kResults, 64);
+  ASSERT_TRUE(io::write_full(fds[1], head.data(), head.size()));
+  const char partial[3] = {'a', 'b', 'c'};
+  ASSERT_TRUE(io::write_full(fds[1], partial, sizeof(partial)));
+  io::close_fd(fds[1]);
+  FrameStream reader(fds[0]);
+  EXPECT_THROW((void)reader.recv(), FrameError);
+  io::close_fd(fds[0]);
+}
+
+TEST(FrameStream, MalformedHeaderOnTheWireIsAFrameError) {
+  int fds[2] = {-1, -1};
+  ASSERT_EQ(::pipe(fds), 0);
+  Bytes head = header_bytes(FrameTag::kResults, 8);
+  head[0] ^= std::byte{0x55};  // corrupt the magic
+  ASSERT_TRUE(io::write_full(fds[1], head.data(), head.size()));
+  io::close_fd(fds[1]);
+  FrameStream reader(fds[0]);
+  EXPECT_THROW((void)reader.recv(), FrameError);
+  io::close_fd(fds[0]);
+}
+
+TEST(Io, ReadFullAssemblesDribbledWrites) {
+  // read_full must keep reading across short reads until the request is
+  // filled; a writer thread dribbles the bytes a few at a time.
+  int fds[2] = {-1, -1};
+  ASSERT_EQ(::pipe(fds), 0);
+  Bytes sent(10000);
+  for (std::size_t i = 0; i < sent.size(); ++i) {
+    sent[i] = std::byte(i * 131);
+  }
+  std::thread writer([&] {
+    std::size_t off = 0;
+    while (off < sent.size()) {
+      const std::size_t n = std::min<std::size_t>(97, sent.size() - off);
+      ASSERT_TRUE(io::write_full(fds[1], sent.data() + off, n));
+      off += n;
+    }
+    io::close_fd(fds[1]);
+  });
+  Bytes got(sent.size());
+  EXPECT_TRUE(io::read_full(fds[0], got.data(), got.size()));
+  EXPECT_EQ(got, sent);
+  // Stream exhausted: the next read hits EOF and reports failure.
+  std::byte one;
+  EXPECT_FALSE(io::read_full(fds[0], &one, 1));
+  writer.join();
+  io::close_fd(fds[0]);
+  EXPECT_EQ(fds[0], -1);  // close_fd resets the stored fd
+}
+
+TEST(HostPort, ParsesSinglesAndLists) {
+  const auto one = parse_host_port_list("127.0.0.1:7000");
+  ASSERT_EQ(one.size(), 1u);
+  EXPECT_EQ(one[0].host, "127.0.0.1");
+  EXPECT_EQ(one[0].port, 7000);
+
+  const auto many = parse_host_port_list("localhost:0, 10.0.0.2:65535");
+  ASSERT_EQ(many.size(), 2u);
+  EXPECT_EQ(many[0].host, "localhost");
+  EXPECT_EQ(many[0].port, 0);
+  EXPECT_EQ(many[1].host, "10.0.0.2");
+  EXPECT_EQ(many[1].port, 65535);
+}
+
+TEST(HostPort, RejectsMalformedEntries) {
+  for (const char* bad : {"", "nocolon", ":7000", "host:", "host:abc",
+                          "host:70000", "a:1,,b:2", "a:1,"}) {
+    EXPECT_THROW((void)parse_host_port_list(bad), std::invalid_argument)
+        << "'" << bad << "'";
+  }
+}
+
+TEST(SocketWorker, SpeaksTheControlProtocolWithACoordinator) {
+  // Mock coordinator: accept the standalone worker, check its hello
+  // (no body affinity, no slot), ping it, then shut it down with a reason.
+  SocketTransport coordinator(HostPort{"127.0.0.1", 0});
+  coordinator.ensure_listening();
+  ASSERT_NE(coordinator.address().port, 0);  // ephemeral port resolved
+  EXPECT_STREQ(coordinator.name(), "tcp");
+
+  std::FILE* log = std::tmpfile();
+  ASSERT_NE(log, nullptr);
+  int worker_rc = -1;
+  std::thread worker([&] {
+    worker_rc = run_socket_worker({coordinator.address()}, log);
+  });
+
+  int fd = -1;
+  for (int tries = 0; tries < 100 && fd < 0; ++tries) {
+    fd = coordinator.accept_connection(100);
+  }
+  ASSERT_GE(fd, 0) << "worker never connected";
+  FrameStream stream(fd, &coordinator.counters(),
+                     FrameStream::Medium::kSocket);
+
+  const auto hello_frame = stream.recv();
+  ASSERT_TRUE(hello_frame.has_value());
+  ASSERT_EQ(hello_frame->tag, FrameTag::kHello);
+  ByteReader hr(hello_frame->payload);
+  const HelloRecord hello = decode_hello(hr);
+  EXPECT_EQ(hello.slot, kWorkerSlotNone);
+  EXPECT_EQ(hello.body_affinity, 0);
+
+  ByteWriter ping;
+  ping.put<std::uint64_t>(0xFEEDFACE);
+  ASSERT_TRUE(stream.send(FrameTag::kPing, ByteSpan(ping.bytes())));
+  const auto pong = stream.recv();
+  ASSERT_TRUE(pong.has_value());
+  EXPECT_EQ(pong->tag, FrameTag::kPong);
+  ByteReader pr(pong->payload);
+  EXPECT_EQ(pr.get<std::uint64_t>(), 0xFEEDFACEu);
+
+  ByteWriter reason;
+  reason.put_string("round over");
+  ASSERT_TRUE(stream.send(FrameTag::kShutdown, ByteSpan(reason.bytes())));
+  worker.join();
+  EXPECT_EQ(worker_rc, 0);
+  io::close_fd(fd);
+  std::fclose(log);
+
+  // The coordinator's transport metered the exchange.
+  EXPECT_GE(coordinator.counters().frames_received, 2u);  // hello + pong
+  EXPECT_GE(coordinator.counters().frames_sent, 2u);      // ping + shutdown
+}
+
+TEST(SocketTransport, AcceptTimesOutAndConnectFailsCleanly) {
+  SocketTransport coordinator(HostPort{"localhost", 0});
+  coordinator.ensure_listening();
+  EXPECT_EQ(coordinator.accept_connection(10), -1);  // nobody connecting
+  // A connect to a port nobody listens on fails with -1, not an exception.
+  EXPECT_EQ(SocketTransport::connect_to(HostPort{"127.0.0.1", 1}), -1);
+  // An unresolvable host is also a clean failure.
+  EXPECT_EQ(SocketTransport::connect_to(HostPort{"not-an-address", 9}), -1);
+}
+
+}  // namespace
+}  // namespace mpcsd::mpc

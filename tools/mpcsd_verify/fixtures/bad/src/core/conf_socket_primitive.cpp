@@ -1,0 +1,26 @@
+// Fixture: socket primitives outside transport_socket.cpp.  Network
+// bytes cross the machine boundary only through the socket transport,
+// so every raw socket syscall elsewhere is a framing bypass.
+// std::bind below is the classic homonym and must NOT fire.
+#include <netinet/in.h>
+#include <sys/socket.h>
+
+#include <functional>
+
+namespace mpcsd {
+
+inline int add(int a, int b) { return a + b; }
+
+int open_side_channel() {
+  const int fd = socket(AF_INET, SOCK_STREAM, 0);  // mpcsd-expect: conf-socket-primitive
+  sockaddr_in sa{};
+  bind(fd, static_cast<const sockaddr*>(static_cast<const void*>(&sa)),  // mpcsd-expect: conf-socket-primitive
+       sizeof(sa));
+  listen(fd, 1);  // mpcsd-expect: conf-socket-primitive
+  connect(fd, static_cast<const sockaddr*>(static_cast<const void*>(&sa)),  // mpcsd-expect: conf-socket-primitive
+          sizeof(sa));
+  auto later = std::bind(add, 1, 2);  // homonym: no finding
+  return fd + later();
+}
+
+}  // namespace mpcsd
